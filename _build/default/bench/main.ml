@@ -1,0 +1,265 @@
+(* Reproduction harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's per-experiment index), plus bechamel
+   micro-benchmarks of the simulator's hot paths.
+
+   Usage:
+     dune exec bench/main.exe                 -- all experiments, default scale
+     dune exec bench/main.exe -- --scale 1.0  -- paper-length runs
+     dune exec bench/main.exe -- --only fig7,fig9
+     dune exec bench/main.exe -- --micro      -- bechamel micro-benchmarks
+     dune exec bench/main.exe -- --list
+
+   Set PCC_DUMP_DIR=<dir> to also write the fig11/fig12 time series as
+   CSVs for external plotting.                                              *)
+
+open Pcc_experiments
+
+let experiments : (string * string * (scale:float -> seed:int -> unit)) list =
+  [
+    ( "game",
+      "Theorems 1-2: game dynamics, equilibrium, naive-utility contrast",
+      fun ~scale:_ ~seed -> Exp_game.print ~seed () );
+    ( "fig5",
+      "Fig. 4/5: large-scale Internet experiment (synthetic paths)",
+      fun ~scale ~seed -> Exp_internet.print ~scale ~seed () );
+    ( "table1",
+      "Table 1: inter-data-center paths over reserved bandwidth",
+      fun ~scale ~seed -> Exp_interdc.print ~scale ~seed () );
+    ( "fig6",
+      "Fig. 6: emulated satellite links",
+      fun ~scale ~seed -> Exp_satellite.print ~scale ~seed () );
+    ( "fig7",
+      "Fig. 7: random loss resilience",
+      fun ~scale ~seed -> Exp_loss.print ~scale ~seed () );
+    ( "fig8",
+      "Fig. 8: RTT fairness",
+      fun ~scale ~seed -> Exp_rtt_fairness.print ~scale ~seed () );
+    ( "fig9",
+      "Fig. 9: shallow bottleneck buffers",
+      fun ~scale ~seed -> Exp_buffer.print ~scale ~seed () );
+    ( "fig10",
+      "Fig. 10: data-center incast",
+      fun ~scale ~seed -> Exp_incast.print ~scale ~seed () );
+    ( "fig11",
+      "Fig. 11: rapidly changing network",
+      fun ~scale ~seed ->
+        let rows, series = Exp_dynamic.run ~scale ~seed () in
+        Exp_common.print_table (Exp_dynamic.table rows);
+        match Sys.getenv_opt "PCC_DUMP_DIR" with
+        | None -> ()
+        | Some dir ->
+          let all =
+            List.concat_map
+              (fun (name, pts) ->
+                [
+                  ( name ^ "-rate",
+                    Array.of_list
+                      (List.map
+                         (fun p ->
+                           Exp_dynamic.(p.time, p.rate /. 1e6))
+                         pts) );
+                  ( name ^ "-optimal",
+                    Array.of_list
+                      (List.map
+                         (fun p ->
+                           Exp_dynamic.(p.time, p.optimal /. 1e6))
+                         pts) );
+                ])
+              series
+          in
+          let path = Filename.concat dir "fig11_rate_tracking.csv" in
+          Pcc_metrics.Series_io.write_multi_series ~path all;
+          Printf.printf "[series written to %s]\n" path );
+    ( "fig12",
+      "Fig. 12/13: convergence and fairness of competing flows",
+      fun ~scale ~seed ->
+        let results = Exp_convergence.run ~scale ~seed () in
+        Exp_common.print_table (Exp_convergence.table results);
+        match Sys.getenv_opt "PCC_DUMP_DIR" with
+        | None -> ()
+        | Some dir ->
+          List.iter
+            (fun r ->
+              let open Exp_convergence in
+              let series =
+                List.mapi
+                  (fun i s ->
+                    ( Printf.sprintf "flow%d" (i + 1),
+                      Array.map (fun (t, v) -> (t, v /. 1e6)) s ))
+                  r.series
+              in
+              let path =
+                Filename.concat dir
+                  (Printf.sprintf "fig12_%s_rates.csv" r.protocol)
+              in
+              Pcc_metrics.Series_io.write_multi_series ~path series;
+              Printf.printf "[series written to %s]\n" path)
+            results );
+    ( "fig14",
+      "Fig. 14: TCP friendliness vs parallel-TCP selfishness",
+      fun ~scale ~seed -> Exp_friendliness.print ~scale ~seed () );
+    ( "fig15",
+      "Fig. 15: short-flow completion times",
+      fun ~scale ~seed -> Exp_fct.print ~scale ~seed () );
+    ( "fig16",
+      "Fig. 16: stability vs reactiveness trade-off",
+      fun ~scale ~seed -> Exp_tradeoff.print ~scale ~seed () );
+    ( "fig17",
+      "Fig. 17: power under FQ with CoDel vs bufferbloat",
+      fun ~scale ~seed -> Exp_power.print ~scale ~seed () );
+    ( "highloss",
+      "Sec. 4.4.2: loss-resilient utility under 10-50% loss",
+      fun ~scale ~seed -> Exp_high_loss.print ~scale ~seed () );
+    ( "ablation",
+      "Ablations: confidence-bound loss estimate, MI sizing",
+      fun ~scale ~seed -> Exp_ablation.print ~scale ~seed () );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the simulator's hot paths. *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let engine_bench () =
+    (* Schedule-and-drain a small event cascade. *)
+    let engine = Pcc_sim.Engine.create () in
+    let n = ref 0 in
+    for i = 1 to 100 do
+      ignore
+        (Pcc_sim.Engine.schedule engine
+           ~at:(float_of_int i *. 1e-3)
+           (fun () -> incr n))
+    done;
+    Pcc_sim.Engine.run engine
+  in
+  let heap_bench () =
+    let h = Pcc_sim.Event_heap.create () in
+    for i = 0 to 99 do
+      ignore (Pcc_sim.Event_heap.push h ~time:(float_of_int (i * 7919 mod 100)) i)
+    done;
+    while Pcc_sim.Event_heap.pop h <> None do
+      ()
+    done
+  in
+  let rng = Pcc_sim.Rng.create 1 in
+  let rng_bench () = ignore (Pcc_sim.Rng.float rng) in
+  let utility = Pcc_core.Utility.safe () in
+  let metrics =
+    Pcc_core.Utility.
+      {
+        rate = 1e8;
+        throughput = 9.5e7;
+        loss = 0.01;
+        samples = 500;
+        avg_rtt = 0.03;
+        prev_avg_rtt = 0.03;
+        rtt_early = 0.03;
+        rtt_late = 0.031;
+      }
+  in
+  let utility_bench () = ignore (utility.Pcc_core.Utility.eval metrics) in
+  let sim_second_bench () =
+    (* One simulated second of a PCC flow on a 20 Mbps link. *)
+    let engine = Pcc_sim.Engine.create () in
+    let rng = Pcc_sim.Rng.create 11 in
+    let _path =
+      Pcc_scenario.Path.build engine ~rng
+        ~bandwidth:(Pcc_sim.Units.mbps 20.) ~rtt:0.02
+        ~buffer:(Pcc_sim.Units.kib 64)
+        ~flows:[ Pcc_scenario.Path.flow (Pcc_scenario.Transport.pcc ()) ]
+        ()
+    in
+    Pcc_sim.Engine.run ~until:1.0 engine
+  in
+  let tests =
+    [
+      Test.make ~name:"engine: 100-event cascade" (Staged.stage engine_bench);
+      Test.make ~name:"event_heap: 100 push+pop" (Staged.stage heap_bench);
+      Test.make ~name:"rng: one float" (Staged.stage rng_bench);
+      Test.make ~name:"utility: one safe eval" (Staged.stage utility_bench);
+      Test.make ~name:"pcc: 1 simulated second @20Mbps"
+        (Staged.stage sim_second_bench);
+    ]
+  in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock results
+  in
+  Printf.printf "\n== micro-benchmarks (bechamel, monotonic clock) ==\n";
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] ->
+            Printf.printf "%-36s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "%-36s (no estimate)\n" name)
+        results)
+    tests;
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let scale = ref 0.3 in
+  let seed = ref 42 in
+  let only = ref [] in
+  let run_micro = ref false in
+  let list_only = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+      scale := float_of_string v;
+      parse rest
+    | "--seed" :: v :: rest ->
+      seed := int_of_string v;
+      parse rest
+    | "--only" :: v :: rest ->
+      only := String.split_on_char ',' v;
+      parse rest
+    | "--micro" :: rest ->
+      run_micro := true;
+      parse rest
+    | "--list" :: rest ->
+      list_only := true;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf
+        "unknown argument %s\n\
+         usage: main.exe [--scale S] [--seed N] [--only a,b] [--micro] [--list]\n"
+        arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !list_only then begin
+    List.iter
+      (fun (name, descr, _) -> Printf.printf "%-10s %s\n" name descr)
+      experiments;
+    exit 0
+  end;
+  if !run_micro then micro ()
+  else begin
+    Printf.printf
+      "PCC reproduction benchmarks (scale %.2f of paper durations, seed %d)\n"
+      !scale !seed;
+    let wanted (name, _, _) = !only = [] || List.mem name !only in
+    List.iter
+      (fun ((name, descr, f) as e) ->
+        if wanted e then begin
+          Printf.printf "\n### %s — %s\n%!" name descr;
+          let t0 = Unix.gettimeofday () in
+          f ~scale:!scale ~seed:!seed;
+          Printf.printf "[%s took %.1fs wall]\n%!" name
+            (Unix.gettimeofday () -. t0)
+        end)
+      experiments
+  end

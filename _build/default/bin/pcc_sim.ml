@@ -1,0 +1,220 @@
+(* pcc_sim — run ad-hoc congestion-control scenarios from the command
+   line.
+
+     pcc_sim run --transport pcc --transport cubic --bw 100 --rtt 30 \
+       --loss 0.01 --duration 60
+     pcc_sim game --senders 10
+     pcc_sim list                                                          *)
+
+open Cmdliner
+open Pcc_sim
+open Pcc_scenario
+
+let transport_of_string s =
+  match String.lowercase_ascii s with
+  | "pcc" -> Ok (Transport.pcc ())
+  | "pcc-latency" ->
+    Ok
+      (Transport.pcc
+         ~config:
+           (Pcc_core.Pcc_sender.config_with
+              ~utility:(Pcc_core.Utility.latency ())
+              ())
+         ())
+  | "pcc-resilient" ->
+    Ok
+      (Transport.pcc
+         ~config:
+           (Pcc_core.Pcc_sender.config_with
+              ~utility:(Pcc_core.Utility.loss_resilient ())
+              ())
+         ())
+  | "pcc-vivace" ->
+    Ok
+      (Transport.pcc
+         ~config:
+           (Pcc_core.Pcc_sender.config_with
+              ~utility:(Pcc_core.Utility.vivace ())
+              ())
+         ())
+  | "sabul" -> Ok Transport.sabul
+  | "pcp" -> Ok Transport.pcp
+  | s when String.length s > 6 && String.sub s 0 6 = "paced-" ->
+    let v = String.sub s 6 (String.length s - 6) in
+    if List.mem v Pcc_tcp.Registry.variants then Ok (Transport.tcp_paced v)
+    else Error (`Msg ("unknown TCP variant " ^ v))
+  | s when List.mem s Pcc_tcp.Registry.variants -> Ok (Transport.tcp s)
+  | s -> Error (`Msg ("unknown transport " ^ s))
+
+let transport_conv =
+  let parse s = transport_of_string s in
+  let print fmt t = Format.pp_print_string fmt (Transport.name t) in
+  Arg.conv (parse, print)
+
+(* ------------------------------------------------------------------ *)
+
+let run_cmd transports bw_mbps rtt_ms loss rev_loss jitter_ms buffer_kb queue
+    duration seed interval =
+  let bandwidth = Units.mbps bw_mbps in
+  let rtt = rtt_ms /. 1000. in
+  let buffer =
+    match buffer_kb with
+    | Some kb -> kb * 1000
+    | None -> Units.bdp_bytes ~rate:bandwidth ~rtt
+  in
+  let queue_kind =
+    match queue with
+    | "droptail" -> Path.Droptail
+    | "codel" -> Path.Codel
+    | "red" -> Path.Red
+    | "infinite" -> Path.Infinite
+    | "fq" -> Path.Fq Path.Droptail
+    | "fq-codel" -> Path.Fq Path.Codel
+    | other -> failwith ("unknown queue discipline " ^ other)
+  in
+  let engine = Engine.create () in
+  let rng = Rng.create seed in
+  let path =
+    Path.build engine ~rng ~bandwidth ~rtt ~buffer ~queue:queue_kind ~loss
+      ~rev_loss ~jitter:(jitter_ms /. 1000.)
+      ~flows:(List.map (fun t -> Path.flow t) transports)
+      ()
+  in
+  let flows = Path.flows path in
+  Printf.printf
+    "link: %.1f Mbps, %.1f ms RTT, %d KB %s buffer, loss %.3f%%\n" bw_mbps
+    rtt_ms (buffer / 1000) queue (loss *. 100.);
+  Printf.printf "%8s" "time";
+  Array.iter
+    (fun f -> Printf.printf " %14s" f.Path.def.Path.label)
+    flows;
+  Printf.printf "\n";
+  let last = Array.make (Array.length flows) 0 in
+  let steps = int_of_float (duration /. interval) in
+  for i = 1 to steps do
+    Engine.run ~until:(float_of_int i *. interval) engine;
+    Printf.printf "%7.1fs" (float_of_int i *. interval);
+    Array.iteri
+      (fun j f ->
+        let b = Path.goodput_bytes f in
+        Printf.printf " %9.2f Mbps"
+          (float_of_int ((b - last.(j)) * 8) /. interval /. 1e6);
+        last.(j) <- b)
+      flows;
+    Printf.printf "\n%!"
+  done;
+  Printf.printf "\naverages over the full run:\n";
+  Array.iter
+    (fun f ->
+      Printf.printf "  %-14s %8.2f Mbps (srtt %.1f ms)\n"
+        f.Path.def.Path.label
+        (float_of_int (Path.goodput_bytes f * 8) /. duration /. 1e6)
+        (f.Path.sender.Pcc_net.Sender.srtt () *. 1e3))
+    flows;
+  `Ok ()
+
+let game_cmd senders capacity steps =
+  let x0 =
+    Array.init senders (fun i -> capacity /. float_of_int (i + 2))
+  in
+  let x = ref x0 in
+  Printf.printf "step  rates (C = %.0f)\n" capacity;
+  for s = 0 to steps do
+    if s mod (max 1 (steps / 20)) = 0 then begin
+      Printf.printf "%4d " s;
+      Array.iter (fun v -> Printf.printf " %7.2f" v) !x;
+      Printf.printf "  jain=%.4f\n"
+        (Pcc_metrics.Stats.jain_index !x)
+    end;
+    x := Pcc_core.Game.step ~c:capacity !x
+  done;
+  `Ok ()
+
+let list_cmd () =
+  Printf.printf "transports:\n";
+  List.iter (Printf.printf "  %s\n")
+    ([ "pcc"; "pcc-latency"; "pcc-resilient"; "pcc-vivace"; "sabul"; "pcp" ]
+    @ Pcc_tcp.Registry.variants
+    @ List.map (fun v -> "paced-" ^ v) Pcc_tcp.Registry.variants);
+  Printf.printf "queues:\n  droptail codel red infinite fq fq-codel\n";
+  `Ok ()
+
+(* ------------------------------------------------------------------ *)
+
+let transports_arg =
+  Arg.(
+    value
+    & opt_all transport_conv [ Transport.pcc () ]
+    & info [ "t"; "transport" ] ~docv:"NAME"
+        ~doc:"Transport for one flow (repeatable). See $(b,pcc_sim list).")
+
+let bw_arg =
+  Arg.(value & opt float 100. & info [ "bw" ] ~docv:"MBPS" ~doc:"Bottleneck bandwidth.")
+
+let rtt_arg =
+  Arg.(value & opt float 30. & info [ "rtt" ] ~docv:"MS" ~doc:"Base round-trip time.")
+
+let loss_arg =
+  Arg.(value & opt float 0. & info [ "loss" ] ~docv:"P" ~doc:"Forward random loss probability.")
+
+let rev_loss_arg =
+  Arg.(value & opt float 0. & info [ "rev-loss" ] ~docv:"P" ~doc:"Ack-path random loss probability.")
+
+let jitter_arg =
+  Arg.(value & opt float 0. & info [ "jitter" ] ~docv:"MS" ~doc:"Uniform extra forward delay bound.")
+
+let buffer_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "buffer" ] ~docv:"KB" ~doc:"Bottleneck buffer (default: one BDP).")
+
+let queue_arg =
+  Arg.(
+    value & opt string "droptail"
+    & info [ "queue" ] ~docv:"KIND" ~doc:"Queue discipline (see $(b,pcc_sim list)).")
+
+let duration_arg =
+  Arg.(value & opt float 30. & info [ "duration" ] ~docv:"S" ~doc:"Simulated seconds.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.")
+
+let interval_arg =
+  Arg.(value & opt float 1. & info [ "interval" ] ~docv:"S" ~doc:"Reporting interval.")
+
+let run_term =
+  Term.(
+    ret
+      (const run_cmd $ transports_arg $ bw_arg $ rtt_arg $ loss_arg
+     $ rev_loss_arg $ jitter_arg $ buffer_arg $ queue_arg $ duration_arg
+     $ seed_arg $ interval_arg))
+
+let game_term =
+  let senders =
+    Arg.(value & opt int 4 & info [ "senders" ] ~docv:"N" ~doc:"Competing senders.")
+  in
+  let capacity =
+    Arg.(value & opt float 100. & info [ "capacity" ] ~docv:"C" ~doc:"Link capacity.")
+  in
+  let steps =
+    Arg.(value & opt int 2000 & info [ "steps" ] ~docv:"N" ~doc:"Dynamics rounds.")
+  in
+  Term.(ret (const game_cmd $ senders $ capacity $ steps))
+
+let cmds =
+  [
+    Cmd.v
+      (Cmd.info "run" ~doc:"Simulate flows sharing one bottleneck link")
+      run_term;
+    Cmd.v
+      (Cmd.info "game" ~doc:"Run the Sec. 2.2 game dynamics (Theorems 1-2)")
+      game_term;
+    Cmd.v
+      (Cmd.info "list" ~doc:"List transports and queue disciplines")
+      Term.(ret (const list_cmd $ const ()));
+  ]
+
+let () =
+  let doc = "packet-level simulator for the PCC congestion-control paper" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "pcc_sim" ~doc) cmds))

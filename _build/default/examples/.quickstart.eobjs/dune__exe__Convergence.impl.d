@@ -1,0 +1,1 @@
+examples/convergence.ml: Array Engine List Path Pcc_metrics Pcc_scenario Pcc_sim Printf Rng Transport Units

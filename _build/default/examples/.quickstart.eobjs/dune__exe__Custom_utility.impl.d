@@ -1,0 +1,1 @@
+examples/custom_utility.ml: Array Engine Float Path Pcc_core Pcc_net Pcc_scenario Pcc_sender Pcc_sim Printf Rng Transport Units Utility

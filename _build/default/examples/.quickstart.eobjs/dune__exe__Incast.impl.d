@@ -1,0 +1,1 @@
+examples/incast.ml: Array Engine Float List Path Pcc_scenario Pcc_sim Printf Rng Transport Units

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Engine Path Pcc_net Pcc_scenario Pcc_sim Printf Rng Transport Units

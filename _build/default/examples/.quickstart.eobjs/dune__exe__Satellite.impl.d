@@ -1,0 +1,1 @@
+examples/satellite.ml: Array Engine Path Pcc_scenario Pcc_sim Printf Rng Transport Units

@@ -1,0 +1,1 @@
+lib/core/controller.ml: Array Float Hashtbl Monitor Pcc_sim Rng Units

@@ -1,0 +1,1 @@
+lib/core/controller.mli: Monitor Pcc_sim

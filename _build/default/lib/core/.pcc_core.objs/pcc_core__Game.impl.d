@@ -1,0 +1,1 @@
+lib/core/game.ml: Array Float

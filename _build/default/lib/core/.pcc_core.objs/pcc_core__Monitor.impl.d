@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Engine Float Hashtbl List Pcc_sim Rng Units Utility

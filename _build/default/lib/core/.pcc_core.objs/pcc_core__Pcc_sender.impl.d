@@ -1,0 +1,1 @@
+lib/core/pcc_sender.ml: Controller Engine Float List Monitor Packet Pcc_net Pcc_sim Rate_pacer Rng Scoreboard Sender Units Utility

@@ -1,0 +1,1 @@
+lib/core/pcc_sender.mli: Controller Monitor Pcc_net Pcc_sim Utility

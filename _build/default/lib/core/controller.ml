@@ -1,0 +1,269 @@
+open Pcc_sim
+
+type config = {
+  eps_min : float;
+  eps_max : float;
+  rct : bool;
+  init_rate : float;
+  min_rate : float;
+  max_rate : float;
+}
+
+let default_config =
+  {
+    eps_min = 0.01;
+    eps_max = 0.05;
+    rct = true;
+    init_rate = 2. *. float_of_int (Units.mss * 8) /. 0.05;
+    min_rate = Units.kbps 50.;
+    max_rate = Units.gbps 20.;
+  }
+
+type phase = Starting | Decision | Adjusting
+
+type pair = {
+  up_first : bool;
+  mutable up_u : float option;
+  mutable down_u : float option;
+}
+
+(* What a given MI was planned to test. Tagged with the phase epoch so
+   results from MIs planned before a phase change are discarded. *)
+type role =
+  | R_start
+  | R_trial of { pair : int; up : bool }
+  | R_wait
+  | R_adjust of { step : int; prev_rate : float }
+
+type t = {
+  cfg : config;
+  rng : Rng.t;
+  mutable base : float;  (* current base rate, bps *)
+  mutable ph : phase;
+  mutable tag : int;  (* phase epoch *)
+  plan : (int, int * role) Hashtbl.t;  (* mi id -> (tag, role) *)
+  mutable notify : float -> unit;
+  mutable eps : float;
+  mutable decisions : int;
+  (* Starting state *)
+  mutable start_prev_u : float option;
+  mutable start_best : (float * float) option;  (* best (rate, u) so far *)
+  mutable start_falls : int;  (* consecutive utility falls *)
+  mutable doubled : bool;  (* whether rate_for_mi already issued MI 0 *)
+  (* Decision state *)
+  mutable pairs : pair array;
+  mutable assigned : int;
+  (* Adjusting state *)
+  mutable dir : float;
+  mutable adj_step : int;
+  mutable adj_confirmed : int;  (* steps whose results came back good *)
+  mutable adj_falls : int;  (* consecutive utility falls at current step *)
+  mutable adj_planned_rate : float;  (* rate of the last planned step *)
+  mutable adj_prev : (float * float) option;  (* last accepted (rate, u) *)
+}
+
+let create ?(config = default_config) ~rng () =
+  {
+    cfg = config;
+    rng;
+    base = Float.max config.min_rate config.init_rate;
+    ph = Starting;
+    tag = 0;
+    plan = Hashtbl.create 64;
+    notify = (fun _ -> ());
+    eps = config.eps_min;
+    decisions = 0;
+    start_prev_u = None;
+    start_best = None;
+    start_falls = 0;
+    doubled = false;
+    pairs = [||];
+    assigned = 0;
+    dir = 1.;
+    adj_step = 0;
+    adj_confirmed = 0;
+    adj_falls = 0;
+    adj_planned_rate = 0.;
+    adj_prev = None;
+  }
+
+let rate t = t.base
+let phase t = t.ph
+let eps t = t.eps
+let decisions t = t.decisions
+let on_rate_change t f = t.notify <- f
+
+let clamp t r = Float.max t.cfg.min_rate (Float.min t.cfg.max_rate r)
+
+let set_base t r =
+  let r = clamp t r in
+  if r <> t.base then begin
+    t.base <- r;
+    t.notify r
+  end
+
+let npairs t = if t.cfg.rct then 2 else 1
+
+let enter_decision t =
+  t.ph <- Decision;
+  t.tag <- t.tag + 1;
+  t.pairs <-
+    Array.init (npairs t) (fun _ ->
+        { up_first = Rng.bool t.rng; up_u = None; down_u = None });
+  t.assigned <- 0
+
+let enter_adjusting t ~dir ~first:(rate0, u0) =
+  (* rate0 was already tested by the winning trials, so the first step of
+     the ladder starts one ε beyond it. *)
+  t.ph <- Adjusting;
+  t.tag <- t.tag + 1;
+  t.dir <- dir;
+  t.adj_step <- 1;
+  t.adj_confirmed <- 0;
+  t.adj_falls <- 0;
+  t.adj_planned_rate <- clamp t (rate0 *. (1. +. (t.cfg.eps_min *. dir)));
+  t.adj_prev <- Some (rate0, u0)
+
+let rate_for_mi t ~id =
+  let tagged role = Hashtbl.replace t.plan id (t.tag, role) in
+  match t.ph with
+  | Starting ->
+    let r =
+      if not t.doubled then begin
+        t.doubled <- true;
+        t.base
+      end
+      else begin
+        t.base <- clamp t (t.base *. 2.);
+        t.base
+      end
+    in
+    tagged R_start;
+    r
+  | Decision ->
+    let total = 2 * npairs t in
+    if t.assigned < total then begin
+      let a = t.assigned in
+      t.assigned <- a + 1;
+      let pair = a / 2 in
+      let first_of_pair = a mod 2 = 0 in
+      let up = if first_of_pair then t.pairs.(pair).up_first
+               else not t.pairs.(pair).up_first in
+      tagged (R_trial { pair; up });
+      let f = if up then 1. +. t.eps else 1. -. t.eps in
+      clamp t (t.base *. f)
+    end
+    else begin
+      (* All trials emitted: hold the base rate while results return. *)
+      tagged R_wait;
+      t.base
+    end
+  | Adjusting ->
+    (* Rate advances are result-clocked (§3.1's re-alignment): every MI in
+       this phase sends at the current step's rate; the step only moves
+       when the step's first utility result arrives (see on_result). *)
+    let prev_rate =
+      match t.adj_prev with Some (r, _) -> r | None -> t.adj_planned_rate
+    in
+    Hashtbl.replace t.plan id
+      (t.tag, R_adjust { step = t.adj_step; prev_rate });
+    t.adj_planned_rate
+
+let decide t =
+  let ups = Array.for_all (fun p -> p.up_u > p.down_u) t.pairs in
+  let downs = Array.for_all (fun p -> p.up_u < p.down_u) t.pairs in
+  t.decisions <- t.decisions + 1;
+  let avg f =
+    Array.fold_left (fun acc p -> acc +. f p) 0. t.pairs
+    /. float_of_int (Array.length t.pairs)
+  in
+  let get o = match o with Some v -> v | None -> 0. in
+  if ups then begin
+    let r = clamp t (t.base *. (1. +. t.eps)) in
+    let u = avg (fun p -> get p.up_u) in
+    enter_adjusting t ~dir:1. ~first:(r, u);
+    t.eps <- t.cfg.eps_min;
+    set_base t t.adj_planned_rate
+  end
+  else if downs then begin
+    let r = clamp t (t.base *. (1. -. t.eps)) in
+    let u = avg (fun p -> get p.down_u) in
+    enter_adjusting t ~dir:(-1.) ~first:(r, u);
+    t.eps <- t.cfg.eps_min;
+    set_base t t.adj_planned_rate
+  end
+  else begin
+    (* Inconclusive: stay put, look harder. *)
+    t.eps <- Float.min t.cfg.eps_max (t.eps +. t.cfg.eps_min);
+    enter_decision t
+  end
+
+let on_result t (r : Monitor.result) =
+  match Hashtbl.find_opt t.plan r.Monitor.id with
+  | None -> ()
+  | Some (tag, role) ->
+    Hashtbl.remove t.plan r.Monitor.id;
+    if tag = t.tag then begin
+      match role with
+      | R_start -> (
+        (* Track the best (rate, utility) seen while doubling. As in the
+           adjusting state, one noisy MI (a competitor's transient burst)
+           should not end the startup: exit on two consecutive utility
+           falls, reverting to the best rate observed. *)
+        (match t.start_best with
+        | Some (_, bu) when r.Monitor.utility <= bu -> ()
+        | Some _ | None ->
+          t.start_best <- Some (r.Monitor.rate, r.Monitor.utility));
+        match t.start_prev_u with
+        | Some prev when r.Monitor.utility < prev ->
+          t.start_falls <- t.start_falls + 1;
+          t.start_prev_u <- Some r.Monitor.utility;
+          if t.start_falls >= 2 then begin
+            t.eps <- t.cfg.eps_min;
+            enter_decision t;
+            match t.start_best with
+            | Some (br, _) -> set_base t br
+            | None -> set_base t (r.Monitor.rate /. 2.)
+          end
+        | Some _ | None ->
+          t.start_falls <- 0;
+          t.start_prev_u <- Some r.Monitor.utility)
+      | R_wait -> ()
+      | R_trial { pair; up } ->
+        let p = t.pairs.(pair) in
+        if up then p.up_u <- Some r.Monitor.utility
+        else p.down_u <- Some r.Monitor.utility;
+        if
+          Array.for_all
+            (fun p -> p.up_u <> None && p.down_u <> None)
+            t.pairs
+        then decide t
+      | R_adjust { step; prev_rate } ->
+        (* Only the current step's first result drives the ladder; later
+           results for an already-decided step are stale. *)
+        if step = t.adj_step then begin
+          match t.adj_prev with
+          | Some (_, prev_u) when r.Monitor.utility < prev_u ->
+            (* Utility fell while accelerating. A single noisy MI (one
+               unlucky loss) should not abort the climb — the RCT
+               principle applied to this state — so hold the rate and
+               revert only on a second consecutive fall. *)
+            t.adj_falls <- t.adj_falls + 1;
+            if t.adj_falls >= 2 then begin
+              t.eps <- t.cfg.eps_min;
+              enter_decision t;
+              set_base t prev_rate
+            end
+          | Some _ | None ->
+            t.adj_falls <- 0;
+            t.adj_confirmed <- t.adj_confirmed + 1;
+            t.adj_prev <- Some (r.Monitor.rate, r.Monitor.utility);
+            t.adj_step <- t.adj_step + 1;
+            let factor =
+              1. +. (float_of_int t.adj_step *. t.cfg.eps_min *. t.dir)
+            in
+            t.adj_planned_rate <-
+              clamp t (r.Monitor.rate *. Float.max 0.05 factor);
+            set_base t t.adj_planned_rate
+        end
+    end

@@ -1,0 +1,61 @@
+(** The performance-oriented control module of §3.2.
+
+    A learning loop over sending rates, driven purely by per-MI
+    (rate, utility) observations:
+
+    - {b Starting}: double the rate each MI; when utility first falls,
+      return to the previous rate and enter decision making (slow-start
+      analogue that ignores loss per se).
+    - {b Decision}: run randomized controlled trials — 2 pairs of MIs,
+      each pair testing r(1+ε) and r(1−ε) in random order (1 pair when RCT
+      is disabled). Move only if both pairs agree; otherwise stay at r and
+      grow the trial granularity ε by ε_min (up to ε_max).
+    - {b Rate adjusting}: accelerate in the chosen direction,
+      rₙ = rₙ₋₁·(1 + n·ε_min·dir), until utility falls, then revert to
+      the last good rate and re-enter decision making.
+
+    Results for MIs planned by a superseded phase are ignored (they were
+    sent before the phase change took effect). *)
+
+type config = {
+  eps_min : float;  (** Trial granularity step, paper: 0.01. *)
+  eps_max : float;  (** Granularity cap, paper: 0.05. *)
+  rct : bool;  (** Two trial pairs (true, paper default) or one. *)
+  init_rate : float;  (** Starting rate, bits/s (paper: 2·MSS/RTT). *)
+  min_rate : float;  (** Control floor, bits/s. *)
+  max_rate : float;  (** Control ceiling, bits/s. *)
+}
+
+val default_config : config
+(** ε ∈ [0.01, 0.05], RCT on, init 0.48 Mbps (2 MSS / 50 ms),
+    floor 50 kbps, ceiling 20 Gbps. *)
+
+type phase = Starting | Decision | Adjusting
+(** Exposed for tests and rate-evolution traces. *)
+
+type t
+
+val create : ?config:config -> rng:Pcc_sim.Rng.t -> unit -> t
+
+val rate : t -> float
+(** The rate the sender should currently use (base rate; per-MI trial
+    rates are handed out via {!rate_for_mi}). *)
+
+val rate_for_mi : t -> id:int -> float
+(** Rate plan for a freshly opened MI — wire this to
+    {!Monitor.create}'s [rate_for_mi]. *)
+
+val on_result : t -> Monitor.result -> unit
+(** Feed an evaluated MI back; may change the current rate. *)
+
+val on_rate_change : t -> (float -> unit) -> unit
+(** Register a callback fired whenever the base rate changes outside the
+    per-MI plan (phase transitions and reversions) — the sender uses it to
+    retune its pacer and re-align the monitor. *)
+
+val phase : t -> phase
+val eps : t -> float
+(** Current trial granularity. *)
+
+val decisions : t -> int
+(** Number of completed decision rounds (conclusive or not). *)

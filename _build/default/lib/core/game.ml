@@ -1,0 +1,101 @@
+let loss ~c x =
+  if c <= 0. then invalid_arg "Game.loss: capacity must be positive";
+  let total = Array.fold_left ( +. ) 0. x in
+  if total <= c then 0. else 1. -. (c /. total)
+
+let default_alpha n = Float.max 100. (2.2 *. float_of_int (n - 1))
+
+let sigmoid alpha y =
+  let z = alpha *. y in
+  if z > 700. then 0. else if z < -700. then 1. else 1. /. (1. +. exp z)
+
+let throughput ~c x i =
+  let l = loss ~c x in
+  x.(i) *. (1. -. l)
+
+let utility ?alpha ~c x i =
+  let alpha =
+    match alpha with Some a -> a | None -> default_alpha (Array.length x)
+  in
+  let l = loss ~c x in
+  (x.(i) *. (1. -. l) *. sigmoid alpha (l -. 0.05)) -. (x.(i) *. l)
+
+(* Generic synchronous round for an arbitrary utility field. *)
+let step_with ~u ?(eps = 0.01) x =
+  let n = Array.length x in
+  let probe i r =
+    let saved = x.(i) in
+    x.(i) <- r;
+    let v = u x i in
+    x.(i) <- saved;
+    v
+  in
+  let next = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let up = probe i (x.(i) *. (1. +. eps)) in
+    let down = probe i (x.(i) *. (1. -. eps)) in
+    next.(i) <- (if up > down then x.(i) *. (1. +. eps) else x.(i) *. (1. -. eps))
+  done;
+  next
+
+let step ?alpha ?(eps = 0.01) ~c x =
+  step_with ~u:(fun x i -> utility ?alpha ~c x i) ~eps x
+
+let run_with ~u ?(eps = 0.01) ?(max_steps = 10_000) x0 =
+  (* At the equilibrium the multiplicative dynamics settle into a ±ε
+     limit cycle (Theorem 2's (x̂(1−ε)², x̂(1+ε)²) band), so convergence
+     is detected against the state two rounds ago. *)
+  let x = Array.copy x0 in
+  let prev2 = Array.copy x0 in
+  let steps = ref 0 in
+  let cycling = ref false in
+  while (not !cycling) && !steps < max_steps do
+    let x' = step_with ~u ~eps x in
+    if !steps > 0 then begin
+      cycling := true;
+      Array.iteri
+        (fun i v ->
+          if Float.abs (v -. prev2.(i)) > eps *. 1e-3 *. Float.abs v then
+            cycling := false)
+        x'
+    end;
+    Array.blit x 0 prev2 0 (Array.length x);
+    Array.blit x' 0 x 0 (Array.length x);
+    incr steps
+  done;
+  (x, !steps)
+
+let run ?alpha ?(eps = 0.01) ?(max_steps = 10_000) ~c x0 =
+  run_with ~u:(fun x i -> utility ?alpha ~c x i) ~eps ~max_steps x0
+
+let equilibrium_rate ?alpha ~n ~c () =
+  let alpha = match alpha with Some a -> a | None -> default_alpha n in
+  (* At the symmetric state x̂ = s/n, the dynamics are stationary where the
+     marginal utility of sender i w.r.t. its own rate crosses zero. Scan
+     total traffic s over Theorem 1's bracket (C, 20C/19). *)
+  let eps = 1e-4 in
+  let gradient s =
+    let x = Array.make n (s /. float_of_int n) in
+    let i = 0 in
+    let xi = x.(i) in
+    let x_up = Array.copy x and x_dn = Array.copy x in
+    x_up.(i) <- xi *. (1. +. eps);
+    x_dn.(i) <- xi *. (1. -. eps);
+    utility ~alpha ~c x_up i -. utility ~alpha ~c x_dn i
+  in
+  let lo = ref (c *. 1.0000001) and hi = ref (c *. 20. /. 19.) in
+  (* The gradient is positive just above C (loss ~ 0, pushing up pays) and
+     negative at 20C/19 (sigmoid cliff); bisect the crossing. *)
+  for _ = 1 to 80 do
+    let mid = (!lo +. !hi) /. 2. in
+    if gradient mid > 0. then lo := mid else hi := mid
+  done;
+  (!lo +. !hi) /. 2. /. float_of_int n
+
+let converged_fairly ?(tol = 0.1) x =
+  let n = Array.length x in
+  if n = 0 then true
+  else begin
+    let mean = Array.fold_left ( +. ) 0. x /. float_of_int n in
+    Array.for_all (fun v -> Float.abs (v -. mean) <= tol *. mean) x
+  end

@@ -1,0 +1,62 @@
+(** The game-theoretic model of §2.2 (Theorems 1 and 2).
+
+    [n] senders share a bottleneck of capacity [c]. Sender [i] with rate
+    [xᵢ] experiences per-packet loss [L(x) = max(0, 1 − c/Σxⱼ)],
+    throughput [Tᵢ = xᵢ(1 − L)] and utility
+    [uᵢ = Tᵢ·Sigmoid_α(L − 0.05) − xᵢ·L].
+
+    This module evaluates the utility field directly (no packet
+    simulation) and runs the §2.2 synchronous dynamics — each sender
+    compares [uᵢ(xᵢ(1+ε), x₋ᵢ)] against [uᵢ(xᵢ(1−ε), x₋ᵢ)] and moves
+    multiplicatively toward the better side. It is both an analytical
+    cross-check of the packet-level implementation and the fluid-model
+    ablation of DESIGN.md. *)
+
+val loss : c:float -> float array -> float
+(** [loss ~c x] is [L(x)]. @raise Invalid_argument if [c <= 0]. *)
+
+val throughput : c:float -> float array -> int -> float
+(** Sender [i]'s goodput under global state [x]. *)
+
+val utility : ?alpha:float -> c:float -> float array -> int -> float
+(** Sender [i]'s §2.2 utility ([alpha] defaults to
+    [max 100 (2.2(n−1))], Theorem 1's bound). *)
+
+val step : ?alpha:float -> ?eps:float -> c:float -> float array -> float array
+(** One synchronous round of the §2.2 dynamics ([eps] defaults to
+    0.01). *)
+
+val step_with :
+  u:(float array -> int -> float) -> ?eps:float -> float array -> float array
+(** {!step} for an arbitrary utility field [u x i] — used to study
+    alternate utilities (e.g. the naive [T − x·L] whose equilibrium loss
+    degrades with sender count, motivating the sigmoid cut-off). *)
+
+val run_with :
+  u:(float array -> int -> float) ->
+  ?eps:float ->
+  ?max_steps:int ->
+  float array ->
+  float array * int
+(** {!run} for an arbitrary utility field. *)
+
+val run :
+  ?alpha:float ->
+  ?eps:float ->
+  ?max_steps:int ->
+  c:float ->
+  float array ->
+  float array * int
+(** Iterate {!step} until no sender moved by more than ε/4 of its rate or
+    [max_steps] (default 10_000) rounds elapse. Returns the final state
+    and the number of rounds used. *)
+
+val equilibrium_rate : ?alpha:float -> n:int -> c:float -> unit -> float
+(** The symmetric stable rate x̂ with [n] senders: the fixed point where
+    a sender is indifferent between (1+ε)x̂ and (1−ε)x̂, found by
+    bisection. Theorem 1 locates total traffic in (C, 20C/19); the
+    bisection scans that bracket. *)
+
+val converged_fairly : ?tol:float -> float array -> bool
+(** Whether all rates are within [tol] (default 10%) of their mean —
+    the fairness check for Theorem 1/2 experiments. *)

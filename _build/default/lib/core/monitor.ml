@@ -1,0 +1,392 @@
+open Pcc_sim
+
+type result = {
+  id : int;
+  rate : float;
+  start_time : float;
+  duration : float;
+  sent_pkts : int;
+  acked_pkts : int;
+  sent_bytes : int;
+  acked_bytes : int;
+  loss : float;
+  avg_rtt : float option;
+  prev_avg_rtt : float option;
+  utility : float;
+}
+
+type config = {
+  min_pkts : int;
+  rtt_lo : float;
+  rtt_hi : float;
+  eval_margin : float;
+  initial_rtt : float;
+}
+
+let default_config =
+  { min_pkts = 10; rtt_lo = 1.7; rtt_hi = 2.2; eval_margin = 2.0; initial_rtt = 0.05 }
+
+type mi = {
+  mi_id : int;
+  mi_rate : float;
+  start : float;
+  mutable close_time : float;
+  mutable closed : bool;
+  mutable evaluated : bool;
+  mutable rollover : Engine.timer option;
+  mutable fallback : Engine.timer option;
+  mutable sent_pkts : int;
+  mutable sent_bytes : int;
+  mutable acked_pkts : int;
+  mutable acked_bytes : int;
+  mutable rtt_sum : float;
+  mutable rtt_cnt : int;
+  mutable planned_dur : float;
+  mutable rtt_early_sum : float;  (* samples in the MI's first quarter *)
+  mutable rtt_early_cnt : int;
+  mutable rtt_late_sum : float;  (* samples in (or after) the last quarter *)
+  mutable rtt_late_cnt : int;
+  seqs : (int, unit) Hashtbl.t;  (* sent, not yet resolved (acked/lost) *)
+}
+
+type t = {
+  engine : Engine.t;
+  cfg : config;
+  rng : Rng.t;
+  utility : Utility.t;
+  rate_for_mi : id:int -> float;
+  on_result : result -> unit;
+  on_mi_losses : int list -> unit;
+  seq_to_mi : (int, mi) Hashtbl.t;
+  mutable current : mi option;
+  mutable next_id : int;
+  mutable rtt_est : float;
+  mutable rtt_latest : float;
+  mutable have_rtt : bool;
+  mutable last_avg_rtt : float option;
+  mutable running : bool;
+  (* In-order release of evaluated results. *)
+  ready : (int, result) Hashtbl.t;
+  discarded : (int, unit) Hashtbl.t;
+  mutable expected : int;
+}
+
+let create engine cfg ~rng ~utility ~rate_for_mi ~on_result ~on_mi_losses =
+  {
+    engine;
+    cfg;
+    rng;
+    utility;
+    rate_for_mi;
+    on_result;
+    on_mi_losses;
+    seq_to_mi = Hashtbl.create 4096;
+    current = None;
+    next_id = 0;
+    rtt_est = cfg.initial_rtt;
+    rtt_latest = cfg.initial_rtt;
+    have_rtt = false;
+    last_avg_rtt = None;
+    running = false;
+    ready = Hashtbl.create 16;
+    discarded = Hashtbl.create 16;
+    expected = 0;
+  }
+
+let rtt_estimate t = t.rtt_est
+let current_mi_id t = match t.current with Some mi -> mi.mi_id | None -> -1
+
+let current_rate t = match t.current with Some mi -> mi.mi_rate | None -> 0.
+
+let mi_duration t rate =
+  let send_time =
+    float_of_int (t.cfg.min_pkts * Units.mss * 8) /. Float.max rate 1.
+  in
+  let rtt_mult =
+    if t.cfg.rtt_lo >= t.cfg.rtt_hi then t.cfg.rtt_lo
+    else Rng.uniform t.rng t.cfg.rtt_lo t.cfg.rtt_hi
+  in
+  (* The 10-packet floor exists so loss estimates have samples, but at
+     very low rates it would stretch an MI to many RTTs and make startup
+     doubling far slower than TCP slow start (hurting short-flow FCT,
+     which §4.3.2 shows staying close to TCP's). Cap the stretch at 4
+     RTTs; the confidence-bound loss estimate covers the smaller sample. *)
+  let send_time = Float.min send_time (4. *. t.rtt_est) in
+  Float.max send_time (rtt_mult *. t.rtt_est)
+
+let release_ready t =
+  let continue = ref true in
+  while !continue do
+    if Hashtbl.mem t.discarded t.expected then begin
+      Hashtbl.remove t.discarded t.expected;
+      t.expected <- t.expected + 1
+    end
+    else begin
+      match Hashtbl.find_opt t.ready t.expected with
+      | Some r ->
+        Hashtbl.remove t.ready t.expected;
+        t.expected <- t.expected + 1;
+        t.last_avg_rtt <-
+          (match r.avg_rtt with Some _ as v -> v | None -> t.last_avg_rtt);
+        t.on_result r
+      | None -> continue := false
+    end
+  done
+
+(* Evaluate a closed MI. Packets still unresolved at this point (only
+   possible on the fallback path) count as lost. *)
+let evaluate t (mi : mi) =
+  mi.evaluated <- true;
+  (match mi.fallback with
+  | Some timer ->
+    Engine.cancel timer;
+    mi.fallback <- None
+  | None -> ());
+  let losses = Hashtbl.fold (fun seq () acc -> seq :: acc) mi.seqs [] in
+  (* Drop the seq->mi mapping only where this MI still owns it — a later
+     MI that retransmitted the sequence owns it now and must receive the
+     ack credit. *)
+  List.iter
+    (fun seq ->
+      match Hashtbl.find_opt t.seq_to_mi seq with
+      | Some owner when owner == mi -> Hashtbl.remove t.seq_to_mi seq
+      | Some _ | None -> ())
+    losses;
+  Hashtbl.reset mi.seqs;
+  let duration = Float.max (mi.close_time -. mi.start) 1e-9 in
+  let loss =
+    if mi.sent_pkts = 0 then 0.
+    else 1. -. (float_of_int mi.acked_pkts /. float_of_int mi.sent_pkts)
+  in
+  let avg_rtt =
+    if mi.rtt_cnt = 0 then None else Some (mi.rtt_sum /. float_of_int mi.rtt_cnt)
+  in
+  let throughput = float_of_int (mi.acked_bytes * 8) /. duration in
+  let prev_avg_rtt = t.last_avg_rtt in
+  let rtt_for_utility =
+    match avg_rtt with Some v -> v | None -> t.rtt_est
+  in
+  let prev_rtt_for_utility =
+    match prev_avg_rtt with Some v -> v | None -> rtt_for_utility
+  in
+  let rtt_early =
+    if mi.rtt_early_cnt = 0 then rtt_for_utility
+    else mi.rtt_early_sum /. float_of_int mi.rtt_early_cnt
+  in
+  let rtt_late =
+    if mi.rtt_late_cnt = 0 then rtt_for_utility
+    else mi.rtt_late_sum /. float_of_int mi.rtt_late_cnt
+  in
+  let metrics =
+    Utility.
+      {
+        rate = mi.mi_rate;
+        throughput;
+        loss;
+        samples = mi.sent_pkts;
+        avg_rtt = rtt_for_utility;
+        prev_avg_rtt = prev_rtt_for_utility;
+        rtt_early;
+        rtt_late;
+      }
+  in
+  let result =
+    {
+      id = mi.mi_id;
+      rate = mi.mi_rate;
+      start_time = mi.start;
+      duration;
+      sent_pkts = mi.sent_pkts;
+      acked_pkts = mi.acked_pkts;
+      sent_bytes = mi.sent_bytes;
+      acked_bytes = mi.acked_bytes;
+      loss;
+      avg_rtt;
+      prev_avg_rtt;
+      utility = t.utility.Utility.eval metrics;
+    }
+  in
+  if losses <> [] then t.on_mi_losses (List.sort compare losses);
+  Hashtbl.replace t.ready result.id result;
+  release_ready t
+
+let maybe_evaluate t (mi : mi) =
+  if mi.closed && (not mi.evaluated) && Hashtbl.length mi.seqs = 0 then
+    evaluate t mi
+
+let close_mi t (mi : mi) =
+  (match mi.rollover with
+  | Some timer ->
+    Engine.cancel timer;
+    mi.rollover <- None
+  | None -> ());
+  mi.close_time <- Engine.now t.engine;
+  mi.closed <- true;
+  if Hashtbl.length mi.seqs = 0 then evaluate t mi
+  else begin
+    (* Normally every packet resolves through SACK feedback (ack or gap
+       detection) about one RTT after the close. The fallback timer only
+       fires when feedback dries up entirely — e.g. every remaining packet
+       and its successors were lost — and then counts the rest as lost. *)
+    let wait =
+      (t.cfg.eval_margin *. Float.max t.rtt_est t.rtt_latest) +. 0.002
+    in
+    (* Before the first RTT sample the estimate is only a configuration
+       guess; do not let a low guess declare unacked packets lost. *)
+    let wait = if t.have_rtt then wait else Float.max wait 1.0 in
+    mi.fallback <-
+      Some
+        (Engine.schedule_in t.engine ~after:wait (fun () ->
+             mi.fallback <- None;
+             if not mi.evaluated then evaluate t mi))
+  end
+
+let rec open_mi t =
+  if t.running then begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    let rate = t.rate_for_mi ~id in
+    let now = Engine.now t.engine in
+    let mi =
+      {
+        mi_id = id;
+        mi_rate = rate;
+        start = now;
+        close_time = now;
+        closed = false;
+        evaluated = false;
+        rollover = None;
+        fallback = None;
+        sent_pkts = 0;
+        sent_bytes = 0;
+        acked_pkts = 0;
+        acked_bytes = 0;
+        rtt_sum = 0.;
+        rtt_cnt = 0;
+        planned_dur = 0.;
+        rtt_early_sum = 0.;
+        rtt_early_cnt = 0;
+        rtt_late_sum = 0.;
+        rtt_late_cnt = 0;
+        seqs = Hashtbl.create 64;
+      }
+    in
+    let duration = mi_duration t rate in
+    mi.planned_dur <- duration;
+    mi.rollover <-
+      Some
+        (Engine.schedule_in t.engine ~after:duration (fun () ->
+             mi.rollover <- None;
+             (* Guard: a realign may already have replaced this MI. *)
+             match t.current with
+             | Some cur when cur == mi ->
+               t.current <- None;
+               close_mi t mi;
+               open_mi t
+             | Some _ | None -> ()));
+    t.current <- Some mi
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    open_mi t
+  end
+
+let stop t =
+  t.running <- false;
+  match t.current with
+  | Some mi ->
+    t.current <- None;
+    close_mi t mi
+  | None -> ()
+
+(* §3.1's re-alignment: the rate just changed, so the partially elapsed MI
+   no longer measures a single (rate, utility) pair. Its fragment is
+   discarded — packets already charged to it stop being monitored — and a
+   fresh MI opens at the new rate. *)
+let discard_mi t (mi : mi) =
+  (match mi.rollover with
+  | Some timer ->
+    Engine.cancel timer;
+    mi.rollover <- None
+  | None -> ());
+  mi.evaluated <- true;
+  Hashtbl.iter
+    (fun seq () ->
+      match Hashtbl.find_opt t.seq_to_mi seq with
+      | Some owner when owner == mi -> Hashtbl.remove t.seq_to_mi seq
+      | Some _ | None -> ())
+    mi.seqs;
+  Hashtbl.reset mi.seqs;
+  Hashtbl.replace t.discarded mi.mi_id ();
+  release_ready t
+
+let realign t =
+  match t.current with
+  | Some mi ->
+    t.current <- None;
+    discard_mi t mi;
+    open_mi t
+  | None -> if t.running then open_mi t
+
+let on_send t ~seq ~size =
+  match t.current with
+  | None -> ()
+  | Some mi ->
+    mi.sent_pkts <- mi.sent_pkts + 1;
+    mi.sent_bytes <- mi.sent_bytes + size;
+    Hashtbl.replace mi.seqs seq ();
+    Hashtbl.replace t.seq_to_mi seq mi
+
+let on_ack t ~seq ~rtt ~size =
+  (match rtt with
+  | Some sample ->
+    t.rtt_latest <- sample;
+    if t.have_rtt then t.rtt_est <- (0.9 *. t.rtt_est) +. (0.1 *. sample)
+    else begin
+      t.rtt_est <- sample;
+      t.have_rtt <- true
+    end
+  | None -> ());
+  match Hashtbl.find_opt t.seq_to_mi seq with
+  | None -> ()
+  | Some mi ->
+    if Hashtbl.mem mi.seqs seq then begin
+      Hashtbl.remove mi.seqs seq;
+      Hashtbl.remove t.seq_to_mi seq;
+      mi.acked_pkts <- mi.acked_pkts + 1;
+      mi.acked_bytes <- mi.acked_bytes + size;
+      (match rtt with
+      | Some sample ->
+        mi.rtt_sum <- mi.rtt_sum +. sample;
+        mi.rtt_cnt <- mi.rtt_cnt + 1;
+        (* Attribute the sample to the MI's first or last quarter (by the
+           data packet's send time relative to the planned duration) so
+           the latency utility can read the within-MI RTT trend. *)
+        let now = Engine.now t.engine in
+        let sent_at = now -. sample in
+        if sent_at < mi.start +. (0.25 *. mi.planned_dur) then begin
+          mi.rtt_early_sum <- mi.rtt_early_sum +. sample;
+          mi.rtt_early_cnt <- mi.rtt_early_cnt + 1
+        end
+        else if sent_at >= mi.start +. (0.75 *. mi.planned_dur) then begin
+          mi.rtt_late_sum <- mi.rtt_late_sum +. sample;
+          mi.rtt_late_cnt <- mi.rtt_late_cnt + 1
+        end
+      | None -> ());
+      maybe_evaluate t mi
+    end
+
+(* A sequence was declared lost by the sender's SACK-gap detection:
+   resolve it in its owning MI (the loss is already implicit in
+   sent - acked; resolution just lets the MI evaluate promptly). *)
+let on_lost t ~seq =
+  match Hashtbl.find_opt t.seq_to_mi seq with
+  | None -> ()
+  | Some mi ->
+    if Hashtbl.mem mi.seqs seq then begin
+      Hashtbl.remove mi.seqs seq;
+      Hashtbl.remove t.seq_to_mi seq;
+      maybe_evaluate t mi
+    end

@@ -1,0 +1,90 @@
+type metrics = {
+  rate : float;
+  throughput : float;
+  loss : float;
+  samples : int;
+  avg_rtt : float;
+  prev_avg_rtt : float;
+  rtt_early : float;
+  rtt_late : float;
+}
+
+(* Lower confidence bound of the per-MI loss rate: with only a handful of
+   packets in an interval, one unlucky drop reads as 10% loss and would
+   spuriously trip the sigmoid cut-off. One standard error of slack makes
+   the cut-off react to evidence of congestion rather than to noise, while
+   converging to the raw rate as intervals grow. *)
+let loss_lcb loss samples =
+  if samples <= 0 then loss
+  else begin
+    let n = float_of_int samples in
+    Float.max 0. (loss -. sqrt (loss *. (1. -. loss) /. n))
+  end
+
+type t = { name : string; eval : metrics -> float }
+
+let mbps x = x /. 1e6
+
+let sigmoid alpha y =
+  (* Guard the exponential against overflow for large α·y. *)
+  let z = alpha *. y in
+  if z > 700. then 0. else if z < -700. then 1. else 1. /. (1. +. exp z)
+
+let safe ?(alpha = 100.) ?(loss_threshold = 0.05) ?(conservative = true) () =
+  {
+    name = "safe";
+    eval =
+      (fun m ->
+        let l_cut = if conservative then loss_lcb m.loss m.samples else m.loss in
+        (mbps m.throughput *. sigmoid alpha (l_cut -. loss_threshold))
+        -. (mbps m.rate *. m.loss));
+  }
+
+let loss_resilient () =
+  {
+    name = "loss-resilient";
+    eval = (fun m -> mbps m.throughput *. (1. -. m.loss));
+  }
+
+let latency ?(alpha = 100.) ?(loss_threshold = 0.05) () =
+  {
+    name = "latency";
+    eval =
+      (fun m ->
+        let rtt = Float.max m.avg_rtt 1e-6 in
+        (* The paper's RTTn-1/RTTn factor rewards shrinking RTT. We
+           estimate the same signal within the MI (early samples over
+           late samples): it attributes queue growth to the rate that
+           caused it, where the cross-MI ratio mixes adjacent trials. *)
+        let early = Float.max m.rtt_early 1e-6 in
+        let late = Float.max m.rtt_late 1e-6 in
+        let l_cut = loss_lcb m.loss m.samples in
+        ((mbps m.throughput
+          *. sigmoid alpha (l_cut -. loss_threshold)
+          *. (early /. late))
+         -. (mbps m.rate *. m.loss))
+        /. rtt);
+  }
+
+let simple () =
+  {
+    name = "simple";
+    eval = (fun m -> mbps m.throughput -. (mbps m.rate *. m.loss));
+  }
+
+let vivace ?(exponent = 0.9) ?(latency_coeff = 900.) ?(loss_coeff = 11.35) ()
+    =
+  {
+    name = "vivace";
+    eval =
+      (fun m ->
+        let x = mbps m.rate in
+        let dur = Float.max 1e-6 (0.5 *. (m.avg_rtt *. 2.2)) in
+        (* RTT gradient in seconds/second from the within-MI trend. *)
+        let drtt_dt = (m.rtt_late -. m.rtt_early) /. dur in
+        (x ** exponent)
+        -. (latency_coeff *. x *. Float.max 0. drtt_dt)
+        -. (loss_coeff *. x *. m.loss));
+  }
+
+let custom ~name eval = { name; eval }

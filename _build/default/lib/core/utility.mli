@@ -1,0 +1,75 @@
+(** Utility functions: the objective a PCC sender optimizes.
+
+    A monitor interval's packet-level events are aggregated into
+    {!metrics}; a utility function collapses them into one number. PCC's
+    control loop only ever compares utilities of different rates, so
+    utilities are scale-free — we evaluate rates in Mbps to keep the
+    magnitudes readable.
+
+    The paper proves convergence for {!safe} and demonstrates two
+    alternates enabled by fair queuing: {!loss_resilient} (§4.4.2) and
+    {!latency} (§4.4.1). Applications can also supply their own. *)
+
+type metrics = {
+  rate : float;  (** The sending rate tested during the MI, bits/s. *)
+  throughput : float;  (** Acknowledged goodput over the MI, bits/s. *)
+  loss : float;  (** Fraction of the MI's packets lost, in [0,1]. *)
+  samples : int;  (** Packets sent in the MI (the loss sample size). *)
+  avg_rtt : float;  (** Mean RTT of the MI's acknowledged packets, s. *)
+  prev_avg_rtt : float;  (** Same, for the preceding MI. *)
+  rtt_early : float;  (** Mean of the MI's first few RTT samples. *)
+  rtt_late : float;  (** Mean of the MI's last few RTT samples. *)
+}
+
+type t = {
+  name : string;
+  eval : metrics -> float;  (** Higher is better. *)
+}
+
+val safe :
+  ?alpha:float -> ?loss_threshold:float -> ?conservative:bool -> unit -> t
+(** §2.2's provably-convergent default:
+    [u = T·Sigmoid_α(L − 0.05) − x·L] with [Sigmoid_α(y) = 1/(1+e^{αy})].
+    The sigmoid caps the equilibrium loss rate near [loss_threshold]
+    (default 0.05); [alpha] defaults to 100, satisfying Theorem 1's
+    [α ≥ max(2.2(n−1), 100)] for up to ~46 senders.
+
+    With [conservative] (the default), the sigmoid's loss argument is the
+    one-standard-error lower confidence bound of the measured loss rate,
+    so a single unlucky drop in a 10-packet monitor interval does not
+    read as a 10% loss rate and trip the cut-off — §2.1's noisy-decision
+    problem. The [−x·L] term always uses the raw measurement, and the
+    bound converges to it as intervals grow, so the equilibrium of
+    Theorem 1 is unchanged. Pass [~conservative:false] for the paper's
+    literal formula (the ablation benchmark compares both). *)
+
+val loss_resilient : unit -> t
+(** §4.4.2: [u = T·(1 − L)] — keeps pushing at its fair share under
+    arbitrary random loss. Safe only behind per-flow fair queuing. *)
+
+val latency : ?alpha:float -> ?loss_threshold:float -> unit -> t
+(** §4.4.1's interactive-flow objective:
+    [u = (T·Sigmoid_α(L−0.05)·(RTT_early/RTT_late) − x·L)/RTT_avg] —
+    maximizes power (throughput/delay) and penalizes RTT growth. The
+    paper writes the growth factor as RTTₙ₋₁/RTTₙ across MIs; we measure
+    it within the MI (early/late samples), which attributes queue growth
+    to the rate that caused it — see DESIGN.md. *)
+
+val simple : unit -> t
+(** The didactic starting point of §2.1, [u = T − x·L]; included for the
+    ablation benchmark of the sigmoid cut-off (its equilibrium loss rate
+    degrades as senders multiply). *)
+
+val vivace :
+  ?exponent:float -> ?latency_coeff:float -> ?loss_coeff:float -> unit -> t
+(** The paper's "better learning algorithm" future-work direction, as
+    later published in PCC Vivace (NSDI 2018):
+    [u = x^t − b·x·(dRTT/dt)⁺ − c·x·L] with the defaults t=0.9, b=900,
+    c=11.35 from that paper. The strictly concave rate term gives a
+    well-defined gradient everywhere (no sigmoid cliff) and the RTT
+    gradient term reacts before queues fill. Included as a
+    forward-compatible objective; the reproduction benchmarks all use
+    {!safe}. *)
+
+val custom : name:string -> (metrics -> float) -> t
+(** Escape hatch for application-defined objectives. *)

@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Exp_common List Monitor Pcc_core Pcc_scenario Pcc_sender Pcc_sim Transport Units Utility

@@ -1,0 +1,1 @@
+lib/experiments/exp_common.ml: Array Engine Float List Path Pcc_scenario Pcc_sim Printf Rng String

@@ -1,0 +1,1 @@
+lib/experiments/exp_common.mli: Pcc_scenario Pcc_sim

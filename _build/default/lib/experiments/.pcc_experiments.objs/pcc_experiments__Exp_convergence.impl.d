@@ -1,0 +1,1 @@
+lib/experiments/exp_convergence.ml: Array Convergence Engine Exp_common Float List Path Pcc_metrics Pcc_scenario Pcc_sim Printf Recorder Rng Stats Transport Units

@@ -1,0 +1,1 @@
+lib/experiments/exp_convergence.mli: Exp_common

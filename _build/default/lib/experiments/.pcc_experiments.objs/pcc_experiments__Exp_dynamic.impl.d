@@ -1,0 +1,1 @@
+lib/experiments/exp_dynamic.ml: Array Dynamics Engine Exp_common Float List Path Pcc_net Pcc_scenario Pcc_sim Printf Rng Transport Units

@@ -1,0 +1,1 @@
+lib/experiments/exp_fct.ml: Array Engine Exp_common Float List Path Pcc_metrics Pcc_scenario Pcc_sim Printf Rng Stats Transport Units

@@ -1,0 +1,1 @@
+lib/experiments/exp_fct.mli: Exp_common

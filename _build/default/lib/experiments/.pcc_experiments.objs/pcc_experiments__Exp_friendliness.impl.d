@@ -1,0 +1,1 @@
+lib/experiments/exp_friendliness.ml: Array Engine Exp_common List Path Pcc_scenario Pcc_sim Printf Rng Transport Units

@@ -1,0 +1,1 @@
+lib/experiments/exp_friendliness.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/experiments/exp_game.ml: Array Exp_common Game List Pcc_core Pcc_metrics Pcc_sim Printf

@@ -1,0 +1,1 @@
+lib/experiments/exp_game.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/experiments/exp_high_loss.ml: Exp_common List Path Pcc_core Pcc_scenario Pcc_sim Printf Transport Units

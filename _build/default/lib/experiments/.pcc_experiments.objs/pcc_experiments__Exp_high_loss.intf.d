@@ -1,0 +1,1 @@
+lib/experiments/exp_high_loss.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/experiments/exp_incast.ml: Array Engine Exp_common Float List Path Pcc_scenario Pcc_sim Rng Transport Units

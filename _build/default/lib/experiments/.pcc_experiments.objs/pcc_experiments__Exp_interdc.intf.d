@@ -1,0 +1,1 @@
+lib/experiments/exp_interdc.mli: Exp_common

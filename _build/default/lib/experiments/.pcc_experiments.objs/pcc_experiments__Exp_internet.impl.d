@@ -1,0 +1,1 @@
+lib/experiments/exp_internet.ml: Array Exp_common Float Internet_model List Pcc_metrics Pcc_scenario Pcc_sim Printf Rng Transport

@@ -1,0 +1,1 @@
+lib/experiments/exp_internet.mli: Exp_common Pcc_scenario

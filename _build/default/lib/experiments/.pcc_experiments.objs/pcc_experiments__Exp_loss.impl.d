@@ -1,0 +1,1 @@
+lib/experiments/exp_loss.ml: Exp_common List Pcc_scenario Pcc_sim Transport Units

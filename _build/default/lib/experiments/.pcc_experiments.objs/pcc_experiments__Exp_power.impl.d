@@ -1,0 +1,1 @@
+lib/experiments/exp_power.ml: Array Engine Exp_common Float List Path Pcc_core Pcc_net Pcc_scenario Pcc_sim Printf Rng Transport Units

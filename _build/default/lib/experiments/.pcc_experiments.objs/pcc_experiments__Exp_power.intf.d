@@ -1,0 +1,1 @@
+lib/experiments/exp_power.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/experiments/exp_rtt_fairness.ml: Array Engine Exp_common List Path Pcc_scenario Pcc_sim Rng Transport Units

@@ -1,0 +1,1 @@
+lib/experiments/exp_rtt_fairness.mli: Exp_common

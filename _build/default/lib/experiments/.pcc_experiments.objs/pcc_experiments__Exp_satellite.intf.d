@@ -1,0 +1,1 @@
+lib/experiments/exp_satellite.mli: Exp_common

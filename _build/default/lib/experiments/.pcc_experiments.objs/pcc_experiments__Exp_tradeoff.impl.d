@@ -1,0 +1,1 @@
+lib/experiments/exp_tradeoff.ml: Array Convergence Engine Exp_common Float List Path Pcc_core Pcc_metrics Pcc_scenario Pcc_sim Recorder Rng Stats Transport Units

@@ -1,0 +1,1 @@
+lib/experiments/exp_tradeoff.mli: Exp_common

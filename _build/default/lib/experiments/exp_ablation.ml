@@ -1,0 +1,73 @@
+open Pcc_sim
+open Pcc_scenario
+open Pcc_core
+
+type row = { label : string; loss : float; throughput : float }
+
+let pcc_conservative b =
+  Transport.pcc
+    ~config:
+      (Pcc_sender.config_with ~utility:(Utility.safe ~conservative:b ()) ())
+    ()
+
+let pcc_min_pkts n =
+  let c = Pcc_sender.default_config in
+  Transport.pcc
+    ~config:
+      { c with Pcc_sender.monitor = { c.Pcc_sender.monitor with Monitor.min_pkts = n } }
+    ()
+
+let run ?(scale = 1.) ?(seed = 42) () =
+  let bandwidth = Units.mbps 100. and rtt = 0.03 in
+  let buffer = Units.bdp_bytes ~rate:bandwidth ~rtt in
+  let duration = 60. *. scale in
+  let measure loss spec =
+    Exp_common.solo_throughput ~seed ~bandwidth ~rtt ~buffer ~duration ~loss
+      spec
+  in
+  List.concat_map
+    (fun loss ->
+      [
+        {
+          label = "safe utility, LCB loss (default)";
+          loss;
+          throughput = measure loss (pcc_conservative true);
+        };
+        {
+          label = "safe utility, raw loss (paper literal)";
+          loss;
+          throughput = measure loss (pcc_conservative false);
+        };
+        {
+          label = "MI >= 10 pkts (default)";
+          loss;
+          throughput = measure loss (pcc_min_pkts 10);
+        };
+        {
+          label = "MI >= 40 pkts";
+          loss;
+          throughput = measure loss (pcc_min_pkts 40);
+        };
+      ])
+    [ 0.0; 0.01 ]
+
+let table rows =
+  Exp_common.
+    {
+      title = "Ablation - noise handling on a lossy link (100 Mbps, 30 ms)";
+      header = [ "variant"; "loss%"; "tput Mbps" ];
+      rows =
+        List.map
+          (fun r ->
+            [ r.label; f1 (r.loss *. 100.); mbps r.throughput ])
+          rows;
+      note =
+        Some
+          "The confidence-bound variant climbs through random loss that \
+           stalls the literal formula (one drop in a 10-packet MI reads \
+           as 10% loss); larger MIs help the literal formula at the cost \
+           of decision latency.";
+    }
+
+let print ?scale ?seed () =
+  Exp_common.print_table (table (run ?scale ?seed ()))

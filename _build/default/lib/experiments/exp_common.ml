@@ -1,0 +1,70 @@
+open Pcc_sim
+open Pcc_scenario
+
+type table = {
+  title : string;
+  header : string list;
+  rows : string list list;
+  note : string option;
+}
+
+let print_table t =
+  let all = t.header :: t.rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let render row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell ->
+           let w = List.nth widths i in
+           let pad = w - String.length cell in
+           if i = 0 then cell ^ String.make pad ' '
+           else String.make pad ' ' ^ cell)
+         row)
+  in
+  Printf.printf "\n== %s ==\n" t.title;
+  Printf.printf "%s\n" (render t.header);
+  Printf.printf "%s\n" (String.make (String.length (render t.header)) '-');
+  List.iter (fun r -> Printf.printf "%s\n" (render r)) t.rows;
+  (match t.note with
+  | Some n -> Printf.printf "%s\n" n
+  | None -> ());
+  flush stdout
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+let f3 v = Printf.sprintf "%.3f" v
+let mbps v = Printf.sprintf "%.2f" (v /. 1e6)
+
+let ratio a b = if Float.abs b < 1e-9 then infinity else a /. b
+
+let goodput_between engine flow ~t0 ~t1 =
+  Engine.run ~until:t0 engine;
+  let b0 = Path.goodput_bytes flow in
+  Engine.run ~until:t1 engine;
+  let b1 = Path.goodput_bytes flow in
+  float_of_int ((b1 - b0) * 8) /. (t1 -. t0)
+
+let solo_throughput ?(seed = 42) ?warmup ?(queue = Path.Droptail) ?(loss = 0.)
+    ?(rev_loss = 0.) ?(jitter = 0.) ~bandwidth ~rtt ~buffer ~duration spec =
+  let warmup =
+    match warmup with Some w -> w | None -> Float.max 3. (20. *. rtt)
+  in
+  let engine = Engine.create () in
+  let rng = Rng.create seed in
+  let path =
+    Path.build engine ~rng ~bandwidth ~rtt ~buffer ~queue ~loss ~rev_loss
+      ~jitter
+      ~flows:[ Path.flow spec ]
+      ()
+  in
+  goodput_between engine (Path.flows path).(0) ~t0:warmup
+    ~t1:(warmup +. duration)

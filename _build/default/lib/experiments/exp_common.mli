@@ -1,0 +1,55 @@
+(** Shared plumbing for the paper-reproduction experiments.
+
+    Every experiment module follows the same convention: a [run] function
+    parameterized by a [scale] (multiplying the paper's measurement
+    durations, so tests can run cheap versions) and a [seed], returning
+    structured rows, plus a [print] that renders the paper-shaped table to
+    stdout. *)
+
+type table = {
+  title : string;
+  header : string list;
+  rows : string list list;
+  note : string option;
+}
+
+val print_table : table -> unit
+(** Render with aligned columns. *)
+
+val f1 : float -> string
+(** Format with 1 decimal. *)
+
+val f2 : float -> string
+val f3 : float -> string
+
+val mbps : float -> string
+(** Format a bits/s value as Mbps with 2 decimals. *)
+
+val ratio : float -> float -> float
+(** [ratio a b] is [a/b], guarding division by ~0 (returns [inf]). *)
+
+val solo_throughput :
+  ?seed:int ->
+  ?warmup:float ->
+  ?queue:Pcc_scenario.Path.queue_kind ->
+  ?loss:float ->
+  ?rev_loss:float ->
+  ?jitter:float ->
+  bandwidth:float ->
+  rtt:float ->
+  buffer:int ->
+  duration:float ->
+  Pcc_scenario.Transport.spec ->
+  float
+(** Average goodput (bits/s) of a single flow over [duration] after
+    [warmup] (default [max 3. (20·rtt)]) on a fresh single-path
+    topology. *)
+
+val goodput_between :
+  Pcc_sim.Engine.t ->
+  Pcc_scenario.Path.built_flow ->
+  t0:float ->
+  t1:float ->
+  float
+(** Run the engine to [t0], snapshot, run to [t1], return the average
+    goodput in bits/s. The engine must not already be past [t0]. *)

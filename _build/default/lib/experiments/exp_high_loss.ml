@@ -1,0 +1,76 @@
+open Pcc_sim
+open Pcc_scenario
+
+type row = {
+  loss : float;
+  achievable : float;
+  pcc_resilient : float;
+  pcc_safe : float;
+  cubic : float;
+}
+
+let run ?(scale = 1.) ?(seed = 42) ?(losses = [ 0.1; 0.2; 0.3; 0.4; 0.5 ]) ()
+    =
+  let bandwidth = Units.mbps 100. and rtt = 0.03 in
+  let buffer = Units.bdp_bytes ~rate:bandwidth ~rtt in
+  let duration = 100. *. scale in
+  let resilient =
+    Transport.pcc
+      ~config:
+        (Pcc_core.Pcc_sender.config_with
+           ~utility:(Pcc_core.Utility.loss_resilient ())
+           ())
+      ()
+  in
+  let measure loss spec =
+    Exp_common.solo_throughput ~seed ~bandwidth ~rtt ~buffer ~duration ~loss
+      ~queue:(Path.Fq Path.Droptail) spec
+  in
+  List.map
+    (fun loss ->
+      {
+        loss;
+        achievable = bandwidth *. (1. -. loss);
+        pcc_resilient = measure loss resilient;
+        pcc_safe = measure loss (Transport.pcc ());
+        cubic = measure loss (Transport.tcp "cubic");
+      })
+    losses
+
+let table rows =
+  Exp_common.
+    {
+      title =
+        "Sec. 4.4.2 - excessive random loss with the loss-resilient \
+         utility (100 Mbps, 30 ms, FQ; Mbps)";
+      header =
+        [
+          "loss%";
+          "achievable";
+          "PCC T(1-L)";
+          "% of achievable";
+          "PCC safe";
+          "CUBIC";
+        ];
+      rows =
+        List.map
+          (fun r ->
+            [
+              Printf.sprintf "%.0f" (r.loss *. 100.);
+              mbps r.achievable;
+              mbps r.pcc_resilient;
+              Printf.sprintf "%.0f%%"
+                (100. *. ratio r.pcc_resilient r.achievable);
+              mbps r.pcc_safe;
+              mbps r.cubic;
+            ])
+          rows;
+      note =
+        Some
+          "Paper: loss-resilient PCC within 97% of achievable even at 50% \
+           loss; 151x CUBIC at 10% loss. The safe utility collapses past \
+           its 5% cap, as designed.";
+    }
+
+let print ?scale ?seed () =
+  Exp_common.print_table (table (run ?scale ?seed ()))

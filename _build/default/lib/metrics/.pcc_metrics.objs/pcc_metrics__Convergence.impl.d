@@ -1,0 +1,1 @@
+lib/metrics/convergence.ml: Array Float List Stats

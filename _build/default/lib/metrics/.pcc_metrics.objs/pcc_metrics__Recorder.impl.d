@@ -1,0 +1,1 @@
+lib/metrics/recorder.ml: Array Engine List Pcc_sim

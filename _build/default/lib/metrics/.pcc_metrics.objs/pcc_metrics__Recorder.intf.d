@@ -1,0 +1,1 @@
+lib/metrics/recorder.mli: Pcc_sim

@@ -1,0 +1,80 @@
+let convergence_time ?(window = 5.) ?(tolerance = 0.25) ~ideal series =
+  let n = Array.length series in
+  let within v = Float.abs (v -. ideal) <= tolerance *. ideal in
+  let rec search i =
+    if i >= n then None
+    else begin
+      let t0, _ = series.(i) in
+      (* Check every sample falling in [t0, t0 + window). *)
+      let ok = ref true in
+      let saw_end = ref false in
+      let j = ref i in
+      while !ok && !j < n do
+        let tj, vj = series.(!j) in
+        if tj >= t0 +. window then begin
+          saw_end := true;
+          j := n
+        end
+        else begin
+          if not (within vj) then ok := false;
+          incr j
+        end
+      done;
+      (* A window that runs past the end of the series still counts if all
+         its samples were good — the flow stayed converged to the end. *)
+      ignore !saw_end;
+      if !ok then Some t0 else search (i + 1)
+    end
+  in
+  search 0
+
+let stddev_after ~from ~duration series =
+  let vals =
+    Array.of_list
+      (Array.to_list series
+      |> List.filter_map (fun (t, v) ->
+             if t >= from && t < from +. duration then Some v else None))
+  in
+  Stats.stddev vals
+
+let jain_over_timescale ~timescale flows =
+  match flows with
+  | [] -> 1.
+  | first :: _ ->
+    if Array.length first = 0 then 1.
+    else begin
+      let t_start = fst first.(0) in
+      let t_end =
+        List.fold_left
+          (fun acc s ->
+            if Array.length s = 0 then acc
+            else Float.min acc (fst s.(Array.length s - 1)))
+          infinity flows
+      in
+      let nbuckets =
+        int_of_float (Float.floor ((t_end -. t_start) /. timescale))
+      in
+      if nbuckets <= 0 then Stats.jain_index (Array.of_list (List.map (fun s -> Stats.mean (Array.map snd s)) flows))
+      else begin
+        let indices =
+          List.init nbuckets (fun b ->
+              let b0 = t_start +. (float_of_int b *. timescale) in
+              let b1 = b0 +. timescale in
+              let per_flow =
+                List.map
+                  (fun s ->
+                    let vals =
+                      Array.to_list s
+                      |> List.filter_map (fun (t, v) ->
+                             if t >= b0 && t < b1 then Some v else None)
+                    in
+                    match vals with
+                    | [] -> 0.
+                    | _ -> Stats.mean (Array.of_list vals))
+                  flows
+              in
+              Stats.jain_index (Array.of_list per_flow))
+        in
+        Stats.mean (Array.of_list indices)
+      end
+    end

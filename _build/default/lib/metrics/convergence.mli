@@ -1,0 +1,25 @@
+(** The forward-looking convergence-time metric of §4.2.2 and related
+    stability measures for the trade-off experiment (Fig. 16). *)
+
+val convergence_time :
+  ?window:float ->
+  ?tolerance:float ->
+  ideal:float ->
+  (float * float) array ->
+  float option
+(** [convergence_time ~ideal series] with [series] a (time, throughput)
+    sequence at fixed spacing: the smallest sample time [t] such that
+    every sample in [\[t, t + window)] (default 5 s) lies within
+    [tolerance] (default 0.25, i.e. ±25%) of [ideal]. [None] if the flow
+    never settles. *)
+
+val stddev_after :
+  from:float -> duration:float -> (float * float) array -> float
+(** Standard deviation of the series values in [\[from, from+duration)]
+    — the rate-variance axis of Fig. 16. *)
+
+val jain_over_timescale :
+  timescale:float -> (float * float) array list -> float
+(** Mean Jain index across flows when each flow's series is re-averaged
+    into [timescale]-second buckets (Fig. 13). Buckets start at the
+    earliest sample time; incomplete trailing buckets are dropped. *)

@@ -1,0 +1,57 @@
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0. else Array.fold_left ( +. ) 0. a /. float_of_int n
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.
+  else begin
+    let m = mean a in
+    Array.fold_left (fun acc v -> acc +. ((v -. m) ** 2.)) 0. a /. float_of_int n
+  end
+
+let stddev a = sqrt (variance a)
+
+let percentile a p =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median a = percentile a 50.
+
+let minimum a =
+  if Array.length a = 0 then invalid_arg "Stats.minimum: empty array";
+  Array.fold_left Float.min a.(0) a
+
+let maximum a =
+  if Array.length a = 0 then invalid_arg "Stats.maximum: empty array";
+  Array.fold_left Float.max a.(0) a
+
+let cdf_points a =
+  let n = Array.length a in
+  if n = 0 then []
+  else begin
+    let sorted = Array.copy a in
+    Array.sort compare sorted;
+    List.init n (fun i ->
+        (sorted.(i), float_of_int (i + 1) /. float_of_int n))
+  end
+
+let jain_index a =
+  let n = Array.length a in
+  if n = 0 then 1.
+  else begin
+    let s = Array.fold_left ( +. ) 0. a in
+    let s2 = Array.fold_left (fun acc v -> acc +. (v *. v)) 0. a in
+    if s2 = 0. then 1. else s *. s /. (float_of_int n *. s2)
+  end

@@ -1,0 +1,25 @@
+(** Descriptive statistics over float samples. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for an empty array. *)
+
+val variance : float array -> float
+(** Population variance; 0 for fewer than two samples. *)
+
+val stddev : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in [0,100], linear interpolation between
+    order statistics. @raise Invalid_argument on an empty array or
+    out-of-range [p]. *)
+
+val median : float array -> float
+val minimum : float array -> float
+val maximum : float array -> float
+
+val cdf_points : float array -> (float * float) list
+(** Sorted (value, cumulative fraction) pairs for CDF-style reporting. *)
+
+val jain_index : float array -> float
+(** Jain's fairness index [(Σx)²/(n·Σx²)]; 1 when all equal. Returns 1
+    for an empty array. *)

@@ -1,0 +1,1 @@
+lib/net/delay_line.ml: Engine Float Packet Pcc_sim Rng

@@ -1,0 +1,1 @@
+lib/net/delay_line.mli: Packet Pcc_sim

@@ -1,0 +1,1 @@
+lib/net/link.ml: Engine Float Packet Pcc_sim Queue_disc Rng Units

@@ -1,0 +1,1 @@
+lib/net/link.mli: Packet Pcc_sim Queue_disc

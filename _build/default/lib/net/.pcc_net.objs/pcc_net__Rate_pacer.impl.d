@@ -1,0 +1,1 @@
+lib/net/rate_pacer.ml: Engine Float Pcc_sim Units

@@ -1,0 +1,1 @@
+lib/net/rate_pacer.mli: Pcc_sim

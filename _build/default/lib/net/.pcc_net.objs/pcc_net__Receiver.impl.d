@@ -1,0 +1,1 @@
+lib/net/receiver.ml: Engine Hashtbl Int Packet Pcc_sim Set

@@ -1,0 +1,1 @@
+lib/net/receiver.mli: Packet Pcc_sim

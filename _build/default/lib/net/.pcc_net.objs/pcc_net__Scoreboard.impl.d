@@ -1,0 +1,1 @@
+lib/net/scoreboard.ml: Hashtbl Int List Packet Queue Set

@@ -1,0 +1,90 @@
+open Pcc_sim
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  rng : Rng.t;
+  mutable bandwidth : float;
+  mutable delay : float;
+  mutable loss : float;
+  jitter : float;
+  q : Queue_disc.t;
+  mutable receiver : Packet.t -> unit;
+  mutable busy : bool;
+  mutable delivered_pkts : int;
+  mutable delivered_bytes : int;
+  mutable channel_losses : int;
+  mutable busy_time : float;
+}
+
+let create engine ?(name = "link") ?(loss = 0.) ?(jitter = 0.) ~rng ~bandwidth
+    ~delay ~queue () =
+  if bandwidth <= 0. then invalid_arg "Link.create: bandwidth must be positive";
+  if delay < 0. then invalid_arg "Link.create: delay must be non-negative";
+  {
+    engine;
+    name;
+    rng;
+    bandwidth;
+    delay;
+    loss;
+    jitter;
+    q = queue;
+    receiver =
+      (fun _ -> failwith (name ^ ": no receiver attached"));
+    busy = false;
+    delivered_pkts = 0;
+    delivered_bytes = 0;
+    channel_losses = 0;
+    busy_time = 0.;
+  }
+
+let set_receiver t f = t.receiver <- f
+
+let propagate t (p : Packet.t) =
+  if Rng.bernoulli t.rng t.loss then t.channel_losses <- t.channel_losses + 1
+  else begin
+    let extra = if t.jitter > 0. then Rng.uniform t.rng 0. t.jitter else 0. in
+    ignore
+      (Engine.schedule_in t.engine ~after:(t.delay +. extra) (fun () ->
+           t.delivered_pkts <- t.delivered_pkts + 1;
+           t.delivered_bytes <- t.delivered_bytes + p.Packet.size;
+           t.receiver p))
+  end
+
+let rec start_transmission t =
+  let now = Engine.now t.engine in
+  match t.q.Queue_disc.dequeue ~now with
+  | None -> t.busy <- false
+  | Some p ->
+    t.busy <- true;
+    let tx = Units.transmission_time ~size:p.Packet.size ~rate:t.bandwidth in
+    t.busy_time <- t.busy_time +. tx;
+    ignore
+      (Engine.schedule_in t.engine ~after:tx (fun () ->
+           propagate t p;
+           start_transmission t))
+
+let send t p =
+  let now = Engine.now t.engine in
+  let accepted = t.q.Queue_disc.enqueue ~now p in
+  if accepted && not t.busy then start_transmission t
+
+let set_bandwidth t bw =
+  if bw <= 0. then invalid_arg "Link.set_bandwidth: must be positive";
+  t.bandwidth <- bw
+
+let set_delay t d =
+  if d < 0. then invalid_arg "Link.set_delay: must be non-negative";
+  t.delay <- d
+
+let set_loss t l = t.loss <- Float.max 0. (Float.min 1. l)
+
+let bandwidth t = t.bandwidth
+let delay t = t.delay
+let loss t = t.loss
+let queue t = t.q
+let delivered_pkts t = t.delivered_pkts
+let delivered_bytes t = t.delivered_bytes
+let channel_losses t = t.channel_losses
+let busy_time t = t.busy_time

@@ -1,0 +1,65 @@
+(** A unidirectional link: serialization at a bandwidth, a buffer in front
+    of it, propagation delay, and optional random channel loss.
+
+    Packets handed to {!send} pass through the queue discipline, are
+    serialized one at a time at the link bandwidth, then propagate for the
+    link delay (plus optional jitter) before being delivered to the
+    receiver callback. Channel loss applies after serialization — a lost
+    packet still consumed bottleneck bandwidth, which is how random
+    (non-congestion) loss behaves on real lossy links.
+
+    Bandwidth, delay and loss rate can be changed while the simulation runs
+    (the rapidly-changing-network experiment of §4.1.7 depends on this); a
+    packet already being serialized completes at the old rate. *)
+
+type t
+
+val create :
+  Pcc_sim.Engine.t ->
+  ?name:string ->
+  ?loss:float ->
+  ?jitter:float ->
+  rng:Pcc_sim.Rng.t ->
+  bandwidth:float ->
+  delay:float ->
+  queue:Queue_disc.t ->
+  unit ->
+  t
+(** [create engine ~rng ~bandwidth ~delay ~queue ()] is a link with the
+    given bandwidth (bits per second), one-way propagation [delay]
+    (seconds), Bernoulli channel [loss] probability (default 0) and
+    uniform extra [jitter] (seconds, default 0). The receiver must be
+    attached with {!set_receiver} before any packet finishes propagation.
+    @raise Invalid_argument if [bandwidth <= 0] or [delay < 0]. *)
+
+val set_receiver : t -> (Packet.t -> unit) -> unit
+(** [set_receiver t f] makes [f] the delivery callback at the far end. *)
+
+val send : t -> Packet.t -> unit
+(** [send t p] offers [p] to the link's buffer; it is silently dropped if
+    the queue discipline rejects it. *)
+
+val set_bandwidth : t -> float -> unit
+(** Change the serialization rate for subsequently transmitted packets. *)
+
+val set_delay : t -> float -> unit
+(** Change the propagation delay for subsequently transmitted packets. *)
+
+val set_loss : t -> float -> unit
+(** Change the channel loss probability. *)
+
+val bandwidth : t -> float
+val delay : t -> float
+val loss : t -> float
+val queue : t -> Queue_disc.t
+
+val delivered_pkts : t -> int
+(** Packets that reached the receiver callback. *)
+
+val delivered_bytes : t -> int
+val channel_losses : t -> int
+(** Packets dropped by the random-loss process (not by the queue). *)
+
+val busy_time : t -> float
+(** Cumulative time the transmitter spent serializing packets — divided by
+    elapsed time this is the link utilization. *)

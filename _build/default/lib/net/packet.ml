@@ -1,0 +1,50 @@
+type ack = {
+  acked_seq : int;
+  cum_ack : int;
+  recv_bytes : int;
+  data_sent_at : float;
+  data_retx : bool;
+}
+
+type kind = Data of { retx : bool } | Ack of ack
+
+type t = {
+  flow : int;
+  seq : int;
+  size : int;
+  sent_at : float;
+  mutable enqueued_at : float;
+  kind : kind;
+}
+
+let data ~flow ~seq ~size ~now ~retx =
+  { flow; seq; size; sent_at = now; enqueued_at = now; kind = Data { retx } }
+
+let ack_of pkt ~cum_ack ~recv_bytes ~now =
+  match pkt.kind with
+  | Ack _ -> invalid_arg "Packet.ack_of: cannot ack an ack"
+  | Data { retx } ->
+    {
+      flow = pkt.flow;
+      seq = pkt.seq;
+      size = Pcc_sim.Units.ack_size;
+      sent_at = now;
+      enqueued_at = now;
+      kind =
+        Ack
+          {
+            acked_seq = pkt.seq;
+            cum_ack;
+            recv_bytes;
+            data_sent_at = pkt.sent_at;
+            data_retx = retx;
+          };
+    }
+
+let is_data t = match t.kind with Data _ -> true | Ack _ -> false
+
+let flow_counter = ref 0
+
+let fresh_flow_id () =
+  incr flow_counter;
+  !flow_counter

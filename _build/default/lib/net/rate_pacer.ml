@@ -1,0 +1,65 @@
+open Pcc_sim
+
+type t = {
+  engine : Engine.t;
+  mutable rate : float;
+  send : unit -> int option;
+  mutable running : bool;
+  mutable pending : Engine.timer option;
+  mutable last_send : float;
+}
+
+let create engine ~rate ~send =
+  if rate <= 0. then invalid_arg "Rate_pacer.create: rate must be positive";
+  { engine; rate; send; running = false; pending = None; last_send = neg_infinity }
+
+let interval t size = Units.bits_of_bytes size /. t.rate
+
+let rec schedule_next t ~after =
+  if t.running && t.pending = None then begin
+    let timer =
+      Engine.schedule_in t.engine ~after (fun () ->
+          t.pending <- None;
+          fire t)
+    in
+    t.pending <- Some timer
+  end
+
+and fire t =
+  if t.running then begin
+    match t.send () with
+    | Some size ->
+      t.last_send <- Engine.now t.engine;
+      schedule_next t ~after:(interval t size)
+    | None ->
+      (* No data: pause until kicked. *)
+      ()
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    schedule_next t ~after:0.
+  end
+
+let stop t =
+  t.running <- false;
+  match t.pending with
+  | Some timer ->
+    Engine.cancel timer;
+    t.pending <- None
+  | None -> ()
+
+let kick t =
+  if t.running && t.pending = None then begin
+    let gap = interval t Units.mss in
+    let wait = Float.max 0. (t.last_send +. gap -. Engine.now t.engine) in
+    schedule_next t ~after:wait
+  end
+
+let set_rate t r =
+  if r <= 0. then invalid_arg "Rate_pacer.set_rate: rate must be positive";
+  t.rate <- r
+
+let rate t = t.rate
+let running t = t.running

@@ -1,0 +1,35 @@
+(** Clocked transmission at a target rate.
+
+    Rate-based transports (PCC, SABUL, PCP) are not ack-clocked: they emit
+    one packet every [packet_bits/rate] seconds regardless of feedback.
+    The pacer owns that send timer; the transport supplies a callback that
+    actually emits a packet (or declines, e.g. when a finite transfer has
+    no data left, which pauses the pacer until {!kick}). *)
+
+type t
+
+val create :
+  Pcc_sim.Engine.t -> rate:float -> send:(unit -> int option) -> t
+(** [create engine ~rate ~send] is a pacer initially stopped. [send ()]
+    transmits one packet and returns its wire size in bytes, or [None] to
+    decline; declining pauses the clock. [rate] is in bits per second.
+    @raise Invalid_argument if [rate <= 0]. *)
+
+val start : t -> unit
+(** Begin (or resume) clocked sending. Idempotent. *)
+
+val stop : t -> unit
+(** Cancel the pending send event. Idempotent. *)
+
+val kick : t -> unit
+(** Resume after the send callback declined (new data became available).
+    No-op if the pacer is stopped or a send is already scheduled. *)
+
+val set_rate : t -> float -> unit
+(** Change the target rate; takes effect from the next scheduled send.
+    @raise Invalid_argument if the rate is not positive. *)
+
+val rate : t -> float
+(** Current target rate in bits per second. *)
+
+val running : t -> bool

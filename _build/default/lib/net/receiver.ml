@@ -1,0 +1,58 @@
+open Pcc_sim
+
+module Int_set = Set.Make (Int)
+
+type t = {
+  engine : Engine.t;
+  ack_out : Packet.t -> unit;
+  mutable cum_ack : int;
+  mutable out_of_order : Int_set.t;
+  mutable goodput_bytes : int;
+  mutable received_pkts : int;
+  seen : (int, unit) Hashtbl.t;
+}
+
+let create engine ~ack_out =
+  {
+    engine;
+    ack_out;
+    cum_ack = -1;
+    out_of_order = Int_set.empty;
+    goodput_bytes = 0;
+    received_pkts = 0;
+    seen = Hashtbl.create 1024;
+  }
+
+let advance t =
+  let continue = ref true in
+  while !continue do
+    let next = t.cum_ack + 1 in
+    if Int_set.mem next t.out_of_order then begin
+      t.out_of_order <- Int_set.remove next t.out_of_order;
+      t.cum_ack <- next
+    end
+    else continue := false
+  done
+
+let on_packet t (p : Packet.t) =
+  match p.kind with
+  | Packet.Ack _ -> ()
+  | Packet.Data _ ->
+    t.received_pkts <- t.received_pkts + 1;
+    if not (Hashtbl.mem t.seen p.seq) then begin
+      Hashtbl.add t.seen p.seq ();
+      t.goodput_bytes <- t.goodput_bytes + p.size;
+      if p.seq = t.cum_ack + 1 then begin
+        t.cum_ack <- p.seq;
+        advance t
+      end
+      else if p.seq > t.cum_ack then
+        t.out_of_order <- Int_set.add p.seq t.out_of_order
+    end;
+    let now = Engine.now t.engine in
+    t.ack_out
+      (Packet.ack_of p ~cum_ack:t.cum_ack ~recv_bytes:t.goodput_bytes ~now)
+
+let goodput_bytes t = t.goodput_bytes
+let received_pkts t = t.received_pkts
+let cum_ack t = t.cum_ack

@@ -1,0 +1,27 @@
+(** Per-flow receiver endpoint.
+
+    Acknowledges every data packet (per-packet SACK: the packet's own seq
+    plus the cumulative ack) on the reverse path, counts goodput
+    (first-time receptions only) and tracks in-order delivery. This is the
+    unmodified-receiver end of the paper's deployment story: "TCP SACK is
+    enough feedback". *)
+
+type t
+
+val create : Pcc_sim.Engine.t -> ack_out:(Packet.t -> unit) -> t
+(** [create engine ~ack_out] is a receiver that emits acknowledgments via
+    [ack_out] (typically the reverse path's [send]). *)
+
+val on_packet : t -> Packet.t -> unit
+(** Deliver a packet to the receiver. Data packets are acknowledged; ack
+    packets are ignored (they should not reach a receiver). *)
+
+val goodput_bytes : t -> int
+(** Distinct payload bytes received so far (duplicates not counted). *)
+
+val received_pkts : t -> int
+(** Total data packets received, including duplicates. *)
+
+val cum_ack : t -> int
+(** Highest sequence number [n] such that all packets [0..n] arrived
+    ([-1] initially). *)

@@ -1,0 +1,167 @@
+module Int_set = Set.Make (Int)
+
+type t = {
+  dupthresh : int;
+  mutable high_ack : int;
+  mutable sacked : Int_set.t;
+  mutable highest_sacked : int;
+  mutable outstanding : Int_set.t;
+  mutable inflight : int;
+  retx_q : int Queue.t;
+  retx_set : (int, unit) Hashtbl.t;
+  sent_at : (int, float) Hashtbl.t;  (* last transmission time per seq *)
+  mutable next : int;
+  mutable limit : int option;
+  mutable acked_pkts : int;
+}
+
+let create ?(dupthresh = 3) () =
+  {
+    dupthresh;
+    high_ack = -1;
+    sacked = Int_set.empty;
+    highest_sacked = -1;
+    outstanding = Int_set.empty;
+    inflight = 0;
+    retx_q = Queue.create ();
+    retx_set = Hashtbl.create 64;
+    sent_at = Hashtbl.create 256;
+    next = 0;
+    limit = None;
+    acked_pkts = 0;
+  }
+
+let limit_pkts t n = t.limit <- Some n
+
+let fresh_seq t =
+  match t.limit with
+  | Some n when t.next >= n -> None
+  | Some _ | None ->
+    let seq = t.next in
+    t.next <- seq + 1;
+    Some seq
+
+let delivered t seq = seq <= t.high_ack || Int_set.mem seq t.sacked
+
+let record_send t seq ~now =
+  Hashtbl.replace t.sent_at seq now;
+  if not (delivered t seq) && not (Int_set.mem seq t.outstanding) then begin
+    t.outstanding <- Int_set.add seq t.outstanding;
+    t.inflight <- t.inflight + 1
+  end
+
+let remove_outstanding t seq =
+  if Int_set.mem seq t.outstanding then begin
+    t.outstanding <- Int_set.remove seq t.outstanding;
+    t.inflight <- t.inflight - 1;
+    Hashtbl.remove t.sent_at seq
+  end
+
+let on_ack t (a : Packet.ack) =
+  let newly = ref [] in
+  let seq = a.Packet.acked_seq in
+  if seq > t.high_ack && not (Int_set.mem seq t.sacked) then begin
+    t.sacked <- Int_set.add seq t.sacked;
+    newly := seq :: !newly;
+    remove_outstanding t seq;
+    if seq > t.highest_sacked then t.highest_sacked <- seq
+  end;
+  if a.Packet.cum_ack > t.high_ack then begin
+    (* Sequences covered only by the cumulative ack were delivered even if
+       their own acks were lost on the reverse path. *)
+    for s = t.high_ack + 1 to a.Packet.cum_ack do
+      if Int_set.mem s t.sacked then t.sacked <- Int_set.remove s t.sacked
+      else begin
+        newly := s :: !newly;
+        remove_outstanding t s
+      end
+    done;
+    t.high_ack <- a.Packet.cum_ack
+  end;
+  t.acked_pkts <- t.acked_pkts + List.length !newly;
+  List.rev !newly
+
+let queue_retx t seq =
+  if not (Hashtbl.mem t.retx_set seq) then begin
+    Hashtbl.add t.retx_set seq ();
+    Queue.push seq t.retx_q
+  end
+
+let detect_losses t ~now ~min_age =
+  (* Age guard: a hole below the SACK threshold only counts as lost if its
+     last transmission is old enough that its ack would have arrived. This
+     is what keeps a just-retransmitted low sequence (necessarily below
+     [highest_sacked - dupthresh]) from being re-marked lost on every
+     subsequent ack — the spurious-retransmission storm. *)
+  let threshold = t.highest_sacked - t.dupthresh in
+  let lost = ref [] in
+  let candidates = ref [] in
+  (try
+     Int_set.iter
+       (fun seq ->
+         if seq > threshold then raise Exit;
+         candidates := seq :: !candidates)
+       t.outstanding
+   with Exit -> ());
+  List.iter
+    (fun seq ->
+      let old_enough =
+        match Hashtbl.find_opt t.sent_at seq with
+        | Some at -> now -. at >= min_age
+        | None -> true
+      in
+      if old_enough then begin
+        remove_outstanding t seq;
+        queue_retx t seq;
+        lost := seq :: !lost
+      end)
+    (List.rev !candidates);
+  List.rev !lost
+
+let mark_lost t seq ~now ~min_age =
+  let old_enough =
+    match Hashtbl.find_opt t.sent_at seq with
+    | Some at -> now -. at >= min_age
+    | None -> true
+  in
+  if old_enough && Int_set.mem seq t.outstanding then begin
+    remove_outstanding t seq;
+    queue_retx t seq;
+    true
+  end
+  else false
+
+let sweep_stale t ~now ~min_age =
+  let stale = ref [] in
+  Int_set.iter
+    (fun seq ->
+      match Hashtbl.find_opt t.sent_at seq with
+      | Some at when now -. at < min_age -> ()
+      | Some _ | None -> stale := seq :: !stale)
+    t.outstanding;
+  List.iter
+    (fun seq ->
+      remove_outstanding t seq;
+      queue_retx t seq)
+    !stale;
+  List.rev !stale
+
+let rec take_retx t =
+  match Queue.take_opt t.retx_q with
+  | None -> None
+  | Some seq ->
+    Hashtbl.remove t.retx_set seq;
+    if delivered t seq then take_retx t else Some seq
+
+let has_retx t =
+  (* Cheap check; stale entries are filtered at take time. *)
+  not (Queue.is_empty t.retx_q)
+
+let high_ack t = t.high_ack
+let highest_sacked t = t.highest_sacked
+let inflight t = t.inflight
+let acked_pkts t = t.acked_pkts
+let next_seq t = t.next
+
+let complete t =
+  match t.limit with Some n -> t.high_ack >= n - 1 | None -> false

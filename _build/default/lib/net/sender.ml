@@ -1,0 +1,12 @@
+type t = {
+  flow : int;
+  name : string;
+  start : unit -> unit;
+  stop : unit -> unit;
+  handle_ack : Packet.ack -> unit;
+  rate_estimate : unit -> float;
+  acked_bytes : unit -> int;
+  srtt : unit -> float;
+  sent_pkts : unit -> int;
+  is_complete : unit -> bool;
+}

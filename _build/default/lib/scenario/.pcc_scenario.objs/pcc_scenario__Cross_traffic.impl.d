@@ -1,0 +1,1 @@
+lib/scenario/cross_traffic.ml: Engine Packet Pcc_net Pcc_sim Rng Units

@@ -1,0 +1,1 @@
+lib/scenario/cross_traffic.mli: Pcc_net Pcc_sim

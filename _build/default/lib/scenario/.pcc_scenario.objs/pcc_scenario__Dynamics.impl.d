@@ -1,0 +1,1 @@
+lib/scenario/dynamics.ml: Array Engine Float List Path Pcc_net Pcc_sim Rng Units

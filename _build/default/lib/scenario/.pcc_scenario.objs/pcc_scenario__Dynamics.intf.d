@@ -1,0 +1,1 @@
+lib/scenario/dynamics.mli: Path Pcc_sim

@@ -1,0 +1,1 @@
+lib/scenario/internet_model.ml: Array Cross_traffic Engine Float Path Pcc_sim Printf Rng Units

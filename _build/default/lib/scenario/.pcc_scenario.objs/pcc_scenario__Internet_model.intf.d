@@ -1,0 +1,1 @@
+lib/scenario/internet_model.mli: Pcc_sim Transport

@@ -1,0 +1,1 @@
+lib/scenario/multihop.ml: Array Delay_line Engine Hashtbl Link List Packet Pcc_net Pcc_sim Printf Queue_disc Receiver Rng Sender Transport Units

@@ -1,0 +1,1 @@
+lib/scenario/multihop.mli: Pcc_net Pcc_sim Transport

@@ -1,0 +1,1 @@
+lib/scenario/path.ml: Array Delay_line Engine Hashtbl Link List Packet Pcc_net Pcc_sim Queue_disc Receiver Rng Sender Transport

@@ -1,0 +1,1 @@
+lib/scenario/path.mli: Pcc_net Pcc_sim Transport

@@ -1,0 +1,1 @@
+lib/scenario/transport.ml: Controller Float Monitor Pcc_core Pcc_sender Pcc_sim Pcc_tcp

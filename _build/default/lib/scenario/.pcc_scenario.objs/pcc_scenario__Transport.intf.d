@@ -1,0 +1,1 @@
+lib/scenario/transport.mli: Pcc_core Pcc_net Pcc_sim

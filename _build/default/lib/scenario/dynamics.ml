@@ -1,0 +1,77 @@
+open Pcc_sim
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  path : Path.t;
+  period : float;
+  bw_lo : float;
+  bw_hi : float;
+  rtt_lo : float;
+  rtt_hi : float;
+  loss_lo : float;
+  loss_hi : float;
+  mutable running : bool;
+  mutable changes : (float * float) list;  (* reversed (time, bw) *)
+}
+
+let redraw t =
+  let bw = Rng.uniform t.rng t.bw_lo t.bw_hi in
+  let rtt = Rng.uniform t.rng t.rtt_lo t.rtt_hi in
+  let loss = Rng.uniform t.rng t.loss_lo t.loss_hi in
+  let link = Path.bottleneck t.path in
+  Pcc_net.Link.set_bandwidth link bw;
+  Pcc_net.Link.set_loss link loss;
+  Path.set_base_rtt t.path rtt;
+  t.changes <- (Engine.now t.engine, bw) :: t.changes
+
+let rec tick t () =
+  if t.running then begin
+    redraw t;
+    ignore (Engine.schedule_in t.engine ~after:t.period (tick t))
+  end
+
+let start engine ~rng ~path ?(period = 5.)
+    ?(bw_range = (Units.mbps 10., Units.mbps 100.))
+    ?(rtt_range = (0.01, 0.1)) ?(loss_range = (0., 0.01)) () =
+  let bw_lo, bw_hi = bw_range in
+  let rtt_lo, rtt_hi = rtt_range in
+  let loss_lo, loss_hi = loss_range in
+  let t =
+    {
+      engine;
+      rng;
+      path;
+      period;
+      bw_lo;
+      bw_hi;
+      rtt_lo;
+      rtt_hi;
+      loss_lo;
+      loss_hi;
+      running = true;
+      changes = [];
+    }
+  in
+  tick t ();
+  t
+
+let stop t = t.running <- false
+
+let optimal_series t = Array.of_list (List.rev t.changes)
+
+let mean_optimal t ~until =
+  let series = optimal_series t in
+  let n = Array.length series in
+  if n = 0 then 0.
+  else begin
+    let total = ref 0. in
+    for i = 0 to n - 1 do
+      let t0, bw = series.(i) in
+      let t1 = if i + 1 < n then fst series.(i + 1) else until in
+      let t1 = Float.min t1 until in
+      if t1 > t0 then total := !total +. (bw *. (t1 -. t0))
+    done;
+    let t_begin = fst series.(0) in
+    !total /. Float.max (until -. t_begin) 1e-9
+  end

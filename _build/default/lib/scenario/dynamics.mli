@@ -1,0 +1,28 @@
+(** The rapidly-changing-network driver of §4.1.7: every [period] the
+    bottleneck's bandwidth, base RTT and loss rate are redrawn uniformly
+    from the given ranges. Records the bandwidth (= optimal send rate)
+    series for comparison with each protocol's rate tracking. *)
+
+type t
+
+val start :
+  Pcc_sim.Engine.t ->
+  rng:Pcc_sim.Rng.t ->
+  path:Path.t ->
+  ?period:float ->
+  ?bw_range:float * float ->
+  ?rtt_range:float * float ->
+  ?loss_range:float * float ->
+  unit ->
+  t
+(** Paper parameters by default: period 5 s, bandwidth 10–100 Mbps, RTT
+    10–100 ms, loss 0–1 %. The first redraw happens immediately. *)
+
+val stop : t -> unit
+
+val optimal_series : t -> (float * float) array
+(** [(time, bandwidth_bps)] at each change point. *)
+
+val mean_optimal : t -> until:float -> float
+(** Time-weighted mean of the optimal rate from the start until
+    [until]. *)

@@ -1,0 +1,33 @@
+(** Synthetic model of the paper's large-scale Internet experiment
+    (§4.1.1, Figs. 4–5).
+
+    The 510 PlanetLab/GENI sender–receiver pairs are replaced by random
+    paths drawn from calibrated distributions: BDPs spanning ~14 KB to
+    18 MB (the paper's measured range), a substantial fraction of paths
+    with mild random loss (old routers, failing wires, wireless segments),
+    shallow buffers relative to BDP (the common under-provisioning the
+    paper highlights), latency jitter from middleboxes/virtualization, and
+    bursty unresponsive cross traffic. Protocols are measured {e solo},
+    sequentially on the same path — exactly the iperf-then-PCC methodology
+    of §4.1.1. *)
+
+type params = {
+  bandwidth : float;  (** Bottleneck, bits/s. *)
+  rtt : float;  (** Base round-trip, s. *)
+  buffer : int;  (** Bottleneck buffer, bytes. *)
+  loss : float;  (** Random forward loss probability. *)
+  jitter : float;  (** Uniform extra one-way delay bound, s. *)
+  cross_fraction : float;  (** Mean cross-traffic share of capacity. *)
+}
+
+val random : Pcc_sim.Rng.t -> params
+(** Draw one path. *)
+
+val describe : params -> string
+
+val measure :
+  ?duration:float -> seed:int -> params -> Transport.spec -> float
+(** [measure ~seed p spec] is the average solo goodput (bits/s) of the
+    transport over the path after a short warmup. The [seed] fixes the
+    path's stochastic processes so different transports face identical
+    conditions. [duration] defaults to 30 simulated seconds. *)

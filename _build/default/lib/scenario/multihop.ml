@@ -1,0 +1,118 @@
+open Pcc_sim
+open Pcc_net
+
+type hop_spec = {
+  bandwidth : float;
+  delay : float;
+  buffer : int;
+  loss : float;
+}
+
+let hop ?(delay = 0.005) ?buffer ?(loss = 0.) ~bandwidth () =
+  let buffer =
+    match buffer with
+    | Some b -> b
+    | None -> Units.bdp_bytes ~rate:bandwidth ~rtt:0.03
+  in
+  { bandwidth; delay; buffer; loss }
+
+type flow_def = {
+  transport : Transport.spec;
+  enter : int;
+  exit : int;
+  start_at : float;
+  size : int option;
+  label : string;
+}
+
+let flow ?(start_at = 0.) ?size ?label ~enter ~exit transport =
+  let label =
+    match label with Some l -> l | None -> Transport.name transport
+  in
+  { transport; enter; exit; start_at; size; label }
+
+type built_flow = {
+  def : flow_def;
+  sender : Sender.t;
+  receiver : Receiver.t;
+  mutable fct : float option;
+}
+
+type t = {
+  links : Link.t array;
+  built : built_flow array;
+}
+
+let build engine ~rng ~hops ~flows:defs () =
+  let n = List.length hops in
+  if n = 0 then invalid_arg "Multihop.build: need at least one hop";
+  List.iter
+    (fun d ->
+      if d.enter < 0 || d.exit > n || d.enter >= d.exit then
+        invalid_arg
+          (Printf.sprintf "Multihop.build: flow %s enters %d exits %d on a %d-hop chain"
+             d.label d.enter d.exit n))
+    defs;
+  let links =
+    Array.of_list
+      (List.map
+         (fun h ->
+           Link.create engine ~loss:h.loss ~rng:(Rng.split rng)
+             ~bandwidth:h.bandwidth ~delay:h.delay
+             ~queue:(Queue_disc.droptail_bytes ~capacity:h.buffer ())
+             ())
+         hops)
+  in
+  (* exits.(flow_id) = node index where the flow leaves the chain. *)
+  let exits : (int, int * (Packet.t -> unit)) Hashtbl.t = Hashtbl.create 16 in
+  let route_at node (pkt : Packet.t) =
+    match Hashtbl.find_opt exits pkt.Packet.flow with
+    | None -> ()
+    | Some (exit, deliver) ->
+      if node >= exit then deliver pkt else Link.send links.(node) pkt
+  in
+  Array.iteri
+    (fun i link -> Link.set_receiver link (fun pkt -> route_at (i + 1) pkt))
+    links;
+  let hop_delays = Array.of_list (List.map (fun h -> h.delay) hops) in
+  let built =
+    List.map
+      (fun def ->
+        let fwd_prop = ref 0. in
+        for i = def.enter to def.exit - 1 do
+          fwd_prop := !fwd_prop +. hop_delays.(i)
+        done;
+        let rev = Delay_line.create engine ~delay:!fwd_prop () in
+        let receiver = Receiver.create engine ~ack_out:(Delay_line.send rev) in
+        let bf = ref None in
+        let on_complete at =
+          match !bf with
+          | Some b -> b.fct <- Some (at -. b.def.start_at)
+          | None -> ()
+        in
+        let sender =
+          Transport.build engine ~rng:(Rng.split rng) ?size:def.size
+            ~on_complete
+            ~rtt_hint:(2. *. !fwd_prop)
+            def.transport
+            ~out:(Link.send links.(def.enter))
+        in
+        Hashtbl.replace exits sender.Sender.flow
+          (def.exit, Receiver.on_packet receiver);
+        Delay_line.set_receiver rev (fun pkt ->
+            match pkt.Packet.kind with
+            | Packet.Ack a -> sender.Sender.handle_ack a
+            | Packet.Data _ -> ());
+        let b = { def; sender; receiver; fct = None } in
+        bf := Some b;
+        ignore
+          (Engine.schedule engine ~at:def.start_at (fun () ->
+               sender.Sender.start ()));
+        b)
+      defs
+  in
+  { links; built = Array.of_list built }
+
+let flows t = t.built
+let links t = t.links
+let goodput_bytes b = Receiver.goodput_bytes b.receiver

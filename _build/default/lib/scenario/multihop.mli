@@ -1,0 +1,64 @@
+(** Parking-lot (multi-bottleneck) topology.
+
+    §1 of the paper calls out "number of bottlenecks" as one of the
+    real-network dimensions that break hardwired mappings (Remy's
+    performance degrades when it deviates from the assumed single
+    bottleneck). This builder chains several bottleneck links; each flow
+    enters at one hop and leaves at another, so long flows compete with a
+    different set of short flows on every hop.
+
+    Hop [i] connects node [i] to node [i+1]. A flow with [enter = a] and
+    [exit = b] (0 ≤ a < b ≤ hops) traverses hops [a .. b-1]. Acks return
+    over an uncongested reverse path of matching propagation delay. *)
+
+type hop_spec = {
+  bandwidth : float;  (** bits/s *)
+  delay : float;  (** one-way propagation, s *)
+  buffer : int;  (** bytes *)
+  loss : float;  (** Bernoulli channel loss *)
+}
+
+val hop :
+  ?delay:float -> ?buffer:int -> ?loss:float -> bandwidth:float -> unit -> hop_spec
+(** Defaults: 5 ms delay, one-BDP buffer at 30 ms, no loss. *)
+
+type flow_def = {
+  transport : Transport.spec;
+  enter : int;
+  exit : int;
+  start_at : float;
+  size : int option;
+  label : string;
+}
+
+val flow :
+  ?start_at:float ->
+  ?size:int ->
+  ?label:string ->
+  enter:int ->
+  exit:int ->
+  Transport.spec ->
+  flow_def
+
+type built_flow = {
+  def : flow_def;
+  sender : Pcc_net.Sender.t;
+  receiver : Pcc_net.Receiver.t;
+  mutable fct : float option;
+}
+
+type t
+
+val build :
+  Pcc_sim.Engine.t ->
+  rng:Pcc_sim.Rng.t ->
+  hops:hop_spec list ->
+  flows:flow_def list ->
+  unit ->
+  t
+(** @raise Invalid_argument on an empty hop list or a flow whose
+    [enter]/[exit] fall outside the chain. *)
+
+val flows : t -> built_flow array
+val links : t -> Pcc_net.Link.t array
+val goodput_bytes : built_flow -> int

@@ -1,0 +1,141 @@
+open Pcc_sim
+open Pcc_net
+
+type queue_kind =
+  | Droptail
+  | Droptail_pkts of int
+  | Codel
+  | Red
+  | Infinite
+  | Fq of queue_kind
+
+type flow_def = {
+  transport : Transport.spec;
+  start_at : float;
+  stop_at : float option;
+  size : int option;
+  extra_rtt : float;
+  label : string;
+}
+
+let flow ?(start_at = 0.) ?stop_at ?size ?(extra_rtt = 0.) ?label transport =
+  let label =
+    match label with Some l -> l | None -> Transport.name transport
+  in
+  { transport; start_at; stop_at; size; extra_rtt; label }
+
+type built_flow = {
+  def : flow_def;
+  sender : Sender.t;
+  receiver : Receiver.t;
+  mutable fct : float option;
+}
+
+type t = {
+  engine : Engine.t;
+  link : Link.t;
+  built : built_flow array;
+  routes : (int, Packet.t -> unit) Hashtbl.t;
+  rev_lines : Delay_line.t array;  (* per built flow *)
+}
+
+let rec make_queue kind ~capacity =
+  match kind with
+  | Droptail -> Queue_disc.droptail_bytes ~capacity ()
+  | Droptail_pkts n -> Queue_disc.droptail_pkts ~capacity:n ()
+  | Codel -> Queue_disc.codel ~capacity ()
+  | Red -> Queue_disc.red ~capacity ()
+  | Infinite -> Queue_disc.infinite ()
+  | Fq inner ->
+    Queue_disc.fq ~per_flow:(fun () -> make_queue inner ~capacity) ()
+
+let build engine ~rng ~bandwidth ~rtt ~buffer ?(queue = Droptail) ?(loss = 0.)
+    ?(rev_loss = 0.) ?(jitter = 0.) ~flows () =
+  let q = make_queue queue ~capacity:buffer in
+  let link =
+    Link.create engine ~name:"bottleneck" ~loss ~jitter ~rng:(Rng.split rng)
+      ~bandwidth ~delay:(rtt /. 2.) ~queue:q ()
+  in
+  let routes = Hashtbl.create 32 in
+  Link.set_receiver link (fun pkt ->
+      match Hashtbl.find_opt routes pkt.Packet.flow with
+      | Some deliver -> deliver pkt
+      | None -> ());
+  let n = List.length flows in
+  let built = Array.make n None in
+  let rev_lines = Array.make n None in
+  List.iteri
+    (fun i def ->
+      (* Reverse path: uncongested, possibly lossy, carries half the base
+         RTT plus this flow's extra share. *)
+      let rev =
+        Delay_line.create engine ~loss:rev_loss ~rng:(Rng.split rng)
+          ~delay:((rtt /. 2.) +. (def.extra_rtt /. 2.))
+          ()
+      in
+      rev_lines.(i) <- Some rev;
+      let receiver = Receiver.create engine ~ack_out:(Delay_line.send rev) in
+      let fwd : (Packet.t -> unit) ref = ref (fun _ -> ()) in
+      let bf = ref None in
+      let on_complete at =
+        match !bf with
+        | Some b -> b.fct <- Some (at -. b.def.start_at)
+        | None -> ()
+      in
+      let sender =
+        Transport.build engine ~rng:(Rng.split rng) ?size:def.size
+          ~on_complete
+          ~rtt_hint:(rtt +. def.extra_rtt)
+          def.transport
+          ~out:(fun pkt -> !fwd pkt)
+      in
+      (* Forward path: optional per-flow extra delay, then the shared
+         bottleneck. *)
+      (if def.extra_rtt > 0. then begin
+         let access =
+           Delay_line.create engine ~delay:(def.extra_rtt /. 2.) ()
+         in
+         Delay_line.set_receiver access (Link.send link);
+         fwd := Delay_line.send access
+       end
+       else fwd := Link.send link);
+      Hashtbl.replace routes sender.Sender.flow (Receiver.on_packet receiver);
+      Delay_line.set_receiver rev (fun pkt ->
+          match pkt.Packet.kind with
+          | Packet.Ack a -> sender.Sender.handle_ack a
+          | Packet.Data _ -> ());
+      let b = { def; sender; receiver; fct = None } in
+      bf := Some b;
+      built.(i) <- Some b;
+      ignore
+        (Engine.schedule engine ~at:def.start_at (fun () ->
+             sender.Sender.start ()));
+      match def.stop_at with
+      | Some at ->
+        ignore (Engine.schedule engine ~at (fun () -> sender.Sender.stop ()))
+      | None -> ())
+    flows;
+  let strip = function Some x -> x | None -> assert false in
+  {
+    engine;
+    link;
+    built = Array.map strip built;
+    routes;
+    rev_lines = Array.map strip rev_lines;
+  }
+
+let flows t = t.built
+let bottleneck t = t.link
+
+let goodput_bytes b = Receiver.goodput_bytes b.receiver
+
+let set_base_rtt t rtt =
+  Link.set_delay t.link (rtt /. 2.);
+  Array.iteri
+    (fun i line ->
+      let extra = t.built.(i).def.extra_rtt in
+      Delay_line.set_delay line ((rtt /. 2.) +. (extra /. 2.)))
+    t.rev_lines
+
+let inject t ~flow deliver = Hashtbl.replace t.routes flow deliver
+let send_bottleneck t pkt = Link.send t.link pkt

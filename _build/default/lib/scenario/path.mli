@@ -1,0 +1,82 @@
+(** Single-bottleneck topology builder — the shape of every testbed in the
+    paper's evaluation (Emulab links, dumbbells, the incast star).
+
+    N flows share one bottleneck link. Each flow may add its own extra
+    propagation delay (RTT-unfairness experiments), have a bounded size
+    (FCT, incast) and start/stop on schedule. The forward direction
+    carries data through the bottleneck's queue discipline; the reverse
+    direction is an uncongested (optionally lossy) delay line, since none
+    of the paper's experiments congest the ack path. *)
+
+type queue_kind =
+  | Droptail  (** FIFO, byte capacity = [buffer]. *)
+  | Droptail_pkts of int  (** FIFO limited to a packet count. *)
+  | Codel  (** CoDel over a [buffer]-byte FIFO. *)
+  | Red
+  | Infinite  (** Unbounded FIFO — "bufferbloat". *)
+  | Fq of queue_kind  (** DRR fair queuing with the given per-flow inner
+                          discipline, each with [buffer] bytes. *)
+
+type flow_def = {
+  transport : Transport.spec;
+  start_at : float;
+  stop_at : float option;
+  size : int option;  (** Transfer bytes; [None] = long-running. *)
+  extra_rtt : float;  (** Added to the base RTT, split between paths. *)
+  label : string;
+}
+
+val flow :
+  ?start_at:float ->
+  ?stop_at:float ->
+  ?size:int ->
+  ?extra_rtt:float ->
+  ?label:string ->
+  Transport.spec ->
+  flow_def
+
+type built_flow = {
+  def : flow_def;
+  sender : Pcc_net.Sender.t;
+  receiver : Pcc_net.Receiver.t;
+  mutable fct : float option;  (** Completion duration, for sized flows. *)
+}
+
+type t
+
+val build :
+  Pcc_sim.Engine.t ->
+  rng:Pcc_sim.Rng.t ->
+  bandwidth:float ->
+  rtt:float ->
+  buffer:int ->
+  ?queue:queue_kind ->
+  ?loss:float ->
+  ?rev_loss:float ->
+  ?jitter:float ->
+  flows:flow_def list ->
+  unit ->
+  t
+(** [build engine ~rng ~bandwidth ~rtt ~buffer ~flows ()] wires the
+    topology and schedules every flow's start/stop. [loss] is the forward
+    channel loss of the bottleneck, [rev_loss] the ack-path loss,
+    [jitter] uniform extra forward delay (what breaks PCP). *)
+
+val flows : t -> built_flow array
+val bottleneck : t -> Pcc_net.Link.t
+
+val goodput_bytes : built_flow -> int
+(** Distinct payload bytes the flow's receiver has accepted so far.
+    Sample it before and after an [Engine.run ~until] window to compute
+    average goodput. *)
+
+val set_base_rtt : t -> float -> unit
+(** Retarget the base RTT (bottleneck + reverse delays) — used by the
+    rapidly-changing-network driver. *)
+
+val inject : t -> flow:int -> (Pcc_net.Packet.t -> unit) -> unit
+(** Register a delivery handler for an extra (cross-traffic) flow id at
+    the far end of the bottleneck; unknown flows go to a sink. *)
+
+val send_bottleneck : t -> Pcc_net.Packet.t -> unit
+(** Push a packet into the bottleneck queue directly (cross traffic). *)

@@ -1,0 +1,57 @@
+type spec =
+  | Pcc of Pcc_core.Pcc_sender.config
+  | Tcp of { variant : string; pacing : bool; min_rto : float option }
+  | Sabul
+  | Pcp
+
+let pcc ?(config = Pcc_core.Pcc_sender.default_config) () = Pcc config
+let tcp variant = Tcp { variant; pacing = false; min_rto = None }
+let tcp_paced variant = Tcp { variant; pacing = true; min_rto = None }
+let sabul = Sabul
+let pcp = Pcp
+
+let name = function
+  | Pcc cfg -> "pcc/" ^ cfg.Pcc_core.Pcc_sender.utility.Pcc_core.Utility.name
+  | Tcp { variant; pacing; _ } -> variant ^ if pacing then "+pacing" else ""
+  | Sabul -> "sabul"
+  | Pcp -> "pcp"
+
+let build engine ~rng ?size ?on_complete ?rtt_hint spec ~out =
+  match spec with
+  | Pcc config ->
+    (* A real connection learns the base RTT from its handshake; seed the
+       monitor's estimate and the 2·MSS/RTT initial rate with it. *)
+    let config =
+      match rtt_hint with
+      | None -> config
+      | Some rtt ->
+        let open Pcc_core in
+        {
+          config with
+          Pcc_sender.monitor =
+            { config.Pcc_sender.monitor with Monitor.initial_rtt = rtt };
+          controller =
+            {
+              config.Pcc_sender.controller with
+              Controller.init_rate =
+                2. *. float_of_int (Pcc_sim.Units.mss * 8) /. rtt;
+              min_rate =
+                (* The control floor scales with the path like the initial
+                   rate: a quarter packet per RTT-pair. 50 kbps would be a
+                   reasonable floor on a WAN but a death sentence on a
+                   100 µs data-center path. *)
+                Float.max
+                  config.Pcc_sender.controller.Controller.min_rate
+                  (float_of_int (Pcc_sim.Units.mss * 8) /. (4. *. rtt));
+            };
+        }
+    in
+    let t =
+      Pcc_core.Pcc_sender.create engine ~config ?size ?on_complete ~rng ~out ()
+    in
+    Pcc_core.Pcc_sender.sender t
+  | Tcp { variant; pacing; min_rto } ->
+    Pcc_tcp.Registry.tcp engine ~pacing ?min_rto ?size ?on_complete ?rtt_hint
+      ~name:variant ~out ()
+  | Sabul -> Pcc_tcp.Sabul.create engine ~rng ?size ?on_complete ~out ()
+  | Pcp -> Pcc_tcp.Pcp.create engine ?size ?on_complete ~out ()

@@ -1,0 +1,35 @@
+(** Uniform construction of every transport the paper evaluates. *)
+
+type spec =
+  | Pcc of Pcc_core.Pcc_sender.config
+  | Tcp of { variant : string; pacing : bool; min_rto : float option }
+  | Sabul
+  | Pcp
+
+val pcc : ?config:Pcc_core.Pcc_sender.config -> unit -> spec
+(** PCC with the paper-default safe utility unless overridden. *)
+
+val tcp : string -> spec
+(** A TCP variant by registry name (["cubic"], ["newreno"], …). *)
+
+val tcp_paced : string -> spec
+(** Same, with packet pacing at cwnd/RTT (the "TCP Pacing" baseline). *)
+
+val sabul : spec
+val pcp : spec
+
+val name : spec -> string
+
+val build :
+  Pcc_sim.Engine.t ->
+  rng:Pcc_sim.Rng.t ->
+  ?size:int ->
+  ?on_complete:(float -> unit) ->
+  ?rtt_hint:float ->
+  spec ->
+  out:(Pcc_net.Packet.t -> unit) ->
+  Pcc_net.Sender.t
+(** Instantiate the transport; [rng] seeds any internal randomness (PCC's
+    RCT ordering and MI lengths). [rtt_hint] is the base path RTT a real
+    connection would learn from its handshake — it seeds RTT estimators
+    and PCC's 2·MSS/RTT initial rate. *)

@@ -1,0 +1,44 @@
+type t = { mutable clock : float; q : (unit -> unit) Event_heap.t }
+
+type timer = Event_heap.handle
+
+let create ?(now = 0.) () = { clock = now; q = Event_heap.create () }
+
+let now t = t.clock
+
+let schedule t ~at f =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: time %.9f is before now %.9f" at t.clock);
+  Event_heap.push t.q ~time:at f
+
+let schedule_in t ~after f =
+  let after = if after < 0. then 0. else after in
+  Event_heap.push t.q ~time:(t.clock +. after) f
+
+let cancel = Event_heap.cancel
+
+let pending t = Event_heap.size t.q
+
+let step t =
+  match Event_heap.pop t.q with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- time;
+    f ();
+    true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+    let continue = ref true in
+    while !continue do
+      match Event_heap.peek_time t.q with
+      | Some time when time <= limit -> ignore (step t)
+      | Some _ | None ->
+        if limit > t.clock then t.clock <- limit;
+        continue := false
+    done
+
+let run_for t d = run ~until:(t.clock +. d) t

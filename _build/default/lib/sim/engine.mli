@@ -1,0 +1,47 @@
+(** Discrete-event simulation engine.
+
+    An engine owns a simulated clock and an event queue. Components schedule
+    closures at absolute or relative times; {!run} executes them in
+    timestamp order, advancing the clock. All simulator state changes happen
+    inside event callbacks, so a single engine is single-threaded and fully
+    deterministic. *)
+
+type t
+(** A simulation engine. *)
+
+type timer
+(** A cancellable handle on a scheduled event. *)
+
+val create : ?now:float -> unit -> t
+(** [create ()] is a fresh engine with the clock at [now] (default 0). *)
+
+val now : t -> float
+(** [now t] is the current simulated time in seconds. *)
+
+val schedule : t -> at:float -> (unit -> unit) -> timer
+(** [schedule t ~at f] runs [f] when the clock reaches [at].
+    @raise Invalid_argument if [at] is in the past. *)
+
+val schedule_in : t -> after:float -> (unit -> unit) -> timer
+(** [schedule_in t ~after f] runs [f] [after] seconds from now. Negative
+    delays are clamped to zero (the event runs after already-queued events
+    at the current instant). *)
+
+val cancel : timer -> unit
+(** [cancel timer] prevents a pending event from firing. Cancelling an
+    already-fired or already-cancelled timer is harmless. *)
+
+val pending : t -> int
+(** Number of events still queued. *)
+
+val step : t -> bool
+(** [step t] executes the next event, if any; returns [false] when the
+    queue is empty. *)
+
+val run : ?until:float -> t -> unit
+(** [run t] executes events until the queue drains, or — if [until] is
+    given — until the next event would fire strictly after [until], in
+    which case the clock is left at [until]. *)
+
+val run_for : t -> float -> unit
+(** [run_for t d] is [run t ~until:(now t +. d)]. *)

@@ -1,0 +1,102 @@
+type handle = { mutable dead : bool }
+
+type 'a entry = { time : float; seq : int; h : handle; v : 'a }
+
+type 'a t = {
+  mutable a : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { a = [||]; len = 0; next_seq = 0 }
+
+let before x y = x.time < y.time || (x.time = y.time && x.seq < y.seq)
+
+let grow t =
+  let cap = Array.length t.a in
+  if t.len >= cap then begin
+    let ncap = if cap = 0 then 64 else cap * 2 in
+    let na =
+      if cap = 0 then
+        (* The placeholder cell is never read: indices >= len are unused
+           and immediately overwritten on push. *)
+        Array.make ncap { time = 0.; seq = 0; h = { dead = true }; v = Obj.magic 0 }
+      else Array.make ncap t.a.(0)
+    in
+    Array.blit t.a 0 na 0 t.len;
+    t.a <- na
+  end
+
+let swap t i j =
+  let tmp = t.a.(i) in
+  t.a.(i) <- t.a.(j);
+  t.a.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.a.(i) t.a.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && before t.a.(l) t.a.(!smallest) then smallest := l;
+  if r < t.len && before t.a.(r) t.a.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~time v =
+  grow t;
+  let h = { dead = false } in
+  let e = { time; seq = t.next_seq; h; v } in
+  t.next_seq <- t.next_seq + 1;
+  t.a.(t.len) <- e;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1);
+  h
+
+let pop_root t =
+  let e = t.a.(0) in
+  t.len <- t.len - 1;
+  if t.len > 0 then begin
+    t.a.(0) <- t.a.(t.len);
+    sift_down t 0
+  end;
+  e
+
+(* Discard cancelled entries sitting at the root, so that peeks and size
+   queries reflect only live events. *)
+let rec purge t =
+  if t.len > 0 && t.a.(0).h.dead then begin
+    ignore (pop_root t);
+    purge t
+  end
+
+let rec pop t =
+  purge t;
+  if t.len = 0 then None
+  else begin
+    let e = pop_root t in
+    if e.h.dead then pop t else Some (e.time, e.v)
+  end
+
+let peek_time t =
+  purge t;
+  if t.len = 0 then None else Some t.a.(0).time
+
+let is_empty t =
+  purge t;
+  t.len = 0
+
+let size t =
+  purge t;
+  t.len
+
+let cancel h = h.dead <- true
+let cancelled h = h.dead

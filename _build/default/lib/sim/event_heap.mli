@@ -1,0 +1,43 @@
+(** Binary min-heap of timestamped events.
+
+    Keys are [(time, sequence)] pairs: ties on time break in insertion
+    order, which keeps simultaneous events deterministic. Cancellation is
+    lazy — a cancelled event stays in the heap until popped, which is O(1)
+    per cancellation and fine for timer-heavy workloads such as TCP
+    retransmission timers. *)
+
+type 'a t
+(** A heap carrying payloads of type ['a]. *)
+
+type handle
+(** A handle onto an inserted event, usable to cancel it. *)
+
+val create : unit -> 'a t
+(** [create ()] is an empty heap. *)
+
+val is_empty : 'a t -> bool
+(** Whether the heap holds no live (non-cancelled) events. *)
+
+val size : 'a t -> int
+(** Number of events currently stored. Cancelled events still buried in the
+    middle of the heap are counted until they surface; the root is always
+    purged, so [size t = 0] iff {!is_empty}. *)
+
+val push : 'a t -> time:float -> 'a -> handle
+(** [push t ~time v] inserts [v] at key [time] and returns a cancellation
+    handle. *)
+
+val pop : 'a t -> (float * 'a) option
+(** [pop t] removes and returns the earliest live event, or [None] if the
+    heap is empty. Cancelled entries are discarded transparently. *)
+
+val peek_time : 'a t -> float option
+(** [peek_time t] is the timestamp of the earliest live event, if any,
+    without removing it. *)
+
+val cancel : handle -> unit
+(** [cancel h] marks the event behind [h] as dead; it will never be
+    returned by {!pop}. Cancelling twice is harmless. *)
+
+val cancelled : handle -> bool
+(** Whether the handle has been cancelled. *)

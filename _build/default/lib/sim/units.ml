@@ -1,0 +1,25 @@
+let mss = 1500
+let ack_size = 40
+
+let mbps x = x *. 1e6
+let kbps x = x *. 1e3
+let gbps x = x *. 1e9
+let to_mbps bps = bps /. 1e6
+
+let kib x = x * 1024
+let mib x = x * 1024 * 1024
+
+let ms x = x /. 1e3
+let us x = x /. 1e6
+
+let bytes_of_bits b = b /. 8.
+let bits_of_bytes n = float_of_int n *. 8.
+
+let transmission_time ~size ~rate =
+  if rate <= 0. then invalid_arg "Units.transmission_time: rate <= 0";
+  bits_of_bytes size /. rate
+
+let packets_of_bytes n = (n + mss - 1) / mss
+
+let bdp_bytes ~rate ~rtt =
+  int_of_float (bytes_of_bits (rate *. rtt))

@@ -1,0 +1,61 @@
+(** Unit conventions and conversions used throughout the simulator.
+
+    The whole code base agrees on the following units:
+    - time: seconds, as [float];
+    - data sizes: bytes, as [int];
+    - rates: bits per second, as [float].
+
+    These helpers keep conversions explicit at module boundaries so that a
+    rate in Mbps from an experiment description never silently mixes with a
+    byte count from a queue. *)
+
+val mss : int
+(** Maximum segment size used by every sender, in bytes (Ethernet-style
+    1500-byte frames, matching the paper's Emulab setup). *)
+
+val ack_size : int
+(** Size of an acknowledgment packet in bytes (TCP/IP header only). *)
+
+val mbps : float -> float
+(** [mbps x] is the rate [x] megabits per second in bits per second. *)
+
+val kbps : float -> float
+(** [kbps x] is the rate [x] kilobits per second in bits per second. *)
+
+val gbps : float -> float
+(** [gbps x] is the rate [x] gigabits per second in bits per second. *)
+
+val to_mbps : float -> float
+(** [to_mbps bps] converts a rate in bits per second back to Mbps, for
+    reporting. *)
+
+val kib : int -> int
+(** [kib x] is [x] kibibytes in bytes. *)
+
+val mib : int -> int
+(** [mib x] is [x] mebibytes in bytes. *)
+
+val ms : float -> float
+(** [ms x] is [x] milliseconds in seconds. *)
+
+val us : float -> float
+(** [us x] is [x] microseconds in seconds. *)
+
+val bytes_of_bits : float -> float
+(** [bytes_of_bits b] converts a bit count to bytes. *)
+
+val bits_of_bytes : int -> float
+(** [bits_of_bytes n] converts a byte count to bits. *)
+
+val transmission_time : size:int -> rate:float -> float
+(** [transmission_time ~size ~rate] is the time in seconds needed to
+    serialize [size] bytes onto a link of [rate] bits per second.
+    @raise Invalid_argument if [rate <= 0]. *)
+
+val packets_of_bytes : int -> int
+(** [packets_of_bytes n] is the number of MSS-sized packets needed to carry
+    [n] bytes (rounded up). *)
+
+val bdp_bytes : rate:float -> rtt:float -> int
+(** [bdp_bytes ~rate ~rtt] is the bandwidth-delay product in bytes of a path
+    with bottleneck [rate] (bits per second) and round-trip time [rtt]. *)

@@ -1,0 +1,1 @@
+lib/tcp/bic.ml: Float Variant

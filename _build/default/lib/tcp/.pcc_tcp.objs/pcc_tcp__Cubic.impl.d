@@ -1,0 +1,1 @@
+lib/tcp/cubic.ml: Float Variant

@@ -1,0 +1,1 @@
+lib/tcp/fast.ml: Float Variant

@@ -1,0 +1,1 @@
+lib/tcp/fast.mli: Variant

@@ -1,0 +1,1 @@
+lib/tcp/pcp.ml: Engine Float List Packet Pcc_net Pcc_sim Rate_pacer Scoreboard Sender Units

@@ -1,0 +1,1 @@
+lib/tcp/pcp.mli: Pcc_net Pcc_sim

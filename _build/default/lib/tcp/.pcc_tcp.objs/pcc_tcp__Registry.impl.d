@@ -1,0 +1,1 @@
+lib/tcp/registry.ml: Bic Cubic Fast Highspeed Hybla Illinois List Newreno Printf String Tcp_sender Variant Vegas Westwood

@@ -1,0 +1,1 @@
+lib/tcp/registry.mli: Pcc_net Pcc_sim Variant

@@ -1,0 +1,1 @@
+lib/tcp/sabul.ml: Engine Float Packet Pcc_net Pcc_sim Rate_pacer Rng Scoreboard Sender Units

@@ -1,0 +1,1 @@
+lib/tcp/sabul.mli: Pcc_net Pcc_sim

@@ -1,0 +1,1 @@
+lib/tcp/tcp_sender.ml: Engine Float Hashtbl Int List Option Packet Pcc_net Pcc_sim Queue Rtt_estimator Sender Set Units Variant

@@ -1,0 +1,1 @@
+lib/tcp/tcp_sender.mli: Pcc_net Pcc_sim Variant

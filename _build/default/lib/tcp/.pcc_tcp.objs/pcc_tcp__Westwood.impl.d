@@ -1,0 +1,1 @@
+lib/tcp/westwood.ml: Float Variant

@@ -1,0 +1,1 @@
+lib/tcp/westwood.mli: Variant

@@ -1,0 +1,44 @@
+open Variant
+
+let make ?(beta = 0.8) ?(s_max = 32.) ?(s_min = 0.01) ?(low_window = 14.) () =
+  let max_win = ref infinity in
+  let min_win = ref 0. in
+  let target ctx =
+    if !max_win = infinity then ctx.cwnd +. s_max
+    else (!max_win +. !min_win) /. 2.
+  in
+  let on_ack ctx ~newly_acked =
+    let n = float_of_int newly_acked in
+    if ctx.cwnd < ctx.ssthresh then ctx.cwnd <- ctx.cwnd +. n
+    else if ctx.cwnd < low_window then ctx.cwnd <- ctx.cwnd +. (n /. ctx.cwnd)
+    else begin
+      let tgt = target ctx in
+      let inc =
+        if tgt > ctx.cwnd then Float.min (tgt -. ctx.cwnd) s_max
+        else
+          (* Max probing: past the previous maximum, accelerate slowly. *)
+          Float.min s_max (Float.max s_min (ctx.cwnd -. !max_win))
+      in
+      let inc = Float.max s_min inc in
+      ctx.cwnd <- ctx.cwnd +. (inc *. n /. ctx.cwnd);
+      if ctx.cwnd >= tgt && tgt < !max_win then min_win := ctx.cwnd;
+      if ctx.cwnd > !max_win && !max_win <> infinity then max_win := infinity
+    end;
+    clamp ctx
+  in
+  let on_loss ctx =
+    if ctx.cwnd < !max_win then
+      (* Fast convergence: release bandwidth for newer flows. *)
+      max_win := ctx.cwnd *. (1. +. beta) /. 2.
+    else max_win := ctx.cwnd;
+    min_win := ctx.cwnd *. beta;
+    ctx.ssthresh <- ctx.cwnd *. beta;
+    ctx.cwnd <- ctx.ssthresh;
+    clamp ctx
+  in
+  let on_timeout ctx =
+    max_win := infinity;
+    min_win := 0.;
+    clamp ctx
+  in
+  { name = "bic"; on_ack; on_loss; on_timeout }

@@ -1,0 +1,10 @@
+(** BIC-TCP (Xu, Harfoush & Rhee 2004): binary-search window increase
+    between the last window that caused loss and the last safe window,
+    with max-probing beyond. CUBIC's predecessor; one of the six TCP
+    points in the paper's stability–reactiveness trade-off figure. *)
+
+val make :
+  ?beta:float -> ?s_max:float -> ?s_min:float -> ?low_window:float ->
+  unit -> Variant.t
+(** Defaults from the BIC paper / Linux: β=0.8, S_max=32, S_min=0.01,
+    low_window=14 (below which plain Reno behaviour is used). *)

@@ -1,0 +1,74 @@
+open Variant
+
+type state = {
+  mutable w_max : float;
+  mutable epoch_start : float option;
+  mutable k : float;
+  mutable origin : float;
+  mutable tcp_cwnd : float;  (* TCP-friendly region estimate *)
+}
+
+let make ?(c = 0.4) ?(beta = 0.7) ?(fast_convergence = true) () =
+  let st =
+    { w_max = 0.; epoch_start = None; k = 0.; origin = 0.; tcp_cwnd = 0. }
+  in
+  let cbrt x = if x < 0. then -.((-.x) ** (1. /. 3.)) else x ** (1. /. 3.) in
+  let begin_epoch ctx =
+    st.epoch_start <- Some (ctx.now ());
+    if ctx.cwnd < st.w_max then begin
+      st.k <- cbrt ((st.w_max -. ctx.cwnd) /. c);
+      st.origin <- st.w_max
+    end
+    else begin
+      st.k <- 0.;
+      st.origin <- ctx.cwnd
+    end;
+    st.tcp_cwnd <- ctx.cwnd
+  in
+  let on_ack ctx ~newly_acked =
+    if ctx.cwnd < ctx.ssthresh then begin
+      ctx.cwnd <- ctx.cwnd +. float_of_int newly_acked;
+      clamp ctx
+    end
+    else begin
+      let epoch =
+        match st.epoch_start with
+        | Some e -> e
+        | None ->
+          begin_epoch ctx;
+          ctx.now ()
+      in
+      let t = ctx.now () -. epoch in
+      let rtt = ctx.srtt () in
+      (* Window the cubic predicts one RTT in the future; aiming there
+         yields the standard per-ack increment. *)
+      let target =
+        st.origin +. (c *. (((t +. rtt -. st.k) ** 3.)))
+      in
+      let n = float_of_int newly_acked in
+      (* TCP-friendly region: emulate Reno's average rate. *)
+      st.tcp_cwnd <-
+        st.tcp_cwnd
+        +. (3. *. (1. -. beta) /. (1. +. beta) *. n /. ctx.cwnd);
+      let target = Float.max target st.tcp_cwnd in
+      if target > ctx.cwnd then
+        ctx.cwnd <- ctx.cwnd +. ((target -. ctx.cwnd) /. ctx.cwnd *. n)
+      else ctx.cwnd <- ctx.cwnd +. (0.01 *. n /. ctx.cwnd);
+      clamp ctx
+    end
+  in
+  let on_loss ctx =
+    st.epoch_start <- None;
+    if fast_convergence && ctx.cwnd < st.w_max then
+      st.w_max <- ctx.cwnd *. (2. -. beta) /. 2.
+    else st.w_max <- ctx.cwnd;
+    ctx.ssthresh <- ctx.cwnd *. beta;
+    ctx.cwnd <- ctx.ssthresh;
+    clamp ctx
+  in
+  let on_timeout ctx =
+    st.epoch_start <- None;
+    st.w_max <- 0.;
+    clamp ctx
+  in
+  { name = "cubic"; on_ack; on_loss; on_timeout }

@@ -1,0 +1,9 @@
+(** TCP CUBIC (Ha, Rhee & Xu 2008): window growth follows a cubic of the
+    time since the last loss, anchored at the pre-loss window, with the
+    TCP-friendly region and fast convergence. Linux's default since
+    2.6.19 and the paper's primary Internet baseline. *)
+
+val make :
+  ?c:float -> ?beta:float -> ?fast_convergence:bool -> unit -> Variant.t
+(** Defaults match Linux: [c = 0.4], [beta = 0.7],
+    [fast_convergence = true]. *)

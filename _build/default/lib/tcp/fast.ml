@@ -1,0 +1,23 @@
+open Variant
+
+let make ?(alpha = 20.) ?(gamma = 0.5) () =
+  let next_update = ref 0. in
+  let on_ack ctx ~newly_acked =
+    ignore newly_acked;
+    let now = ctx.now () in
+    if now >= !next_update then begin
+      next_update := now +. ctx.srtt ();
+      let base = ctx.min_rtt () and rtt = Float.max (ctx.srtt ()) 1e-9 in
+      let target = (base /. rtt *. ctx.cwnd) +. alpha in
+      (* FAST caps the per-RTT increase at doubling. *)
+      let target = Float.min target (2. *. ctx.cwnd) in
+      ctx.cwnd <- ((1. -. gamma) *. ctx.cwnd) +. (gamma *. target);
+      clamp ctx
+    end
+  in
+  let on_loss ctx =
+    ctx.ssthresh <- ctx.cwnd /. 2.;
+    ctx.cwnd <- ctx.ssthresh;
+    clamp ctx
+  in
+  { name = "fast"; on_ack; on_loss; on_timeout = clamp }

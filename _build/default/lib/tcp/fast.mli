@@ -1,0 +1,14 @@
+(** FAST TCP (Wei, Jin, Low & Hegde 2006) — the §5 case study of a
+    delay-based hardwired mapping.
+
+    Once per RTT the window moves toward
+    [w ← (1−γ)·w + γ·(baseRTT/RTT·w + α)], whose fixed point keeps α
+    packets queued. §5 of the PCC paper notes the embedded assumptions:
+    an accurate baseRTT estimate and a well-behaved queue. Under RTT
+    variance, a mis-estimated baseRTT, or loss-based competitors, its
+    performance degrades — all three are reproducible with this
+    implementation (see the tests). *)
+
+val make : ?alpha:float -> ?gamma:float -> unit -> Variant.t
+(** [alpha] is the target queued packets (default 20, a mid value of the
+    deployment guidance), [gamma] the update smoothing (default 0.5). *)

@@ -1,0 +1,37 @@
+open Variant
+
+(* RFC 3649's response function, via the closed-form approximation used
+   by the Linux implementation: for w > 38,
+     b(w) = 0.1 + 0.4 * (log w - log 38) / (log 83000 - log 38)   (capped)
+     a(w) = w^2 * p(w) * 2 * b(w) / (2 - b(w))
+   with p(w) = 0.078 / w^1.2 (the HSTCP response curve). *)
+let low_window = 38.
+
+let b_of w =
+  if w <= low_window then 0.5
+  else begin
+    let frac = (log w -. log low_window) /. (log 83000. -. log low_window) in
+    Float.min 0.5 (Float.max 0.1 (0.5 -. (0.4 *. frac)))
+  end
+
+let a_of w =
+  if w <= low_window then 1.
+  else begin
+    let p = 0.078 /. (w ** 1.2) in
+    let b = b_of w in
+    Float.max 1. (w *. w *. p *. 2. *. b /. (2. -. b))
+  end
+
+let make () =
+  let on_ack ctx ~newly_acked =
+    let n = float_of_int newly_acked in
+    if ctx.cwnd < ctx.ssthresh then ctx.cwnd <- ctx.cwnd +. n
+    else ctx.cwnd <- ctx.cwnd +. (a_of ctx.cwnd *. n /. ctx.cwnd);
+    clamp ctx
+  in
+  let on_loss ctx =
+    ctx.ssthresh <- ctx.cwnd *. (1. -. b_of ctx.cwnd);
+    ctx.cwnd <- ctx.ssthresh;
+    clamp ctx
+  in
+  { name = "highspeed"; on_ack; on_loss; on_timeout = clamp }

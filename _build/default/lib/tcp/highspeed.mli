@@ -1,0 +1,7 @@
+(** HighSpeed TCP (RFC 3649) — the high-BDP "patch" family the paper's
+    introduction cites: above a window of 38 packets the AIMD parameters
+    a(w) (additive step) and b(w) (backoff fraction) scale with the
+    window so huge pipes refill in reasonable time; below it the
+    behaviour is plain Reno. *)
+
+val make : unit -> Variant.t

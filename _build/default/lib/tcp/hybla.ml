@@ -1,0 +1,22 @@
+open Variant
+
+let make ?(rtt0 = 0.025) () =
+  let rho ctx = Float.max 1. (ctx.srtt () /. rtt0) in
+  let on_ack ctx ~newly_acked =
+    let r = rho ctx in
+    let n = float_of_int newly_acked in
+    if ctx.cwnd < ctx.ssthresh then begin
+      (* Limited slow start: the kernel bounds the per-ack jump; without a
+         bound ρ = 32 (800 ms satellite RTT) would inflate cwnd by 2^32. *)
+      let inc = Float.min ((2. ** Float.min r 6.) -. 1.) 32. in
+      ctx.cwnd <- ctx.cwnd +. (inc *. n)
+    end
+    else ctx.cwnd <- ctx.cwnd +. (r *. r *. n /. ctx.cwnd);
+    clamp ctx
+  in
+  let on_loss ctx =
+    ctx.ssthresh <- ctx.cwnd /. 2.;
+    ctx.cwnd <- ctx.ssthresh;
+    clamp ctx
+  in
+  { name = "hybla"; on_ack; on_loss; on_timeout = clamp }

@@ -1,0 +1,6 @@
+(** TCP Hybla (Caini & Firrincieli 2004): normalizes window growth by
+    ρ = RTT/RTT₀ so long-RTT (satellite) connections grow as fast as a
+    reference 25 ms connection — the paper's satellite baseline. *)
+
+val make : ?rtt0:float -> unit -> Variant.t
+(** [rtt0] is the reference RTT in seconds (default 0.025). *)

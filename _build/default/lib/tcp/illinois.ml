@@ -1,0 +1,52 @@
+open Variant
+
+let make ?(alpha_min = 0.3) ?(alpha_max = 10.) ?(beta_min = 0.125)
+    ?(beta_max = 0.5) () =
+  (* Average queueing delay over the last window of acks. *)
+  let sum_rtt = ref 0. in
+  let cnt_rtt = ref 0 in
+  let avg_delay ctx =
+    let avg = if !cnt_rtt = 0 then ctx.srtt () else !sum_rtt /. float_of_int !cnt_rtt in
+    Float.max 0. (avg -. ctx.min_rtt ())
+  in
+  let max_delay ctx = Float.max 1e-6 (ctx.max_rtt () -. ctx.min_rtt ()) in
+  let alpha ctx =
+    let da = avg_delay ctx and dm = max_delay ctx in
+    let d1 = 0.01 *. dm in
+    if da <= d1 then alpha_max
+    else begin
+      (* α(da) = k1 / (k2 + da), fixed by α(d1)=α_max and α(dm)=α_min. *)
+      let k1 = (dm -. d1) *. alpha_min *. alpha_max /. (alpha_max -. alpha_min) in
+      let k2 = (k1 /. alpha_max) -. d1 in
+      Float.max alpha_min (k1 /. (k2 +. da))
+    end
+  in
+  let beta ctx =
+    let da = avg_delay ctx and dm = max_delay ctx in
+    let d2 = 0.1 *. dm and d3 = 0.8 *. dm in
+    if da <= d2 then beta_min
+    else if da >= d3 then beta_max
+    else
+      (* Linear interpolation between (d2, β_min) and (d3, β_max). *)
+      beta_min +. ((beta_max -. beta_min) *. (da -. d2) /. (d3 -. d2))
+  in
+  let on_ack ctx ~newly_acked =
+    sum_rtt := !sum_rtt +. ctx.latest_rtt ();
+    incr cnt_rtt;
+    if !cnt_rtt > int_of_float ctx.cwnd && !cnt_rtt > 8 then begin
+      (* Roll the averaging window roughly once per RTT. *)
+      sum_rtt := 0.;
+      cnt_rtt := 0
+    end;
+    let n = float_of_int newly_acked in
+    if ctx.cwnd < ctx.ssthresh then ctx.cwnd <- ctx.cwnd +. n
+    else ctx.cwnd <- ctx.cwnd +. (alpha ctx *. n /. ctx.cwnd);
+    clamp ctx
+  in
+  let on_loss ctx =
+    let b = beta ctx in
+    ctx.ssthresh <- ctx.cwnd *. (1. -. b);
+    ctx.cwnd <- ctx.ssthresh;
+    clamp ctx
+  in
+  { name = "illinois"; on_ack; on_loss; on_timeout = clamp }

@@ -1,0 +1,15 @@
+(** TCP Illinois (Liu, Başar & Srikant 2008): a loss–delay hybrid. The
+    additive-increase factor α shrinks and the multiplicative-decrease
+    factor β grows as measured queueing delay rises. The paper's
+    inter-data-center and lossy-link baseline — and its example of a
+    sophisticated hardwired mapping that still collapses under random
+    loss. *)
+
+val make :
+  ?alpha_min:float ->
+  ?alpha_max:float ->
+  ?beta_min:float ->
+  ?beta_max:float ->
+  unit ->
+  Variant.t
+(** Defaults from the Illinois paper: α ∈ [0.3, 10], β ∈ [0.125, 0.5]. *)

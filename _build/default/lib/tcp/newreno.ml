@@ -1,0 +1,13 @@
+open Variant
+
+let make () =
+  {
+    name = "newreno";
+    on_ack = reno_increase;
+    on_loss =
+      (fun ctx ->
+        ctx.ssthresh <- ctx.cwnd /. 2.;
+        ctx.cwnd <- ctx.ssthresh;
+        clamp ctx);
+    on_timeout = (fun ctx -> clamp ctx);
+  }

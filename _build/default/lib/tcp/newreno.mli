@@ -1,0 +1,5 @@
+(** TCP New Reno: slow start, AIMD congestion avoidance (+1/cwnd per ack,
+    halve on loss). The textbook baseline whose loss-halving assumption
+    §2.1 of the paper dissects. *)
+
+val make : unit -> Variant.t

@@ -1,0 +1,38 @@
+let table : (string * (unit -> Variant.t)) list =
+  [
+    ("newreno", Newreno.make);
+    ("cubic", fun () -> Cubic.make ());
+    ("hybla", fun () -> Hybla.make ());
+    ("illinois", fun () -> Illinois.make ());
+    ("vegas", fun () -> Vegas.make ());
+    ("bic", fun () -> Bic.make ());
+    ("westwood", Westwood.make);
+    ("fast", fun () -> Fast.make ());
+    ("highspeed", Highspeed.make);
+  ]
+
+let variants = List.map fst table
+
+let variant name =
+  match List.assoc_opt name table with
+  | Some make -> make ()
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Registry.variant: unknown TCP variant %S (know: %s)"
+         name
+         (String.concat ", " variants))
+
+let tcp engine ?(pacing = false) ?min_rto ?size ?on_complete ?rtt_hint ~name
+    ~out () =
+  let cfg = Tcp_sender.default_config (variant name) in
+  let cfg =
+    {
+      cfg with
+      pacing;
+      min_rto = (match min_rto with Some v -> v | None -> cfg.min_rto);
+      initial_rtt =
+        (match rtt_hint with Some v -> v | None -> cfg.initial_rtt);
+    }
+  in
+  let t = Tcp_sender.create engine cfg ?size ?on_complete ~out () in
+  Tcp_sender.sender t

@@ -1,0 +1,23 @@
+(** Name-indexed access to the TCP variants, for CLIs and experiment
+    tables. *)
+
+val variants : string list
+(** All registered variant names, in a stable order. *)
+
+val variant : string -> Variant.t
+(** [variant name] is a fresh instance of the named variant.
+    @raise Invalid_argument on an unknown name. *)
+
+val tcp :
+  Pcc_sim.Engine.t ->
+  ?pacing:bool ->
+  ?min_rto:float ->
+  ?size:int ->
+  ?on_complete:(float -> unit) ->
+  ?rtt_hint:float ->
+  name:string ->
+  out:(Pcc_net.Packet.t -> unit) ->
+  unit ->
+  Pcc_net.Sender.t
+(** Convenience: build a {!Tcp_sender} running the named variant with
+    otherwise default configuration. *)

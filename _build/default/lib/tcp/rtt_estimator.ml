@@ -1,0 +1,61 @@
+type t = {
+  min_rto : float;
+  max_rto : float;
+  mutable srtt : float option;
+  mutable rttvar : float;
+  mutable latest : float option;
+  mutable min_rtt : float option;
+  mutable max_rtt : float option;
+  mutable rto : float;
+  mutable samples : int;
+}
+
+let create ?(min_rto = 0.2) ?(max_rto = 60.) ?(initial_rto = 1.) () =
+  {
+    min_rto;
+    max_rto;
+    srtt = None;
+    rttvar = 0.;
+    latest = None;
+    min_rtt = None;
+    max_rtt = None;
+    rto = Float.max min_rto (Float.min max_rto initial_rto);
+    samples = 0;
+  }
+
+let clamp t v = Float.max t.min_rto (Float.min t.max_rto v)
+
+let recompute_rto t =
+  match t.srtt with
+  | None -> ()
+  | Some srtt -> t.rto <- clamp t (srtt +. (4. *. t.rttvar))
+
+let sample t rtt =
+  if rtt <= 0. then invalid_arg "Rtt_estimator.sample: rtt must be positive";
+  t.samples <- t.samples + 1;
+  t.latest <- Some rtt;
+  (match t.min_rtt with
+  | None -> t.min_rtt <- Some rtt
+  | Some m -> if rtt < m then t.min_rtt <- Some rtt);
+  (match t.max_rtt with
+  | None -> t.max_rtt <- Some rtt
+  | Some m -> if rtt > m then t.max_rtt <- Some rtt);
+  (match t.srtt with
+  | None ->
+    t.srtt <- Some rtt;
+    t.rttvar <- rtt /. 2.
+  | Some srtt ->
+    let alpha = 1. /. 8. and beta = 1. /. 4. in
+    t.rttvar <- ((1. -. beta) *. t.rttvar) +. (beta *. Float.abs (srtt -. rtt));
+    t.srtt <- Some (((1. -. alpha) *. srtt) +. (alpha *. rtt)));
+  recompute_rto t
+
+let srtt t = t.srtt
+let srtt_or t d = match t.srtt with Some v -> v | None -> d
+let latest t = t.latest
+let min_rtt t = t.min_rtt
+let max_rtt t = t.max_rtt
+let rto t = t.rto
+let backoff t = t.rto <- Float.min t.max_rto (t.rto *. 2.)
+let reset_backoff t = recompute_rto t
+let samples t = t.samples

@@ -1,0 +1,45 @@
+(** RFC 6298 round-trip-time estimation.
+
+    Maintains SRTT / RTTVAR and derives the retransmission timeout, with a
+    configurable floor (Linux defaults to 200 ms — the floor is what makes
+    data-center incast collapse so painful, so it is a first-class
+    parameter here). Also tracks the minimum RTT seen, which several TCP
+    variants (Vegas, Illinois, Westwood) and PCC's monitor need. *)
+
+type t
+
+val create : ?min_rto:float -> ?max_rto:float -> ?initial_rto:float -> unit -> t
+(** Defaults: [min_rto] 0.2 s, [max_rto] 60 s, [initial_rto] 1 s. *)
+
+val sample : t -> float -> unit
+(** [sample t rtt] folds in a new measurement (Karn-filtered by the
+    caller: never pass samples from retransmitted packets).
+    @raise Invalid_argument if [rtt <= 0]. *)
+
+val srtt : t -> float option
+(** Smoothed RTT, if at least one sample was taken. *)
+
+val srtt_or : t -> float -> float
+(** [srtt_or t d] is the smoothed RTT or [d] before the first sample. *)
+
+val latest : t -> float option
+(** The most recent raw sample. *)
+
+val min_rtt : t -> float option
+(** Smallest sample observed (the propagation-delay estimate). *)
+
+val max_rtt : t -> float option
+(** Largest sample observed. *)
+
+val rto : t -> float
+(** Current retransmission timeout, clamped to [\[min_rto, max_rto\]]. *)
+
+val backoff : t -> unit
+(** Double the RTO (up to [max_rto]) after a timeout. *)
+
+val reset_backoff : t -> unit
+(** Recompute the RTO from SRTT/RTTVAR, forgetting exponential backoff;
+    called when new acknowledgments arrive. *)
+
+val samples : t -> int
+(** Number of samples folded in so far. *)

@@ -1,0 +1,375 @@
+open Pcc_sim
+open Pcc_net
+
+module Int_set = Set.Make (Int)
+
+type config = {
+  variant : Variant.t;
+  pacing : bool;
+  init_cwnd : float;
+  min_rto : float;
+  max_cwnd : float;
+  dupthresh : int;
+  initial_rtt : float;
+}
+
+let default_config variant =
+  {
+    variant;
+    pacing = false;
+    init_cwnd = 2.;
+    min_rto = 0.2;
+    max_cwnd = 1e6;
+    dupthresh = 3;
+    initial_rtt = 0.05;
+  }
+
+type t = {
+  engine : Engine.t;
+  cfg : config;
+  out : Packet.t -> unit;
+  flow : int;
+  total_pkts : int option;
+  est : Rtt_estimator.t;
+  ctx : Variant.ctx;
+  mutable running : bool;
+  mutable next_seq : int;
+  mutable high_ack : int;
+  mutable sacked : Int_set.t;  (* received seqs above high_ack *)
+  mutable outstanding : Int_set.t;  (* sent, unacked, not marked lost *)
+  mutable inflight : int;
+  mutable highest_sacked : int;
+  retx : int Queue.t;
+  retx_set : (int, unit) Hashtbl.t;
+  sent_at : (int, float) Hashtbl.t;
+  mutable in_recovery : bool;
+  mutable recover_seq : int;
+  mutable rto_timer : Engine.timer option;
+  mutable pacing_pending : bool;
+  mutable last_send : float;
+  mutable sent_pkts : int;
+  mutable acked_pkts : int;
+  mutable timeouts : int;
+  mutable fast_retransmits : int;
+  mutable completed : bool;
+  on_complete : (float -> unit) option;
+}
+
+let make_ctx engine cfg est =
+  Variant.
+    {
+      cwnd = cfg.init_cwnd;
+      ssthresh = cfg.max_cwnd;
+      now = (fun () -> Engine.now engine);
+      srtt = (fun () -> Rtt_estimator.srtt_or est cfg.initial_rtt);
+      min_rtt =
+        (fun () ->
+          match Rtt_estimator.min_rtt est with
+          | Some v -> v
+          | None -> cfg.initial_rtt);
+      max_rtt =
+        (fun () ->
+          match Rtt_estimator.max_rtt est with
+          | Some v -> v
+          | None -> cfg.initial_rtt);
+      latest_rtt =
+        (fun () ->
+          match Rtt_estimator.latest est with
+          | Some v -> v
+          | None -> cfg.initial_rtt);
+      mss = Units.mss;
+    }
+
+let create engine cfg ?size ?on_complete ~out () =
+  let est = Rtt_estimator.create ~min_rto:cfg.min_rto () in
+  {
+    engine;
+    cfg;
+    out;
+    flow = Packet.fresh_flow_id ();
+    total_pkts = Option.map Units.packets_of_bytes size;
+    est;
+    ctx = make_ctx engine cfg est;
+    running = false;
+    next_seq = 0;
+    high_ack = -1;
+    sacked = Int_set.empty;
+    outstanding = Int_set.empty;
+    inflight = 0;
+    highest_sacked = -1;
+    retx = Queue.create ();
+    retx_set = Hashtbl.create 64;
+    sent_at = Hashtbl.create 256;
+    in_recovery = false;
+    recover_seq = 0;
+    rto_timer = None;
+    pacing_pending = false;
+    last_send = neg_infinity;
+    sent_pkts = 0;
+    acked_pkts = 0;
+    timeouts = 0;
+    fast_retransmits = 0;
+    completed = false;
+    on_complete;
+  }
+
+let cancel_rto t =
+  match t.rto_timer with
+  | Some timer ->
+    Engine.cancel timer;
+    t.rto_timer <- None
+  | None -> ()
+
+let effective_cwnd t =
+  int_of_float (Float.min t.ctx.Variant.cwnd t.cfg.max_cwnd)
+
+let already_delivered t seq = seq <= t.high_ack || Int_set.mem seq t.sacked
+
+(* Next sequence to put on the wire: pending retransmissions first, then
+   fresh data (bounded by the transfer size). *)
+let rec next_to_send t =
+  match Queue.take_opt t.retx with
+  | Some seq ->
+    Hashtbl.remove t.retx_set seq;
+    if already_delivered t seq then next_to_send t else Some (seq, true)
+  | None -> (
+    match t.total_pkts with
+    | Some n when t.next_seq >= n -> None
+    | Some _ | None ->
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      Some (seq, false))
+
+let has_data t =
+  (not (Queue.is_empty t.retx))
+  ||
+  match t.total_pkts with Some n -> t.next_seq < n | None -> true
+
+let rec arm_rto t =
+  if t.rto_timer = None && t.inflight > 0 && t.running then begin
+    let timer =
+      Engine.schedule_in t.engine ~after:(Rtt_estimator.rto t.est) (fun () ->
+          t.rto_timer <- None;
+          on_timeout t)
+    in
+    t.rto_timer <- Some timer
+  end
+
+and on_timeout t =
+  if t.running && not t.completed then begin
+    t.timeouts <- t.timeouts + 1;
+    let flight_at_timeout = t.inflight in
+    (* Go-back-N: everything unacked is presumed lost. *)
+    Int_set.iter
+      (fun seq ->
+        if (not (already_delivered t seq)) && not (Hashtbl.mem t.retx_set seq)
+        then begin
+          Hashtbl.add t.retx_set seq ();
+          Queue.push seq t.retx
+        end)
+      t.outstanding;
+    t.outstanding <- Int_set.empty;
+    t.inflight <- 0;
+    t.in_recovery <- false;
+    t.ctx.Variant.ssthresh <-
+      Float.max (float_of_int flight_at_timeout /. 2.) Variant.min_cwnd;
+    t.ctx.Variant.cwnd <- Variant.min_cwnd;
+    t.cfg.variant.Variant.on_timeout t.ctx;
+    Rtt_estimator.backoff t.est;
+    try_send t
+  end
+
+and do_send t seq retx =
+  let now = Engine.now t.engine in
+  let pkt = Packet.data ~flow:t.flow ~seq ~size:Units.mss ~now ~retx in
+  Hashtbl.replace t.sent_at seq now;
+  t.outstanding <- Int_set.add seq t.outstanding;
+  t.inflight <- t.inflight + 1;
+  t.sent_pkts <- t.sent_pkts + 1;
+  t.last_send <- now;
+  t.out pkt;
+  arm_rto t
+
+and try_send t =
+  if t.running && not t.completed then
+    if t.cfg.pacing then pace_send t
+    else begin
+      let continue = ref true in
+      while !continue do
+        if t.inflight < effective_cwnd t && has_data t then begin
+          match next_to_send t with
+          | Some (seq, retx) -> do_send t seq retx
+          | None -> continue := false
+        end
+        else continue := false
+      done
+    end
+
+and pace_send t =
+  if (not t.pacing_pending) && t.inflight < effective_cwnd t && has_data t
+  then begin
+    let now = Engine.now t.engine in
+    let spacing =
+      Rtt_estimator.srtt_or t.est t.cfg.initial_rtt
+      /. Float.max t.ctx.Variant.cwnd 1.
+    in
+    let at = Float.max now (t.last_send +. spacing) in
+    t.pacing_pending <- true;
+    ignore
+      (Engine.schedule t.engine ~at (fun () ->
+           t.pacing_pending <- false;
+           if t.running && (not t.completed) && t.inflight < effective_cwnd t
+           then begin
+             match next_to_send t with
+             | Some (seq, retx) ->
+               do_send t seq retx;
+               pace_send t
+             | None -> ()
+           end))
+  end
+
+let complete t =
+  if not t.completed then begin
+    t.completed <- true;
+    t.running <- false;
+    cancel_rto t;
+    match t.on_complete with
+    | Some f -> f (Engine.now t.engine)
+    | None -> ()
+  end
+
+let detect_losses t =
+  (* A hole is declared lost once [dupthresh] packets above it have been
+     selectively acknowledged — the SACK analogue of 3 dup-acks. The age
+     guard keeps an in-flight retransmission (necessarily below the SACK
+     frontier) from being re-declared lost on every subsequent ack. *)
+  let now = Engine.now t.engine in
+  let min_age = 0.8 *. Rtt_estimator.srtt_or t.est t.cfg.initial_rtt in
+  let threshold = t.highest_sacked - t.cfg.dupthresh in
+  let candidates = ref [] in
+  (try
+     Int_set.iter
+       (fun seq ->
+         if seq > threshold then raise Exit;
+         candidates := seq :: !candidates)
+       t.outstanding
+   with Exit -> ());
+  let newly_lost = ref [] in
+  List.iter
+    (fun seq ->
+      let old_enough =
+        match Hashtbl.find_opt t.sent_at seq with
+        | Some at -> now -. at >= min_age
+        | None -> true
+      in
+      if old_enough then begin
+        t.outstanding <- Int_set.remove seq t.outstanding;
+        t.inflight <- t.inflight - 1;
+        newly_lost := seq :: !newly_lost;
+        if not (Hashtbl.mem t.retx_set seq) then begin
+          Hashtbl.add t.retx_set seq ();
+          Queue.push seq t.retx
+        end
+      end)
+    !candidates;
+  !newly_lost
+
+let handle_ack t (a : Packet.ack) =
+  if t.running then begin
+    (* Karn's rule: no RTT sample from a retransmitted packet. *)
+    if not a.Packet.data_retx then
+      Rtt_estimator.sample t.est
+        (Engine.now t.engine -. a.Packet.data_sent_at);
+    let newly = ref 0 in
+    let seq = a.Packet.acked_seq in
+    if seq > t.high_ack && not (Int_set.mem seq t.sacked) then begin
+      t.sacked <- Int_set.add seq t.sacked;
+      incr newly;
+      if Int_set.mem seq t.outstanding then begin
+        t.outstanding <- Int_set.remove seq t.outstanding;
+        t.inflight <- t.inflight - 1
+      end;
+      Hashtbl.remove t.sent_at seq;
+      if seq > t.highest_sacked then t.highest_sacked <- seq
+    end;
+    if a.Packet.cum_ack > t.high_ack then begin
+      for s = t.high_ack + 1 to a.Packet.cum_ack do
+        if Int_set.mem s t.sacked then t.sacked <- Int_set.remove s t.sacked
+        else begin
+          incr newly;
+          if Int_set.mem s t.outstanding then begin
+            t.outstanding <- Int_set.remove s t.outstanding;
+            t.inflight <- t.inflight - 1
+          end
+        end;
+        Hashtbl.remove t.sent_at s
+      done;
+      t.high_ack <- a.Packet.cum_ack
+    end;
+    if !newly > 0 then begin
+      t.acked_pkts <- t.acked_pkts + !newly;
+      Rtt_estimator.reset_backoff t.est;
+      cancel_rto t;
+      (* cwnd growth is suppressed during recovery, as in fast recovery. *)
+      if not t.in_recovery then begin
+        t.cfg.variant.Variant.on_ack t.ctx ~newly_acked:!newly;
+        if t.ctx.Variant.cwnd > t.cfg.max_cwnd then
+          t.ctx.Variant.cwnd <- t.cfg.max_cwnd
+      end
+    end;
+    let lost = detect_losses t in
+    if lost <> [] && not t.in_recovery then begin
+      t.in_recovery <- true;
+      t.recover_seq <- t.next_seq;
+      t.fast_retransmits <- t.fast_retransmits + 1;
+      t.cfg.variant.Variant.on_loss t.ctx
+    end;
+    if t.in_recovery && t.high_ack >= t.recover_seq then
+      t.in_recovery <- false;
+    (match t.total_pkts with
+    | Some n when t.high_ack >= n - 1 -> complete t
+    | Some _ | None -> ());
+    arm_rto t;
+    try_send t
+  end
+
+let start t =
+  if (not t.running) && not t.completed then begin
+    t.running <- true;
+    try_send t
+  end
+
+let stop t =
+  t.running <- false;
+  cancel_rto t
+
+let rate_estimate t =
+  t.ctx.Variant.cwnd *. float_of_int Units.mss *. 8.
+  /. Rtt_estimator.srtt_or t.est t.cfg.initial_rtt
+
+let sender t =
+  let name =
+    t.cfg.variant.Variant.name ^ if t.cfg.pacing then "+pacing" else ""
+  in
+  let flow = t.flow in
+  Sender.
+    {
+      flow;
+      name;
+      start = (fun () -> start t);
+      stop = (fun () -> stop t);
+      handle_ack = (fun a -> handle_ack t a);
+      rate_estimate = (fun () -> rate_estimate t);
+      acked_bytes = (fun () -> t.acked_pkts * Units.mss);
+      srtt = (fun () -> Rtt_estimator.srtt_or t.est t.cfg.initial_rtt);
+      sent_pkts = (fun () -> t.sent_pkts);
+      is_complete = (fun () -> t.completed);
+    }
+
+let cwnd t = t.ctx.Variant.cwnd
+let ssthresh t = t.ctx.Variant.ssthresh
+let in_flight t = t.inflight
+let in_recovery t = t.in_recovery
+let timeouts t = t.timeouts
+let fast_retransmits t = t.fast_retransmits
+let srtt t = Rtt_estimator.srtt t.est

@@ -1,0 +1,29 @@
+type ctx = {
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  now : unit -> float;
+  srtt : unit -> float;
+  min_rtt : unit -> float;
+  max_rtt : unit -> float;
+  latest_rtt : unit -> float;
+  mss : int;
+}
+
+type t = {
+  name : string;
+  on_ack : ctx -> newly_acked:int -> unit;
+  on_loss : ctx -> unit;
+  on_timeout : ctx -> unit;
+}
+
+let min_cwnd = 2.
+
+let clamp ctx =
+  if ctx.cwnd < min_cwnd then ctx.cwnd <- min_cwnd;
+  if ctx.ssthresh < min_cwnd then ctx.ssthresh <- min_cwnd
+
+let reno_increase ctx ~newly_acked =
+  let n = float_of_int newly_acked in
+  if ctx.cwnd < ctx.ssthresh then ctx.cwnd <- ctx.cwnd +. n
+  else ctx.cwnd <- ctx.cwnd +. (n /. ctx.cwnd);
+  clamp ctx

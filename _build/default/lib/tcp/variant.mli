@@ -1,0 +1,43 @@
+(** The hardwired-mapping interface of the TCP family.
+
+    A variant is exactly what the paper criticizes: a fixed mapping from
+    packet-level events (acks, loss, timeout) to control responses
+    (congestion-window updates). The window engine ({!Tcp_sender}) owns
+    transmission, SACK bookkeeping, recovery and timers; variants only
+    update [cwnd] and [ssthresh] through this interface. *)
+
+type ctx = {
+  mutable cwnd : float;  (** Congestion window, in packets. *)
+  mutable ssthresh : float;  (** Slow-start threshold, in packets. *)
+  now : unit -> float;  (** Simulated clock. *)
+  srtt : unit -> float;  (** Smoothed RTT (a default before samples). *)
+  min_rtt : unit -> float;  (** Propagation-delay estimate. *)
+  max_rtt : unit -> float;  (** Largest RTT seen (queueing bound). *)
+  latest_rtt : unit -> float;  (** Most recent raw sample. *)
+  mss : int;  (** Segment size in bytes. *)
+}
+
+type t = {
+  name : string;
+  on_ack : ctx -> newly_acked:int -> unit;
+      (** Called once per arriving ack, with the number of packets newly
+          acknowledged (cumulatively or selectively) by it. *)
+  on_loss : ctx -> unit;
+      (** Called once per loss event (entering fast recovery): perform the
+          variant's multiplicative decrease. *)
+  on_timeout : ctx -> unit;
+      (** Called on retransmission timeout, after the engine has set
+          [ssthresh <- max (inflight/2) 2] and [cwnd <- 1]; variants may
+          override or record state (e.g. CUBIC epoch reset). *)
+}
+
+val min_cwnd : float
+(** Floor applied to every cwnd update (2 packets). *)
+
+val reno_increase : ctx -> newly_acked:int -> unit
+(** The classic update shared by several variants: slow start below
+    [ssthresh] (+1 per acked packet), else congestion avoidance
+    (+[newly_acked]/cwnd). *)
+
+val clamp : ctx -> unit
+(** Enforce the [min_cwnd] floor and a sane ssthresh. *)

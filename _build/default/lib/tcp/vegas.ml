@@ -1,0 +1,34 @@
+open Variant
+
+let make ?(alpha = 2.) ?(beta = 4.) ?(gamma = 1.) () =
+  let next_adjust = ref 0. in
+  let ss_toggle = ref false in
+  let diff ctx =
+    let base = ctx.min_rtt () and rtt = Float.max (ctx.srtt ()) 1e-9 in
+    ctx.cwnd *. (rtt -. base) /. rtt
+  in
+  let on_ack ctx ~newly_acked =
+    ignore newly_acked;
+    let now = ctx.now () in
+    if now >= !next_adjust then begin
+      next_adjust := now +. ctx.srtt ();
+      let d = diff ctx in
+      if ctx.cwnd < ctx.ssthresh then begin
+        (* Slow start: double every other RTT; exit when queueing appears. *)
+        if d > gamma then ctx.ssthresh <- ctx.cwnd
+        else begin
+          ss_toggle := not !ss_toggle;
+          if !ss_toggle then ctx.cwnd <- ctx.cwnd *. 2.
+        end
+      end
+      else if d < alpha then ctx.cwnd <- ctx.cwnd +. 1.
+      else if d > beta then ctx.cwnd <- ctx.cwnd -. 1.;
+      clamp ctx
+    end
+  in
+  let on_loss ctx =
+    ctx.ssthresh <- ctx.cwnd /. 2.;
+    ctx.cwnd <- ctx.ssthresh;
+    clamp ctx
+  in
+  { name = "vegas"; on_ack; on_loss; on_timeout = clamp }

@@ -1,0 +1,7 @@
+(** TCP Vegas (Brakmo & Peterson 1995): delay-based avoidance. Once per
+    RTT it compares expected (cwnd/baseRTT) and actual (cwnd/RTT) rates
+    and nudges the window to keep between α and β packets queued. *)
+
+val make : ?alpha:float -> ?beta:float -> ?gamma:float -> unit -> Variant.t
+(** Defaults α=2, β=4 (packets of self-inflicted queueing), γ=1 for the
+    slow-start exit test. *)

@@ -1,0 +1,33 @@
+open Variant
+
+let make () =
+  (* Bandwidth estimate in packets/second, EWMA'd over ~RTT-length bins
+     as in Westwood+ (robust to ack compression). *)
+  let bwe = ref 0. in
+  let bin_start = ref 0. in
+  let bin_acked = ref 0 in
+  let on_ack ctx ~newly_acked =
+    let now = ctx.now () in
+    if !bin_start = 0. then bin_start := now;
+    bin_acked := !bin_acked + newly_acked;
+    let bin = Float.max (ctx.srtt ()) 0.01 in
+    if now -. !bin_start >= bin then begin
+      let sample = float_of_int !bin_acked /. (now -. !bin_start) in
+      bwe := if !bwe = 0. then sample else (0.9 *. !bwe) +. (0.1 *. sample);
+      bin_start := now;
+      bin_acked := 0
+    end;
+    reno_increase ctx ~newly_acked
+  in
+  let on_loss ctx =
+    let target = !bwe *. ctx.min_rtt () in
+    ctx.ssthresh <- Float.max min_cwnd target;
+    ctx.cwnd <- Float.min ctx.cwnd ctx.ssthresh;
+    clamp ctx
+  in
+  let on_timeout ctx =
+    let target = !bwe *. ctx.min_rtt () in
+    ctx.ssthresh <- Float.max min_cwnd target;
+    clamp ctx
+  in
+  { name = "westwood"; on_ack; on_loss; on_timeout }

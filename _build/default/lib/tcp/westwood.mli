@@ -1,0 +1,6 @@
+(** TCP Westwood+ (Mascolo et al. 2001): Reno growth, but on loss the
+    window is set from an end-to-end bandwidth estimate (ack-rate EWMA)
+    times the minimum RTT, instead of blind halving. Designed for wireless
+    lossy links. *)
+
+val make : unit -> Variant.t

@@ -1,0 +1,1 @@
+scratch/scratch2.ml: Array Engine Float List Path Pcc_net Pcc_scenario Pcc_sim Printf Rng Transport Units

@@ -1,0 +1,1 @@
+scratch/scratch2.mli:

@@ -1,0 +1,1 @@
+scratch/scratch3.ml: Array Engine List Multihop Path Pcc_metrics Pcc_scenario Pcc_sim Printf Rng Transport Units

@@ -1,0 +1,1 @@
+scratch/scratch3.mli:

@@ -1,0 +1,1 @@
+scratch/scratch_main.ml: Array Engine List Path Pcc_scenario Pcc_sim Printf Rng Transport Units

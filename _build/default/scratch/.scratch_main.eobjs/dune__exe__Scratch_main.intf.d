@@ -1,0 +1,1 @@
+scratch/scratch_main.mli:

@@ -1,0 +1,62 @@
+open Pcc_sim
+open Pcc_scenario
+
+let () =
+  (* Two PCC flows, staggered start *)
+  let engine = Engine.create () in
+  let rng = Rng.create 5 in
+  let path =
+    Path.build engine ~rng ~bandwidth:(Units.mbps 100.) ~rtt:0.03
+      ~buffer:(Units.bdp_bytes ~rate:(Units.mbps 100.) ~rtt:0.03)
+      ~flows:
+        [ Path.flow (Transport.pcc ());
+          Path.flow ~start_at:20. (Transport.pcc ()) ]
+      ()
+  in
+  let f = Path.flows path in
+  let last = Array.make 2 0 in
+  for i = 1 to 40 do
+    Engine.run ~until:(float_of_int i *. 5.) engine;
+    Printf.printf "t=%3ds" (i * 5);
+    Array.iteri
+      (fun j fl ->
+        let b = Path.goodput_bytes fl in
+        Printf.printf "  f%d=%6.2f" j (float_of_int ((b - last.(j)) * 8) /. 5e6);
+        last.(j) <- b)
+      f;
+    print_newline ()
+  done;
+  (* Incast: 20 senders, 1 Gbps, 100us RTT, 64KB buffer, 256KB blocks *)
+  let engine = Engine.create () in
+  let rng = Rng.create 5 in
+  let mk spec n =
+    let path =
+      Path.build engine ~rng ~bandwidth:(Units.gbps 1.) ~rtt:0.0001
+        ~buffer:64000
+        ~flows:
+          (List.init n (fun _ -> Path.flow ~size:(256*1024) spec))
+        ()
+    in
+    path
+  in
+  let path = mk (Transport.pcc ()) 20 in
+  Engine.run ~until:3.0 engine;
+  let done_ = Array.fold_left (fun acc f -> if f.Path.sender.Pcc_net.Sender.is_complete () then acc+1 else acc) 0 (Path.flows path) in
+  let fcts = Array.to_list (Path.flows path) |> List.filter_map (fun f -> f.Path.fct) in
+  let worst = List.fold_left Float.max 0. fcts in
+  Printf.printf "incast PCC: %d/20 done, worst fct=%.3fs goodput=%.1f Mbps\n" done_ worst
+    (float_of_int (20*256*1024*8) /. worst /. 1e6);
+  let engine2 = Engine.create () in
+  let rng2 = Rng.create 5 in
+  let path2 =
+    Path.build engine2 ~rng:rng2 ~bandwidth:(Units.gbps 1.) ~rtt:0.0001
+      ~buffer:64000
+      ~flows:(List.init 20 (fun _ -> Path.flow ~size:(256*1024) (Transport.tcp "newreno")))
+      ()
+  in
+  Engine.run ~until:3.0 engine2;
+  let done2 = Array.fold_left (fun acc f -> if f.Path.sender.Pcc_net.Sender.is_complete () then acc+1 else acc) 0 (Path.flows path2) in
+  let fcts2 = Array.to_list (Path.flows path2) |> List.filter_map (fun f -> f.Path.fct) in
+  let worst2 = List.fold_left Float.max 0. fcts2 in
+  Printf.printf "incast TCP: %d/20 done, worst fct=%.3fs goodput=%.1f Mbps\n" done2 worst2
+    (float_of_int (20*256*1024*8) /. worst2 /. 1e6)

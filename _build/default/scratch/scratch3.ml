@@ -1,0 +1,45 @@
+open Pcc_sim
+open Pcc_scenario
+let () =
+  let engine = Engine.create () in
+  let rng = Rng.create 9 in
+  let net =
+    Multihop.build engine ~rng
+      ~hops:[ Multihop.hop ~bandwidth:(Units.mbps 30.) ();
+              Multihop.hop ~bandwidth:(Units.mbps 30.) () ]
+      ~flows:
+        [ Multihop.flow ~enter:0 ~exit:2 ~label:"long" (Transport.pcc ());
+          Multihop.flow ~enter:0 ~exit:1 ~label:"hop0" (Transport.pcc ());
+          Multihop.flow ~enter:1 ~exit:2 ~label:"hop1" (Transport.pcc ()) ]
+      ()
+  in
+  let last = Array.make 3 0 in
+  for i = 1 to 16 do
+    Engine.run ~until:(float_of_int i *. 5.) engine;
+    Printf.printf "t=%3d" (i*5);
+    Array.iteri (fun j f ->
+      let b = Multihop.goodput_bytes f in
+      Printf.printf "  %s=%5.1f" f.Multihop.def.Multihop.label
+        (float_of_int ((b - last.(j)) * 8) /. 5e6);
+      last.(j) <- b) (Multihop.flows net);
+    print_newline ()
+  done;
+  (* 16-flow fairness too *)
+  let engine = Engine.create () in
+  let rng = Rng.create 55 in
+  let bandwidth = Units.mbps 80. in
+  let path =
+    Path.build engine ~rng ~bandwidth ~rtt:0.02
+      ~buffer:(Units.bdp_bytes ~rate:bandwidth ~rtt:0.02)
+      ~flows:(List.init 16 (fun _ -> Path.flow (Transport.pcc ())))
+      ()
+  in
+  Engine.run ~until:60. engine;
+  let fs = Path.flows path in
+  let b0 = Array.map Path.goodput_bytes fs in
+  Engine.run ~until:140. engine;
+  let shares = Array.mapi (fun i f -> float_of_int ((Path.goodput_bytes f - b0.(i)) * 8) /. 80. /. 1e6) fs in
+  Array.iteri (fun i s -> Printf.printf "f%02d=%5.2f " i s) shares;
+  Printf.printf "\ntotal=%.1f jain=%.3f min=%.2f\n"
+    (Array.fold_left (+.) 0. shares) (Pcc_metrics.Stats.jain_index shares)
+    (Pcc_metrics.Stats.minimum shares)

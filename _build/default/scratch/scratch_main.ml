@@ -1,0 +1,30 @@
+open Pcc_sim
+open Pcc_scenario
+
+let run spec loss =
+  let engine = Engine.create () in
+  let rng = Rng.create 7 in
+  let path =
+    Path.build engine ~rng ~bandwidth:(Units.mbps 100.) ~rtt:0.03
+      ~buffer:(Units.bdp_bytes ~rate:(Units.mbps 100.) ~rtt:0.03)
+      ~loss ~rev_loss:loss
+      ~flows:[ Path.flow spec ] ()
+  in
+  let f = (Path.flows path).(0) in
+  Engine.run ~until:5. engine;
+  let b0 = Path.goodput_bytes f in
+  Engine.run ~until:65. engine;
+  let b1 = Path.goodput_bytes f in
+  Printf.printf "%8.2f" (float_of_int ((b1 - b0) * 8) /. 60. /. 1e6)
+
+let () =
+  Printf.printf "%-6s %8s %8s %8s %8s\n" "loss" "pcc" "cubic" "illinois" "newreno";
+  List.iter
+    (fun l ->
+      Printf.printf "%-6.3f" l;
+      run (Transport.pcc ()) l;
+      run (Transport.tcp "cubic") l;
+      run (Transport.tcp "illinois") l;
+      run (Transport.tcp "newreno") l;
+      print_newline ())
+    [ 0.0; 0.001; 0.005; 0.01; 0.02; 0.03; 0.04; 0.05; 0.06 ]

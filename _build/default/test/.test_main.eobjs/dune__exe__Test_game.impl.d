@@ -1,0 +1,1 @@
+test/test_game.ml: Alcotest Array Float Game Gen List Pcc_core Pcc_sim Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Convergence Engine Gen Pcc_metrics Pcc_sim QCheck QCheck_alcotest Recorder Stats

@@ -1,0 +1,1 @@
+test/test_multihop.ml: Alcotest Array Engine Multihop Pcc_net Pcc_scenario Pcc_sim Rng Transport Units

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Delay_line Engine Link List Packet Pcc_net Pcc_sim QCheck QCheck_alcotest Queue_disc Rate_pacer Receiver Rng Scoreboard Units

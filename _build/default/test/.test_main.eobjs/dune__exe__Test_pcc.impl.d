@@ -1,0 +1,1 @@
+test/test_pcc.ml: Alcotest Array Controller Engine List Monitor Pcc_core Pcc_net Pcc_scenario Pcc_sim QCheck QCheck_alcotest Rng Units Utility

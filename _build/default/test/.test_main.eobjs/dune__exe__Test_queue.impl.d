@@ -1,0 +1,1 @@
+test/test_queue.ml: Alcotest Hashtbl List Option Packet Pcc_net Pcc_sim QCheck QCheck_alcotest Queue_disc

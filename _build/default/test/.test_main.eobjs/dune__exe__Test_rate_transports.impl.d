@@ -1,0 +1,1 @@
+test/test_rate_transports.ml: Alcotest Array Cross_traffic Dynamics Engine Path Pcc_net Pcc_scenario Pcc_sim Rng Transport Units

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array Engine List Path Pcc_metrics Pcc_net Pcc_scenario Pcc_sim QCheck QCheck_alcotest Rng Transport Units

@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Array Engine Float Internet_model Path Pcc_metrics Pcc_net Pcc_scenario Pcc_sim Rng Transport Units

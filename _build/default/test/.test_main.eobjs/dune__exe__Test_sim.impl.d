@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Event_heap Float List Pcc_sim QCheck QCheck_alcotest Rng Units

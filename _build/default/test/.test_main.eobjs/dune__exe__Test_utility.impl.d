@@ -1,0 +1,1 @@
+test/test_utility.ml: Alcotest Float Pcc_core QCheck QCheck_alcotest Utility

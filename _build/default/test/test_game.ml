@@ -1,0 +1,102 @@
+open Pcc_core
+
+let test_loss_function () =
+  Alcotest.(check (float 1e-9)) "no overload" 0. (Game.loss ~c:100. [| 40.; 50. |]);
+  Alcotest.(check (float 1e-9)) "overload" 0.2
+    (Game.loss ~c:80. [| 50.; 50. |]);
+  Alcotest.(check bool) "bad capacity" true
+    (try
+       ignore (Game.loss ~c:0. [| 1. |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_throughput () =
+  Alcotest.(check (float 1e-9)) "goodput scales" 40.
+    (Game.throughput ~c:80. [| 50.; 50. |] 0)
+
+let test_utility_sign () =
+  (* Under capacity, positive; deep overload, negative (sigmoid + loss). *)
+  Alcotest.(check bool) "positive under capacity" true
+    (Game.utility ~c:100. [| 30.; 30. |] 0 > 0.);
+  Alcotest.(check bool) "negative in deep overload" true
+    (Game.utility ~c:100. [| 150.; 150. |] 0 < 0.)
+
+let test_dynamics_converge_fair () =
+  let c = 100. in
+  let x0 = [| 90.; 10. |] in
+  let final, _ = Game.run ~c x0 in
+  Alcotest.(check bool) "fair" true (Game.converged_fairly ~tol:0.05 final);
+  let total = Array.fold_left ( +. ) 0. final in
+  Alcotest.(check bool) "Theorem 1 band" true
+    (total > c *. 0.97 && total < c *. 20. /. 19. *. 1.03)
+
+let test_dynamics_from_tiny_rates () =
+  let c = 100. in
+  let x0 = [| 0.1; 0.1; 0.1 |] in
+  let final, _ = Game.run ~c x0 in
+  Alcotest.(check bool) "climbs to capacity" true
+    (Array.fold_left ( +. ) 0. final > c *. 0.95)
+
+let test_equilibrium_rate_matches_dynamics () =
+  let c = 100. and n = 5 in
+  let predicted = Game.equilibrium_rate ~n ~c () in
+  let final, _ = Game.run ~c (Array.make n 1.) in
+  let mean = Array.fold_left ( +. ) 0. final /. float_of_int n in
+  Alcotest.(check bool) "within 5%" true
+    (Float.abs (mean -. predicted) /. predicted < 0.05)
+
+let test_equilibrium_rate_in_band () =
+  List.iter
+    (fun n ->
+      let x_hat = Game.equilibrium_rate ~n ~c:100. () in
+      let total = x_hat *. float_of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d inside (C, 20C/19)" n)
+        true
+        (total > 100. && total < 100. *. 20. /. 19.))
+    [ 2; 5; 10; 30 ]
+
+let test_converged_fairly () =
+  Alcotest.(check bool) "equal" true (Game.converged_fairly [| 5.; 5.; 5. |]);
+  Alcotest.(check bool) "unequal" false (Game.converged_fairly [| 9.; 1. |]);
+  Alcotest.(check bool) "empty" true (Game.converged_fairly [||])
+
+let prop_dynamics_converge_from_random_states =
+  QCheck.Test.make ~name:"Theorem 2: dynamics converge fair from any state"
+    ~count:25
+    QCheck.(pair (int_range 2 8) (int_range 0 10000))
+    (fun (n, seed) ->
+      let rng = Pcc_sim.Rng.create seed in
+      let x0 =
+        Array.init n (fun _ -> Pcc_sim.Rng.log_uniform rng 0.5 200.)
+      in
+      let final, _ = Game.run ~c:100. ~max_steps:12000 x0 in
+      Game.converged_fairly ~tol:0.1 final)
+
+let prop_loss_bounded =
+  QCheck.Test.make ~name:"loss in [0,1)" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 10) (float_range 0.01 1000.))
+    (fun rates ->
+      let l = Game.loss ~c:50. (Array.of_list rates) in
+      l >= 0. && l < 1.)
+
+let q = QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "pcc.game",
+      [
+        Alcotest.test_case "loss" `Quick test_loss_function;
+        Alcotest.test_case "throughput" `Quick test_throughput;
+        Alcotest.test_case "utility sign" `Quick test_utility_sign;
+        Alcotest.test_case "converges fair" `Quick test_dynamics_converge_fair;
+        Alcotest.test_case "climbs from tiny" `Quick test_dynamics_from_tiny_rates;
+        Alcotest.test_case "equilibrium matches dynamics" `Quick
+          test_equilibrium_rate_matches_dynamics;
+        Alcotest.test_case "equilibrium in Theorem-1 band" `Quick
+          test_equilibrium_rate_in_band;
+        Alcotest.test_case "fairness predicate" `Quick test_converged_fairly;
+        q prop_dynamics_converge_from_random_states;
+        q prop_loss_bounded;
+      ] );
+  ]

@@ -1,0 +1,144 @@
+open Pcc_metrics
+
+let test_mean_var () =
+  Alcotest.(check (float 1e-9)) "mean" 2. (Stats.mean [| 1.; 2.; 3. |]);
+  Alcotest.(check (float 1e-9)) "empty mean" 0. (Stats.mean [||]);
+  Alcotest.(check (float 1e-9)) "variance" (2. /. 3.)
+    (Stats.variance [| 1.; 2.; 3. |]);
+  Alcotest.(check (float 1e-9)) "stddev of constant" 0.
+    (Stats.stddev [| 5.; 5.; 5. |])
+
+let test_percentiles () =
+  let a = [| 4.; 1.; 3.; 2.; 5. |] in
+  Alcotest.(check (float 1e-9)) "median" 3. (Stats.median a);
+  Alcotest.(check (float 1e-9)) "p0" 1. (Stats.percentile a 0.);
+  Alcotest.(check (float 1e-9)) "p100" 5. (Stats.percentile a 100.);
+  Alcotest.(check (float 1e-9)) "p25" 2. (Stats.percentile a 25.);
+  (* Interpolation between order statistics. *)
+  Alcotest.(check (float 1e-9)) "p90" 4.6 (Stats.percentile a 90.);
+  Alcotest.(check bool) "empty raises" true
+    (try
+       ignore (Stats.percentile [||] 50.);
+       false
+     with Invalid_argument _ -> true)
+
+let test_min_max_cdf () =
+  let a = [| 3.; 1.; 2. |] in
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.minimum a);
+  Alcotest.(check (float 1e-9)) "max" 3. (Stats.maximum a);
+  match Stats.cdf_points a with
+  | [ (1., f1); (2., f2); (3., f3) ] ->
+    Alcotest.(check (float 1e-9)) "f1" (1. /. 3.) f1;
+    Alcotest.(check (float 1e-9)) "f2" (2. /. 3.) f2;
+    Alcotest.(check (float 1e-9)) "f3" 1. f3
+  | _ -> Alcotest.fail "unexpected cdf"
+
+let test_jain () =
+  Alcotest.(check (float 1e-9)) "equal = 1" 1. (Stats.jain_index [| 5.; 5. |]);
+  Alcotest.(check (float 1e-9)) "one hog = 1/n" 0.25
+    (Stats.jain_index [| 1.; 0.; 0.; 0. |]);
+  Alcotest.(check (float 1e-9)) "empty" 1. (Stats.jain_index [||])
+
+let test_convergence_time () =
+  (* Steps to 10 at t=3 and stays. *)
+  let series =
+    Array.init 20 (fun i ->
+        (float_of_int i, if i >= 3 then 10. else 1.))
+  in
+  (match Convergence.convergence_time ~ideal:10. series with
+  | Some t -> Alcotest.(check (float 1e-9)) "t=3" 3. t
+  | None -> Alcotest.fail "should converge");
+  (* A blip inside the window defers convergence. *)
+  let series2 =
+    Array.init 20 (fun i ->
+        (float_of_int i, if i = 6 then 1. else if i >= 3 then 10. else 1.))
+  in
+  (match Convergence.convergence_time ~ideal:10. series2 with
+  | Some t -> Alcotest.(check (float 1e-9)) "after blip" 7. t
+  | None -> Alcotest.fail "should converge");
+  Alcotest.(check (option (float 0.))) "never converges" None
+    (Convergence.convergence_time ~ideal:10.
+       (Array.init 20 (fun i -> (float_of_int i, 1.))))
+
+let test_convergence_tolerance () =
+  let series = Array.init 10 (fun i -> (float_of_int i, 8.)) in
+  (* 8 is within ±25% of 10. *)
+  (match Convergence.convergence_time ~ideal:10. series with
+  | Some t -> Alcotest.(check (float 1e-9)) "immediately" 0. t
+  | None -> Alcotest.fail "within tolerance");
+  Alcotest.(check (option (float 0.))) "tighter tolerance fails" None
+    (Convergence.convergence_time ~tolerance:0.1 ~ideal:10. series)
+
+let test_stddev_after () =
+  let series = Array.init 10 (fun i -> (float_of_int i, float_of_int i)) in
+  Alcotest.(check (float 1e-9)) "window [2,4]" (Stats.stddev [| 2.; 3.; 4. |])
+    (Convergence.stddev_after ~from:2. ~duration:3. series)
+
+let test_jain_over_timescale () =
+  (* Two flows alternating 10/0 and 0/10 every second: unfair at 1 s,
+     perfectly fair at 2 s. *)
+  let f1 = Array.init 20 (fun i -> (float_of_int i, if i mod 2 = 0 then 10. else 0.)) in
+  let f2 = Array.init 20 (fun i -> (float_of_int i, if i mod 2 = 1 then 10. else 0.)) in
+  let j1 = Convergence.jain_over_timescale ~timescale:1. [ f1; f2 ] in
+  let j2 = Convergence.jain_over_timescale ~timescale:2. [ f1; f2 ] in
+  Alcotest.(check (float 1e-9)) "unfair at fine scale" 0.5 j1;
+  Alcotest.(check (float 1e-9)) "fair at coarse scale" 1. j2
+
+let test_recorder () =
+  let open Pcc_sim in
+  let engine = Engine.create () in
+  let counter = ref 0. in
+  ignore
+    (Engine.schedule engine ~at:0.25 (fun () -> counter := 100.));
+  ignore
+    (Engine.schedule engine ~at:1.25 (fun () -> counter := 300.));
+  let r = Recorder.create engine ~interval:0.5 (fun () -> !counter) in
+  ignore (Engine.schedule engine ~at:3. (fun () -> Recorder.stop r));
+  Engine.run engine;
+  let samples = Recorder.samples r in
+  Alcotest.(check bool) "sampled" true (Array.length samples >= 4);
+  let rates = Recorder.rates r in
+  (* Between t=1.0 and t=1.5 the counter moved 200 -> rate 400/s. *)
+  let _, rate_at_1_5 = rates.(1) in
+  Alcotest.(check (float 1e-9)) "windowed rate" 400. rate_at_1_5;
+  let bps = Recorder.rates_bps r in
+  Alcotest.(check (float 1e-9)) "bps scaling" (400. *. 8.) (snd bps.(1))
+
+let prop_jain_bounds =
+  QCheck.Test.make ~name:"Jain index in (0,1]" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 20) (float_range 0.001 1000.))
+    (fun l ->
+      let j = Stats.jain_index (Array.of_list l) in
+      j > 0. && j <= 1. +. 1e-9)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentiles monotone" ~count:200
+    QCheck.(list_of_size Gen.(int_range 2 30) (float_range (-100.) 100.))
+    (fun l ->
+      let a = Array.of_list l in
+      Stats.percentile a 10. <= Stats.percentile a 50.
+      && Stats.percentile a 50. <= Stats.percentile a 90.)
+
+let q = QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "metrics.stats",
+      [
+        Alcotest.test_case "mean/var" `Quick test_mean_var;
+        Alcotest.test_case "percentiles" `Quick test_percentiles;
+        Alcotest.test_case "min/max/cdf" `Quick test_min_max_cdf;
+        Alcotest.test_case "jain" `Quick test_jain;
+        q prop_jain_bounds;
+        q prop_percentile_monotone;
+      ] );
+    ( "metrics.convergence",
+      [
+        Alcotest.test_case "convergence time" `Quick test_convergence_time;
+        Alcotest.test_case "tolerance" `Quick test_convergence_tolerance;
+        Alcotest.test_case "stddev after" `Quick test_stddev_after;
+        Alcotest.test_case "jain over timescale" `Quick test_jain_over_timescale;
+      ] );
+    ( "metrics.recorder",
+      [ Alcotest.test_case "windowed rates" `Quick test_recorder ] );
+  ]

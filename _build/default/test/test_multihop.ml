@@ -1,0 +1,136 @@
+open Pcc_sim
+open Pcc_scenario
+
+let mbps_of flow duration =
+  float_of_int (Multihop.goodput_bytes flow * 8) /. duration /. 1e6
+
+let test_single_hop_equivalent () =
+  (* One hop behaves like a plain bottleneck link. *)
+  let engine = Engine.create () in
+  let rng = Rng.create 2 in
+  let net =
+    Multihop.build engine ~rng
+      ~hops:[ Multihop.hop ~bandwidth:(Units.mbps 50.) ~delay:0.01 () ]
+      ~flows:[ Multihop.flow ~enter:0 ~exit:1 (Transport.pcc ()) ]
+      ()
+  in
+  Engine.run ~until:15. engine;
+  Alcotest.(check bool) "fills the hop" true
+    (mbps_of (Multihop.flows net).(0) 15. > 40.)
+
+let test_flow_bounded_by_narrowest_hop () =
+  let engine = Engine.create () in
+  let rng = Rng.create 2 in
+  let net =
+    Multihop.build engine ~rng
+      ~hops:
+        [
+          Multihop.hop ~bandwidth:(Units.mbps 100.) ();
+          Multihop.hop ~bandwidth:(Units.mbps 20.) ();
+          Multihop.hop ~bandwidth:(Units.mbps 100.) ();
+        ]
+      ~flows:[ Multihop.flow ~enter:0 ~exit:3 (Transport.pcc ()) ]
+      ()
+  in
+  Engine.run ~until:20. engine;
+  let tput = mbps_of (Multihop.flows net).(0) 20. in
+  Alcotest.(check bool) "bounded by 20 Mbps hop" true (tput < 21.);
+  Alcotest.(check bool) "but fills it" true (tput > 15.)
+
+let test_cross_flows_compete_per_hop () =
+  (* A long flow over two hops shares each hop with a local flow. The
+     long flow observes the SUM of both hops' loss rates, so the safe
+     utility — whose sigmoid caps tolerable loss at 5% — concedes most of
+     the capacity to the single-hop locals. (A known property of
+     loss-based objectives across multiple bottlenecks; the paper only
+     evaluates single-bottleneck topologies.) We assert the qualitative
+     outcome: locals prosper, the long flow is squeezed but alive, and no
+     hop is oversubscribed. *)
+  let engine = Engine.create () in
+  let rng = Rng.create 9 in
+  let net =
+    Multihop.build engine ~rng
+      ~hops:
+        [
+          Multihop.hop ~bandwidth:(Units.mbps 30.) ();
+          Multihop.hop ~bandwidth:(Units.mbps 30.) ();
+        ]
+      ~flows:
+        [
+          Multihop.flow ~enter:0 ~exit:2 ~label:"long" (Transport.pcc ());
+          Multihop.flow ~enter:0 ~exit:1 ~label:"hop0" (Transport.pcc ());
+          Multihop.flow ~enter:1 ~exit:2 ~label:"hop1" (Transport.pcc ());
+        ]
+      ()
+  in
+  (* Measure after convergence. *)
+  Engine.run ~until:40. engine;
+  let b0 = Array.map Multihop.goodput_bytes (Multihop.flows net) in
+  Engine.run ~until:80. engine;
+  let share i =
+    float_of_int ((Multihop.goodput_bytes (Multihop.flows net).(i)) - b0.(i))
+    *. 8. /. 40. /. 1e6
+  in
+  let long = share 0 and h0 = share 1 and h1 = share 2 in
+  Alcotest.(check bool) "hop capacities respected" true
+    (long +. h0 < 31. && long +. h1 < 31.);
+  Alcotest.(check bool) "long flow squeezed but alive" true (long > 0.1);
+  Alcotest.(check bool) "locals dominate" true
+    (h0 > 3. *. long && h1 > 3. *. long);
+  Alcotest.(check bool) "local flows fill their hops" true (h0 > 20. && h1 > 20.)
+
+let test_bad_args_rejected () =
+  let engine = Engine.create () in
+  let rng = Rng.create 1 in
+  Alcotest.(check bool) "empty chain" true
+    (try
+       ignore (Multihop.build engine ~rng ~hops:[] ~flows:[] ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad exit" true
+    (try
+       ignore
+         (Multihop.build engine ~rng
+            ~hops:[ Multihop.hop ~bandwidth:(Units.mbps 10.) () ]
+            ~flows:[ Multihop.flow ~enter:0 ~exit:2 (Transport.pcc ()) ]
+            ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_finite_transfer_across_hops () =
+  let engine = Engine.create () in
+  let rng = Rng.create 4 in
+  let net =
+    Multihop.build engine ~rng
+      ~hops:
+        [
+          Multihop.hop ~bandwidth:(Units.mbps 20.) ~loss:0.01 ();
+          Multihop.hop ~bandwidth:(Units.mbps 20.) ~loss:0.01 ();
+        ]
+      ~flows:
+        [
+          Multihop.flow ~enter:0 ~exit:2 ~size:(200 * Units.mss)
+            (Transport.pcc ());
+        ]
+      ()
+  in
+  Engine.run ~until:60. engine;
+  let f = (Multihop.flows net).(0) in
+  Alcotest.(check bool) "completes across lossy hops" true
+    (f.Multihop.sender.Pcc_net.Sender.is_complete ());
+  Alcotest.(check bool) "fct recorded" true (f.Multihop.fct <> None)
+
+let suites =
+  [
+    ( "scenario.multihop",
+      [
+        Alcotest.test_case "single hop" `Slow test_single_hop_equivalent;
+        Alcotest.test_case "narrowest hop binds" `Slow
+          test_flow_bounded_by_narrowest_hop;
+        Alcotest.test_case "per-hop competition" `Slow
+          test_cross_flows_compete_per_hop;
+        Alcotest.test_case "bad args" `Quick test_bad_args_rejected;
+        Alcotest.test_case "finite transfer" `Slow
+          test_finite_transfer_across_hops;
+      ] );
+  ]

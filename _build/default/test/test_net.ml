@@ -1,0 +1,440 @@
+open Pcc_sim
+open Pcc_net
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Packet *)
+
+let test_packet_data () =
+  let p = Packet.data ~flow:1 ~seq:5 ~size:1500 ~now:2. ~retx:false in
+  Alcotest.(check bool) "is data" true (Packet.is_data p);
+  Alcotest.(check int) "seq" 5 p.Packet.seq;
+  check_float "sent_at" 2. p.Packet.sent_at
+
+let test_packet_ack () =
+  let p = Packet.data ~flow:1 ~seq:5 ~size:1500 ~now:2. ~retx:true in
+  let a = Packet.ack_of p ~cum_ack:3 ~recv_bytes:6000 ~now:2.5 in
+  Alcotest.(check bool) "ack not data" false (Packet.is_data a);
+  (match a.Packet.kind with
+  | Packet.Ack info ->
+    Alcotest.(check int) "acked seq" 5 info.Packet.acked_seq;
+    Alcotest.(check int) "cum" 3 info.Packet.cum_ack;
+    Alcotest.(check bool) "retx echo" true info.Packet.data_retx;
+    check_float "timestamp echo" 2. info.Packet.data_sent_at
+  | Packet.Data _ -> Alcotest.fail "expected ack");
+  Alcotest.(check int) "ack wire size" Units.ack_size a.Packet.size
+
+let test_packet_ack_of_ack_rejected () =
+  let p = Packet.data ~flow:1 ~seq:0 ~size:1500 ~now:0. ~retx:false in
+  let a = Packet.ack_of p ~cum_ack:0 ~recv_bytes:0 ~now:0. in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Packet.ack_of a ~cum_ack:0 ~recv_bytes:0 ~now:0.);
+       false
+     with Invalid_argument _ -> true)
+
+let test_fresh_flow_ids () =
+  let a = Packet.fresh_flow_id () and b = Packet.fresh_flow_id () in
+  Alcotest.(check bool) "unique" true (a <> b)
+
+(* ------------------------------------------------------------------ *)
+(* Link *)
+
+let make_link ?(bandwidth = Units.mbps 12.) ?(delay = 0.01) ?(loss = 0.)
+    ?(capacity = 15000) engine =
+  let rng = Rng.create 1 in
+  let q = Queue_disc.droptail_bytes ~capacity () in
+  let link =
+    Link.create engine ~loss ~rng ~bandwidth ~delay ~queue:q ()
+  in
+  let received = ref [] in
+  Link.set_receiver link (fun p ->
+      received := (Engine.now engine, p) :: !received);
+  (link, received)
+
+let test_link_delivery_timing () =
+  let engine = Engine.create () in
+  let link, received = make_link engine in
+  (* 1500 B at 12 Mbps = 1 ms serialization + 10 ms propagation. *)
+  Link.send link (Packet.data ~flow:1 ~seq:0 ~size:1500 ~now:0. ~retx:false);
+  Engine.run engine;
+  match !received with
+  | [ (t, p) ] ->
+    Alcotest.(check int) "seq" 0 p.Packet.seq;
+    Alcotest.(check (float 1e-9)) "arrival" 0.011 t
+  | _ -> Alcotest.fail "expected exactly one delivery"
+
+let test_link_serializes_in_order () =
+  let engine = Engine.create () in
+  let link, received = make_link engine in
+  for seq = 0 to 4 do
+    Link.send link (Packet.data ~flow:1 ~seq ~size:1500 ~now:0. ~retx:false)
+  done;
+  Engine.run engine;
+  let seqs = List.rev_map (fun (_, p) -> p.Packet.seq) !received in
+  Alcotest.(check (list int)) "in order" [ 0; 1; 2; 3; 4 ] seqs;
+  (* Back-to-back packets are spaced by the serialization time. *)
+  let times = List.map fst (List.rev !received) in
+  (match times with
+  | t0 :: t1 :: _ -> check_float "spacing = tx time" 0.001 (t1 -. t0)
+  | _ -> Alcotest.fail "expected deliveries");
+  check_float "busy time = 5 tx" 0.005 (Link.busy_time link)
+
+let test_link_queue_overflow_drops () =
+  let engine = Engine.create () in
+  (* Queue capacity of 10 packets. *)
+  let link, received = make_link ~capacity:15000 engine in
+  for seq = 0 to 19 do
+    Link.send link (Packet.data ~flow:1 ~seq ~size:1500 ~now:0. ~retx:false)
+  done;
+  Engine.run engine;
+  (* One packet transmits immediately; 10 queue; the rest drop. *)
+  Alcotest.(check int) "delivered" 11 (List.length !received);
+  Alcotest.(check int) "queue drops" 9 ((Link.queue link).Queue_disc.drops ())
+
+let test_link_random_loss () =
+  let engine = Engine.create () in
+  let link, received = make_link ~loss:0.5 ~capacity:15_000_000 engine in
+  for seq = 0 to 999 do
+    Link.send link (Packet.data ~flow:1 ~seq ~size:1500 ~now:0. ~retx:false)
+  done;
+  Engine.run engine;
+  let n = List.length !received in
+  Alcotest.(check bool) "roughly half lost" true (n > 400 && n < 600);
+  Alcotest.(check int) "loss accounting" (1000 - n) (Link.channel_losses link)
+
+let test_link_dynamic_bandwidth () =
+  let engine = Engine.create () in
+  let link, received = make_link engine in
+  Link.send link (Packet.data ~flow:1 ~seq:0 ~size:1500 ~now:0. ~retx:false);
+  Engine.run engine;
+  Link.set_bandwidth link (Units.mbps 120.);
+  Link.set_delay link 0.001;
+  let t0 = Engine.now engine in
+  Link.send link (Packet.data ~flow:1 ~seq:1 ~size:1500 ~now:t0 ~retx:false);
+  Engine.run engine;
+  match !received with
+  | (t1, _) :: _ ->
+    (* 0.1 ms serialization + 1 ms propagation at the new parameters. *)
+    Alcotest.(check (float 1e-9)) "new timing" (t0 +. 0.0011) t1
+  | [] -> Alcotest.fail "no delivery"
+
+let test_link_rejects_bad_args () =
+  let engine = Engine.create () in
+  let rng = Rng.create 1 in
+  let q = Queue_disc.infinite () in
+  Alcotest.(check bool) "bad bandwidth" true
+    (try
+       ignore (Link.create engine ~rng ~bandwidth:0. ~delay:0.01 ~queue:q ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Delay line *)
+
+let test_delay_line () =
+  let engine = Engine.create () in
+  let dl = Delay_line.create engine ~delay:0.25 () in
+  let arrived = ref None in
+  Delay_line.set_receiver dl (fun p -> arrived := Some (Engine.now engine, p));
+  Delay_line.send dl (Packet.data ~flow:1 ~seq:0 ~size:100 ~now:0. ~retx:false);
+  Engine.run engine;
+  match !arrived with
+  | Some (t, _) -> check_float "delay honoured" 0.25 t
+  | None -> Alcotest.fail "no delivery"
+
+let test_delay_line_loss () =
+  let engine = Engine.create () in
+  let rng = Rng.create 2 in
+  let dl = Delay_line.create engine ~loss:1.0 ~rng ~delay:0.1 () in
+  let count = ref 0 in
+  Delay_line.set_receiver dl (fun _ -> incr count);
+  for seq = 0 to 9 do
+    Delay_line.send dl (Packet.data ~flow:1 ~seq ~size:100 ~now:0. ~retx:false)
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "all lost" 0 !count;
+  Alcotest.(check bool) "loss without rng rejected" true
+    (try
+       ignore (Delay_line.create engine ~loss:0.5 ~delay:0.1 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Receiver *)
+
+let make_receiver engine =
+  let acks = ref [] in
+  let r = Receiver.create engine ~ack_out:(fun a -> acks := a :: !acks) in
+  (r, acks)
+
+let data seq = Packet.data ~flow:1 ~seq ~size:1500 ~now:0. ~retx:false
+
+let test_receiver_in_order () =
+  let engine = Engine.create () in
+  let r, acks = make_receiver engine in
+  Receiver.on_packet r (data 0);
+  Receiver.on_packet r (data 1);
+  Receiver.on_packet r (data 2);
+  Alcotest.(check int) "cum" 2 (Receiver.cum_ack r);
+  Alcotest.(check int) "goodput" 4500 (Receiver.goodput_bytes r);
+  Alcotest.(check int) "three acks" 3 (List.length !acks)
+
+let test_receiver_out_of_order () =
+  let engine = Engine.create () in
+  let r, acks = make_receiver engine in
+  Receiver.on_packet r (data 0);
+  Receiver.on_packet r (data 2);
+  Alcotest.(check int) "cum stalls" 0 (Receiver.cum_ack r);
+  Receiver.on_packet r (data 1);
+  Alcotest.(check int) "cum advances over hole" 2 (Receiver.cum_ack r);
+  (* The ack for seq 1 must carry the advanced cumulative ack. *)
+  match !acks with
+  | last :: _ -> (
+    match last.Packet.kind with
+    | Packet.Ack a -> Alcotest.(check int) "cum in ack" 2 a.Packet.cum_ack
+    | Packet.Data _ -> Alcotest.fail "expected ack")
+  | [] -> Alcotest.fail "no acks"
+
+let test_receiver_duplicates () =
+  let engine = Engine.create () in
+  let r, acks = make_receiver engine in
+  Receiver.on_packet r (data 0);
+  Receiver.on_packet r (data 0);
+  Alcotest.(check int) "goodput counts once" 1500 (Receiver.goodput_bytes r);
+  Alcotest.(check int) "received counts both" 2 (Receiver.received_pkts r);
+  Alcotest.(check int) "both acked" 2 (List.length !acks)
+
+(* ------------------------------------------------------------------ *)
+(* Rate pacer *)
+
+let test_pacer_spacing () =
+  let engine = Engine.create () in
+  let sends = ref [] in
+  let pacer =
+    Rate_pacer.create engine ~rate:(Units.mbps 12.) ~send:(fun () ->
+        sends := Engine.now engine :: !sends;
+        if List.length !sends < 4 then Some 1500 else None)
+  in
+  Rate_pacer.start pacer;
+  Engine.run engine;
+  let times = List.rev !sends in
+  Alcotest.(check int) "four sends" 4 (List.length times);
+  (* 1500 B at 12 Mbps = 1 ms between sends. *)
+  (match times with
+  | a :: b :: c :: _ ->
+    check_float "spacing" 0.001 (b -. a);
+    check_float "spacing" 0.001 (c -. b)
+  | _ -> ());
+  (* Declined send paused the pacer; kick resumes it. *)
+  let before = List.length !sends in
+  Rate_pacer.kick pacer;
+  Engine.run engine;
+  Alcotest.(check int) "kick resumes" (before + 1) (List.length !sends)
+
+let test_pacer_rate_change () =
+  let engine = Engine.create () in
+  let sends = ref [] in
+  let pacer = ref None in
+  let p =
+    Rate_pacer.create engine ~rate:(Units.mbps 12.) ~send:(fun () ->
+        sends := Engine.now engine :: !sends;
+        (match !pacer with
+        | Some p when List.length !sends = 2 ->
+          Rate_pacer.set_rate p (Units.mbps 120.)
+        | _ -> ());
+        if List.length !sends < 4 then Some 1500 else None)
+  in
+  pacer := Some p;
+  Rate_pacer.start p;
+  Engine.run engine;
+  match List.rev !sends with
+  | [ _; b; c; d ] ->
+    check_float "new spacing" 0.0001 (c -. b);
+    check_float "new spacing" 0.0001 (d -. c)
+  | _ -> Alcotest.fail "expected 4 sends"
+
+let test_pacer_stop () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  let p =
+    Rate_pacer.create engine ~rate:(Units.mbps 12.) ~send:(fun () ->
+        incr count;
+        Some 1500)
+  in
+  Rate_pacer.start p;
+  Engine.run ~until:0.0005 engine;
+  Rate_pacer.stop p;
+  let n = !count in
+  Engine.run ~until:1. engine;
+  Alcotest.(check int) "no sends after stop" n !count
+
+(* ------------------------------------------------------------------ *)
+(* Scoreboard *)
+
+let ack ?(cum = -1) seq =
+  Packet.
+    {
+      acked_seq = seq;
+      cum_ack = cum;
+      recv_bytes = 0;
+      data_sent_at = 0.;
+      data_retx = false;
+    }
+
+let test_scoreboard_basics () =
+  let sb = Scoreboard.create () in
+  (match Scoreboard.fresh_seq sb with
+  | Some 0 -> ()
+  | _ -> Alcotest.fail "first seq should be 0");
+  Scoreboard.record_send sb 0 ~now:0.;
+  Alcotest.(check int) "inflight" 1 (Scoreboard.inflight sb);
+  let newly = Scoreboard.on_ack sb (ack ~cum:0 0) in
+  Alcotest.(check (list int)) "newly delivered" [ 0 ] newly;
+  Alcotest.(check int) "inflight drains" 0 (Scoreboard.inflight sb);
+  Alcotest.(check int) "high ack" 0 (Scoreboard.high_ack sb)
+
+let test_scoreboard_cum_covers_lost_acks () =
+  let sb = Scoreboard.create () in
+  for seq = 0 to 4 do
+    ignore (Scoreboard.fresh_seq sb);
+    Scoreboard.record_send sb seq ~now:0.
+  done;
+  (* Acks for 0-3 lost; the ack for 4 carries cum=4. *)
+  let newly = Scoreboard.on_ack sb (ack ~cum:4 4) in
+  Alcotest.(check (list int)) "cum covers holes" [ 4; 0; 1; 2; 3 ] newly;
+  Alcotest.(check int) "all acked" 5 (Scoreboard.acked_pkts sb)
+
+let test_scoreboard_gap_detection () =
+  let sb = Scoreboard.create () in
+  for seq = 0 to 5 do
+    ignore (Scoreboard.fresh_seq sb);
+    Scoreboard.record_send sb seq ~now:0.
+  done;
+  (* seq 0 lost; 1..4 sacked. *)
+  List.iter (fun s -> ignore (Scoreboard.on_ack sb (ack s))) [ 1; 2; 3; 4 ];
+  let lost = Scoreboard.detect_losses sb ~now:10. ~min_age:0.1 in
+  Alcotest.(check (list int)) "hole declared" [ 0 ] lost;
+  Alcotest.(check (option int)) "queued for retx" (Some 0)
+    (Scoreboard.take_retx sb)
+
+let test_scoreboard_age_guard () =
+  let sb = Scoreboard.create () in
+  for seq = 0 to 5 do
+    ignore (Scoreboard.fresh_seq sb);
+    Scoreboard.record_send sb seq ~now:0.
+  done;
+  List.iter (fun s -> ignore (Scoreboard.on_ack sb (ack s))) [ 1; 2; 3; 4 ];
+  ignore (Scoreboard.detect_losses sb ~now:1. ~min_age:0.1);
+  (* Retransmit seq 0 at t=1; it must NOT be re-marked lost while young. *)
+  (match Scoreboard.take_retx sb with
+  | Some 0 -> Scoreboard.record_send sb 0 ~now:1.
+  | _ -> Alcotest.fail "expected retx of 0");
+  let lost = Scoreboard.detect_losses sb ~now:1.01 ~min_age:0.1 in
+  Alcotest.(check (list int)) "young retx spared" [] lost;
+  let lost = Scoreboard.detect_losses sb ~now:2. ~min_age:0.1 in
+  Alcotest.(check (list int)) "old retx re-declared" [ 0 ] lost
+
+let test_scoreboard_take_retx_skips_delivered () =
+  let sb = Scoreboard.create () in
+  for seq = 0 to 5 do
+    ignore (Scoreboard.fresh_seq sb);
+    Scoreboard.record_send sb seq ~now:0.
+  done;
+  List.iter (fun s -> ignore (Scoreboard.on_ack sb (ack s))) [ 1; 2; 3; 4 ];
+  ignore (Scoreboard.detect_losses sb ~now:10. ~min_age:0.1);
+  (* The original arrives very late, before the retransmission went out. *)
+  ignore (Scoreboard.on_ack sb (ack ~cum:4 0));
+  Alcotest.(check (option int)) "stale retx skipped" None
+    (Scoreboard.take_retx sb)
+
+let test_scoreboard_limit_and_complete () =
+  let sb = Scoreboard.create () in
+  Scoreboard.limit_pkts sb 2;
+  (match (Scoreboard.fresh_seq sb, Scoreboard.fresh_seq sb) with
+  | Some 0, Some 1 -> ()
+  | _ -> Alcotest.fail "two seqs expected");
+  Alcotest.(check (option int)) "limit reached" None (Scoreboard.fresh_seq sb);
+  Alcotest.(check bool) "incomplete" false (Scoreboard.complete sb);
+  Scoreboard.record_send sb 0 ~now:0.;
+  Scoreboard.record_send sb 1 ~now:0.;
+  ignore (Scoreboard.on_ack sb (ack ~cum:1 1));
+  Alcotest.(check bool) "complete" true (Scoreboard.complete sb)
+
+let test_scoreboard_sweep_stale () =
+  let sb = Scoreboard.create () in
+  ignore (Scoreboard.fresh_seq sb);
+  Scoreboard.record_send sb 0 ~now:0.;
+  Alcotest.(check (list int)) "young spared" []
+    (Scoreboard.sweep_stale sb ~now:0.05 ~min_age:0.1);
+  Alcotest.(check (list int)) "stale swept" [ 0 ]
+    (Scoreboard.sweep_stale sb ~now:1. ~min_age:0.1);
+  Alcotest.(check bool) "queued" true (Scoreboard.has_retx sb)
+
+let prop_scoreboard_never_negative_inflight =
+  QCheck.Test.make ~name:"scoreboard inflight never negative" ~count:200
+    QCheck.(list (pair (int_range 0 20) bool))
+    (fun events ->
+      let sb = Scoreboard.create () in
+      List.iter
+        (fun (seq, is_send) ->
+          if is_send then Scoreboard.record_send sb seq ~now:0.
+          else ignore (Scoreboard.on_ack sb (ack seq)))
+        events;
+      Scoreboard.inflight sb >= 0)
+
+let q = QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "net.packet",
+      [
+        Alcotest.test_case "data" `Quick test_packet_data;
+        Alcotest.test_case "ack" `Quick test_packet_ack;
+        Alcotest.test_case "ack of ack rejected" `Quick
+          test_packet_ack_of_ack_rejected;
+        Alcotest.test_case "fresh flow ids" `Quick test_fresh_flow_ids;
+      ] );
+    ( "net.link",
+      [
+        Alcotest.test_case "delivery timing" `Quick test_link_delivery_timing;
+        Alcotest.test_case "serialization order" `Quick
+          test_link_serializes_in_order;
+        Alcotest.test_case "overflow drops" `Quick test_link_queue_overflow_drops;
+        Alcotest.test_case "random loss" `Quick test_link_random_loss;
+        Alcotest.test_case "dynamic retuning" `Quick test_link_dynamic_bandwidth;
+        Alcotest.test_case "bad args" `Quick test_link_rejects_bad_args;
+      ] );
+    ( "net.delay_line",
+      [
+        Alcotest.test_case "delay" `Quick test_delay_line;
+        Alcotest.test_case "loss" `Quick test_delay_line_loss;
+      ] );
+    ( "net.receiver",
+      [
+        Alcotest.test_case "in order" `Quick test_receiver_in_order;
+        Alcotest.test_case "out of order" `Quick test_receiver_out_of_order;
+        Alcotest.test_case "duplicates" `Quick test_receiver_duplicates;
+      ] );
+    ( "net.rate_pacer",
+      [
+        Alcotest.test_case "spacing" `Quick test_pacer_spacing;
+        Alcotest.test_case "rate change" `Quick test_pacer_rate_change;
+        Alcotest.test_case "stop" `Quick test_pacer_stop;
+      ] );
+    ( "net.scoreboard",
+      [
+        Alcotest.test_case "basics" `Quick test_scoreboard_basics;
+        Alcotest.test_case "cum covers lost acks" `Quick
+          test_scoreboard_cum_covers_lost_acks;
+        Alcotest.test_case "gap detection" `Quick test_scoreboard_gap_detection;
+        Alcotest.test_case "age guard" `Quick test_scoreboard_age_guard;
+        Alcotest.test_case "retx skips delivered" `Quick
+          test_scoreboard_take_retx_skips_delivered;
+        Alcotest.test_case "limit and complete" `Quick
+          test_scoreboard_limit_and_complete;
+        Alcotest.test_case "sweep stale" `Quick test_scoreboard_sweep_stale;
+        q prop_scoreboard_never_negative_inflight;
+      ] );
+  ]

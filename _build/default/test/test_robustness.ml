@@ -1,0 +1,228 @@
+open Pcc_sim
+open Pcc_scenario
+
+(* Failure injection and adversarial conditions. *)
+
+let build ?(bandwidth = Units.mbps 50.) ?(rtt = 0.03) ?(loss = 0.)
+    ?(rev_loss = 0.) ?seed:(sd = 31) spec =
+  let engine = Engine.create () in
+  let rng = Rng.create sd in
+  let path =
+    Path.build engine ~rng ~bandwidth ~rtt
+      ~buffer:(Units.bdp_bytes ~rate:bandwidth ~rtt)
+      ~loss ~rev_loss
+      ~flows:[ Path.flow spec ]
+      ()
+  in
+  (engine, path, (Path.flows path).(0))
+
+let window_mbps engine f t0 t1 =
+  Engine.run ~until:t0 engine;
+  let b0 = Path.goodput_bytes f in
+  Engine.run ~until:t1 engine;
+  float_of_int ((Path.goodput_bytes f - b0) * 8) /. (t1 -. t0) /. 1e6
+
+let test_pcc_survives_blackout () =
+  let engine, path, f = build (Transport.pcc ()) in
+  let link = Path.bottleneck path in
+  (* Total blackout between t=10 and t=13. *)
+  ignore (Engine.schedule engine ~at:10. (fun () -> Pcc_net.Link.set_loss link 1.0));
+  ignore (Engine.schedule engine ~at:13. (fun () -> Pcc_net.Link.set_loss link 0.0));
+  let before = window_mbps engine f 5. 10. in
+  let during = window_mbps engine f 10.5 12.5 in
+  let after = window_mbps engine f 25. 40. in
+  Alcotest.(check bool) "healthy before" true (before > 35.);
+  Alcotest.(check bool) "starved during" true (during < 5.);
+  Alcotest.(check bool) "recovers after" true (after > 30.)
+
+let test_pcc_adapts_to_bandwidth_cliff () =
+  let engine, path, f = build (Transport.pcc ()) in
+  let link = Path.bottleneck path in
+  ignore
+    (Engine.schedule engine ~at:15. (fun () ->
+         Pcc_net.Link.set_bandwidth link (Units.mbps 5.)));
+  ignore
+    (Engine.schedule engine ~at:30. (fun () ->
+         Pcc_net.Link.set_bandwidth link (Units.mbps 50.)));
+  let high1 = window_mbps engine f 8. 14. in
+  let low = window_mbps engine f 22. 29. in
+  let high2 = window_mbps engine f 45. 60. in
+  Alcotest.(check bool) "uses 50 Mbps" true (high1 > 35.);
+  Alcotest.(check bool) "respects 5 Mbps" true (low < 5.5);
+  Alcotest.(check bool) "uses some of the cliff" true (low > 3.);
+  Alcotest.(check bool) "recovers the upside" true (high2 > 30.)
+
+let test_pcc_tolerates_ack_loss () =
+  (* 20% ack loss: cumulative acks must keep the monitor's loss estimate
+     at the true (zero) data loss. *)
+  let engine, _, f = build ~rev_loss:0.2 (Transport.pcc ()) in
+  let tput = window_mbps engine f 10. 40. in
+  Alcotest.(check bool) "still near capacity" true (tput > 35.)
+
+let test_tcp_tolerates_ack_loss () =
+  let engine, _, f = build ~rev_loss:0.2 (Transport.tcp "newreno") in
+  let tput = window_mbps engine f 10. 40. in
+  Alcotest.(check bool) "cumulative acks carry reno" true (tput > 25.)
+
+let test_pcc_reverse_blackhole_then_recovery () =
+  (* All acks vanish for 2 s: every MI during the hole reads 100% loss;
+     PCC must neither crash nor deadlock, and must come back. *)
+  let engine = Engine.create () in
+  let rng = Rng.create 13 in
+  let bandwidth = Units.mbps 50. in
+  let path =
+    Path.build engine ~rng ~bandwidth ~rtt:0.03
+      ~buffer:(Units.bdp_bytes ~rate:bandwidth ~rtt:0.03)
+      ~rev_loss:0.
+      ~flows:[ Path.flow (Transport.pcc ()) ]
+      ()
+  in
+  let f = (Path.flows path).(0) in
+  (* Simulate the hole by dropping the *forward* link entirely — the
+     effect on the monitor is the same (nothing comes back). *)
+  let link = Path.bottleneck path in
+  ignore (Engine.schedule engine ~at:8. (fun () -> Pcc_net.Link.set_loss link 1.));
+  ignore (Engine.schedule engine ~at:10. (fun () -> Pcc_net.Link.set_loss link 0.));
+  Engine.run ~until:30. engine;
+  let late = window_mbps engine f 30. 45. in
+  Alcotest.(check bool) "recovered" true (late > 30.)
+
+let test_determinism_end_to_end () =
+  (* The flagship reproducibility property: identical seeds give
+     bit-identical results across independent engines. *)
+  let run () =
+    let engine, _, f =
+      build ~loss:0.01 ~seed:77 (Transport.pcc ())
+    in
+    Engine.run ~until:20. engine;
+    (Path.goodput_bytes f, f.Path.sender.Pcc_net.Sender.sent_pkts ())
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (pair int int)) "bit-identical" a b
+
+let test_seeds_actually_vary () =
+  let run sd =
+    let engine, _, f = build ~loss:0.01 ~seed:sd (Transport.pcc ()) in
+    Engine.run ~until:10. engine;
+    Path.goodput_bytes f
+  in
+  Alcotest.(check bool) "different seeds differ" true (run 1 <> run 2)
+
+let test_many_flows_share_link () =
+  (* 16 PCC flows on one link: capacity respected, no starvation. *)
+  let engine = Engine.create () in
+  let rng = Rng.create 55 in
+  let bandwidth = Units.mbps 80. in
+  let path =
+    Path.build engine ~rng ~bandwidth ~rtt:0.02
+      ~buffer:(Units.bdp_bytes ~rate:bandwidth ~rtt:0.02)
+      ~flows:(List.init 16 (fun _ -> Path.flow (Transport.pcc ())))
+      ()
+  in
+  Engine.run ~until:60. engine;
+  let fs = Path.flows path in
+  let b0 = Array.map Path.goodput_bytes fs in
+  let sent0 =
+    Array.fold_left
+      (fun acc f -> acc + f.Path.sender.Pcc_net.Sender.sent_pkts ())
+      0 fs
+  in
+  Engine.run ~until:140. engine;
+  let shares =
+    Array.mapi
+      (fun i f -> float_of_int ((Path.goodput_bytes f - b0.(i)) * 8) /. 80.)
+      fs
+  in
+  let total = Array.fold_left ( +. ) 0. shares in
+  Alcotest.(check bool) "sum below capacity" true (total < bandwidth *. 1.02);
+  Alcotest.(check bool) "link well used" true (total > bandwidth *. 0.7);
+  Alcotest.(check bool) "nobody starved" true
+    (Array.for_all (fun s -> s > bandwidth /. 16. /. 6.) shares);
+  Alcotest.(check bool) "roughly fair" true
+    (Pcc_metrics.Stats.jain_index shares > 0.6);
+  (* Waste (drops + duplicates) over the measurement window, excluding the
+     startup transient; the safe utility should keep it near its ~5% cap
+     plus overshoot episodes. *)
+  let sent1 =
+    Array.fold_left
+      (fun acc f -> acc + f.Path.sender.Pcc_net.Sender.sent_pkts ())
+      0 fs
+  in
+  let delivered =
+    Array.to_list fs
+    |> List.mapi (fun i f -> (Path.goodput_bytes f - b0.(i)) / Units.mss)
+    |> List.fold_left ( + ) 0
+  in
+  let sent = max 1 (sent1 - sent0) in
+  Alcotest.(check bool) "loss capped by the safe utility" true
+    (float_of_int (sent - delivered) /. float_of_int sent < 0.15)
+
+let test_zero_size_transfer () =
+  let engine = Engine.create () in
+  let rng = Rng.create 1 in
+  let path =
+    Path.build engine ~rng ~bandwidth:(Units.mbps 10.) ~rtt:0.02
+      ~buffer:(Units.kib 64)
+      ~flows:[ Path.flow ~size:1 (Transport.pcc ()) ]
+      ()
+  in
+  Engine.run ~until:5. engine;
+  let f = (Path.flows path).(0) in
+  Alcotest.(check bool) "one-byte flow completes" true
+    (f.Path.sender.Pcc_net.Sender.is_complete ())
+
+let prop_conservation =
+  (* End-to-end conservation on random single-flow scenarios: the receiver
+     never accepts more distinct bytes than were sent, goodput never
+     exceeds capacity x time, and the engine drains without error. *)
+  QCheck.Test.make ~name:"conservation: goodput <= sent and <= capacity*time"
+    ~count:12
+    QCheck.(
+      quad (int_range 1 1000) (int_range 2 200) (int_range 5 100)
+        (int_range 0 3))
+    (fun (seed, bw_mbps, rtt_ms, transport_ix) ->
+      let bandwidth = Units.mbps (float_of_int bw_mbps) in
+      let rtt = float_of_int rtt_ms /. 1000. in
+      let spec =
+        match transport_ix with
+        | 0 -> Transport.pcc ()
+        | 1 -> Transport.tcp "cubic"
+        | 2 -> Transport.sabul
+        | _ -> Transport.tcp "newreno"
+      in
+      let engine = Engine.create () in
+      let rng = Rng.create seed in
+      let path =
+        Path.build engine ~rng ~bandwidth ~rtt
+          ~buffer:(Units.bdp_bytes ~rate:bandwidth ~rtt)
+          ~loss:0.005
+          ~flows:[ Path.flow spec ]
+          ()
+      in
+      let duration = 5. in
+      Engine.run ~until:duration engine;
+      let f = (Path.flows path).(0) in
+      let sent = f.Path.sender.Pcc_net.Sender.sent_pkts () * Units.mss in
+      let good = Path.goodput_bytes f in
+      good <= sent
+      && float_of_int (good * 8)
+         <= (bandwidth *. (duration +. rtt)) +. float_of_int (8 * Units.mss))
+
+let suites =
+  [
+    ( "robustness",
+      [
+        Alcotest.test_case "blackout recovery" `Slow test_pcc_survives_blackout;
+        Alcotest.test_case "bandwidth cliff" `Slow
+          test_pcc_adapts_to_bandwidth_cliff;
+        Alcotest.test_case "ack loss (pcc)" `Slow test_pcc_tolerates_ack_loss;
+        Alcotest.test_case "ack loss (tcp)" `Slow test_tcp_tolerates_ack_loss;
+        Alcotest.test_case "reverse blackhole" `Slow
+          test_pcc_reverse_blackhole_then_recovery;
+        Alcotest.test_case "determinism" `Slow test_determinism_end_to_end;
+        Alcotest.test_case "seed variation" `Quick test_seeds_actually_vary;
+        Alcotest.test_case "16-flow sharing" `Slow test_many_flows_share_link;
+        Alcotest.test_case "tiny transfer" `Quick test_zero_size_transfer;
+        QCheck_alcotest.to_alcotest prop_conservation;
+      ] );
+  ]

@@ -1,0 +1,310 @@
+open Pcc_sim
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Units *)
+
+let test_conversions () =
+  check_float "mbps" 1e6 (Units.mbps 1.);
+  check_float "kbps" 1e3 (Units.kbps 1.);
+  check_float "gbps" 1e9 (Units.gbps 1.);
+  check_float "to_mbps roundtrip" 42. (Units.to_mbps (Units.mbps 42.));
+  Alcotest.(check int) "kib" 2048 (Units.kib 2);
+  Alcotest.(check int) "mib" (1024 * 1024) (Units.mib 1);
+  check_float "ms" 0.005 (Units.ms 5.);
+  check_float "us" 5e-6 (Units.us 5.)
+
+let test_transmission_time () =
+  (* 1500 bytes at 12 kbps = 1 second. *)
+  check_float "tx time" 1. (Units.transmission_time ~size:1500 ~rate:12000.);
+  Alcotest.check_raises "zero rate rejected"
+    (Invalid_argument "Units.transmission_time: rate <= 0") (fun () ->
+      ignore (Units.transmission_time ~size:1500 ~rate:0.))
+
+let test_packets_of_bytes () =
+  Alcotest.(check int) "exact" 2 (Units.packets_of_bytes (2 * Units.mss));
+  Alcotest.(check int) "round up" 3 (Units.packets_of_bytes ((2 * Units.mss) + 1));
+  Alcotest.(check int) "one byte" 1 (Units.packets_of_bytes 1)
+
+let test_bdp () =
+  (* 100 Mbps * 30 ms = 375000 bytes. *)
+  Alcotest.(check int) "bdp" 375000
+    (Units.bdp_bytes ~rate:(Units.mbps 100.) ~rtt:0.03)
+
+(* ------------------------------------------------------------------ *)
+(* Event heap *)
+
+let test_heap_order () =
+  let h = Event_heap.create () in
+  ignore (Event_heap.push h ~time:3. "c");
+  ignore (Event_heap.push h ~time:1. "a");
+  ignore (Event_heap.push h ~time:2. "b");
+  let pop () = match Event_heap.pop h with Some (_, v) -> v | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ]
+    [ first; second; third ];
+  Alcotest.(check bool) "empty" true (Event_heap.is_empty h)
+
+let test_heap_fifo_ties () =
+  let h = Event_heap.create () in
+  ignore (Event_heap.push h ~time:1. "first");
+  ignore (Event_heap.push h ~time:1. "second");
+  ignore (Event_heap.push h ~time:1. "third");
+  let pop () = match Event_heap.pop h with Some (_, v) -> v | None -> "?" in
+  let a = pop () in
+  let b = pop () in
+  let c = pop () in
+  Alcotest.(check (list string)) "insertion order on ties"
+    [ "first"; "second"; "third" ]
+    [ a; b; c ]
+
+let test_heap_cancel () =
+  let h = Event_heap.create () in
+  let _a = Event_heap.push h ~time:1. "a" in
+  let b = Event_heap.push h ~time:2. "b" in
+  ignore (Event_heap.push h ~time:3. "c");
+  Event_heap.cancel b;
+  Alcotest.(check bool) "cancelled" true (Event_heap.cancelled b);
+  let pop () = match Event_heap.pop h with Some (_, v) -> v | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  Alcotest.(check (list string)) "skips cancelled" [ "a"; "c" ]
+    [ first; second ];
+  (* Cancelling twice is harmless. *)
+  Event_heap.cancel b
+
+let test_heap_cancel_root () =
+  let h = Event_heap.create () in
+  let a = Event_heap.push h ~time:1. "a" in
+  ignore (Event_heap.push h ~time:2. "b");
+  Event_heap.cancel a;
+  Alcotest.(check (option (float 0.))) "peek skips dead root" (Some 2.)
+    (Event_heap.peek_time h);
+  Alcotest.(check int) "size purges root" 1 (Event_heap.size h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in nondecreasing time order" ~count:200
+    QCheck.(list (float_bound_inclusive 1000.))
+    (fun times ->
+      let h = Event_heap.create () in
+      List.iter (fun t -> ignore (Event_heap.push h ~time:t ())) times;
+      let rec drain acc =
+        match Event_heap.pop h with
+        | Some (t, ()) -> drain (t :: acc)
+        | None -> List.rev acc
+      in
+      let popped = drain [] in
+      List.length popped = List.length times
+      && popped = List.sort compare times)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_order () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule engine ~at:2. (fun () -> log := 2 :: !log));
+  ignore (Engine.schedule engine ~at:1. (fun () -> log := 1 :: !log));
+  ignore (Engine.schedule engine ~at:3. (fun () -> log := 3 :: !log));
+  Engine.run engine;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log);
+  check_float "clock at last event" 3. (Engine.now engine)
+
+let test_engine_until () =
+  let engine = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule engine ~at:1. (fun () -> incr fired));
+  ignore (Engine.schedule engine ~at:5. (fun () -> incr fired));
+  Engine.run ~until:2. engine;
+  Alcotest.(check int) "only first fired" 1 !fired;
+  check_float "clock left at limit" 2. (Engine.now engine);
+  Engine.run engine;
+  Alcotest.(check int) "second fires later" 2 !fired
+
+let test_engine_cancel () =
+  let engine = Engine.create () in
+  let fired = ref false in
+  let timer = Engine.schedule engine ~at:1. (fun () -> fired := true) in
+  Engine.cancel timer;
+  Engine.run engine;
+  Alcotest.(check bool) "cancelled timer silent" false !fired
+
+let test_engine_past_raises () =
+  let engine = Engine.create () in
+  ignore (Engine.schedule engine ~at:5. (fun () -> ()));
+  Engine.run engine;
+  Alcotest.(check bool) "raises on past schedule" true
+    (try
+       ignore (Engine.schedule engine ~at:1. (fun () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_engine_nested_scheduling () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule engine ~at:1. (fun () ->
+         log := "outer" :: !log;
+         ignore
+           (Engine.schedule_in engine ~after:1. (fun () ->
+                log := "inner" :: !log))));
+  Engine.run engine;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  check_float "clock" 2. (Engine.now engine)
+
+let test_engine_same_time_fifo () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule engine ~at:1. (fun () -> log := i :: !log))
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "same-instant FIFO" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_engine_negative_delay_clamped () =
+  let engine = Engine.create () in
+  let fired = ref false in
+  ignore (Engine.schedule_in engine ~after:(-5.) (fun () -> fired := true));
+  Engine.run engine;
+  Alcotest.(check bool) "clamped to now" true !fired;
+  check_float "clock unchanged" 0. (Engine.now engine)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 1 and b = Rng.create 1 in
+  for _ = 1 to 100 do
+    Alcotest.(check (float 0.)) "same stream" (Rng.float a) (Rng.float b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check int) "different seeds diverge" 0 !same
+
+let test_rng_split_independent () =
+  let parent = Rng.create 7 in
+  let child = Rng.split parent in
+  let xs = List.init 32 (fun _ -> Rng.bits64 parent) in
+  let ys = List.init 32 (fun _ -> Rng.bits64 child) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_copy_replays () =
+  let a = Rng.create 3 in
+  ignore (Rng.float a);
+  let b = Rng.copy a in
+  Alcotest.(check (float 0.)) "copy replays" (Rng.float a) (Rng.float b)
+
+let test_rng_bernoulli_extremes () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "p=0" false (Rng.bernoulli rng 0.);
+    Alcotest.(check bool) "p=1" true (Rng.bernoulli rng 1.)
+  done
+
+let test_rng_bernoulli_rate () =
+  let rng = Rng.create 11 in
+  let n = 20000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "close to 0.3" true (Float.abs (rate -. 0.3) < 0.02)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 13 in
+  let n = 20000 in
+  let total = ref 0. in
+  for _ = 1 to n do
+    total := !total +. Rng.exponential rng 2.
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool) "mean ~2" true (Float.abs (mean -. 2.) < 0.1)
+
+let prop_rng_float_unit =
+  QCheck.Test.make ~name:"Rng.float in [0,1)" ~count:500 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let v = Rng.float rng in
+      v >= 0. && v < 1.)
+
+let prop_rng_int_bound =
+  QCheck.Test.make ~name:"Rng.int in [0,n)" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng n in
+      v >= 0 && v < n)
+
+let prop_rng_log_uniform =
+  QCheck.Test.make ~name:"log_uniform within bounds" ~count:300
+    QCheck.(pair small_int (pair (float_range 0.001 10.) (float_range 0.1 100.)))
+    (fun (seed, (lo, extra)) ->
+      let hi = lo +. extra in
+      let rng = Rng.create seed in
+      let v = Rng.log_uniform rng lo hi in
+      v >= lo && v <= hi *. (1. +. 1e-9))
+
+let prop_rng_shuffle_multiset =
+  QCheck.Test.make ~name:"shuffle preserves elements" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let rng = Rng.create seed in
+      let a = Array.of_list l in
+      Rng.shuffle rng a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let q = QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "sim.units",
+      [
+        Alcotest.test_case "conversions" `Quick test_conversions;
+        Alcotest.test_case "transmission time" `Quick test_transmission_time;
+        Alcotest.test_case "packets of bytes" `Quick test_packets_of_bytes;
+        Alcotest.test_case "bdp" `Quick test_bdp;
+      ] );
+    ( "sim.event_heap",
+      [
+        Alcotest.test_case "pop order" `Quick test_heap_order;
+        Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+        Alcotest.test_case "cancellation" `Quick test_heap_cancel;
+        Alcotest.test_case "cancel root" `Quick test_heap_cancel_root;
+        q prop_heap_sorts;
+      ] );
+    ( "sim.engine",
+      [
+        Alcotest.test_case "event order" `Quick test_engine_order;
+        Alcotest.test_case "run until" `Quick test_engine_until;
+        Alcotest.test_case "cancel" `Quick test_engine_cancel;
+        Alcotest.test_case "past schedule raises" `Quick test_engine_past_raises;
+        Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+        Alcotest.test_case "same-time fifo" `Quick test_engine_same_time_fifo;
+        Alcotest.test_case "negative delay clamped" `Quick
+          test_engine_negative_delay_clamped;
+      ] );
+    ( "sim.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+        Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+        Alcotest.test_case "copy replays" `Quick test_rng_copy_replays;
+        Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+        Alcotest.test_case "bernoulli rate" `Quick test_rng_bernoulli_rate;
+        Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+        q prop_rng_float_unit;
+        q prop_rng_int_bound;
+        q prop_rng_log_uniform;
+        q prop_rng_shuffle_multiset;
+      ] );
+  ]

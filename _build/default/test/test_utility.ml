@@ -1,0 +1,151 @@
+open Pcc_core
+
+let metrics ?(rate = 10e6) ?(throughput = 10e6) ?(loss = 0.) ?(samples = 1000)
+    ?(avg_rtt = 0.03) ?(prev_avg_rtt = 0.03) ?(rtt_early = 0.03)
+    ?(rtt_late = 0.03) () =
+  Utility.
+    { rate; throughput; loss; samples; avg_rtt; prev_avg_rtt; rtt_early; rtt_late }
+
+let eval u m = u.Utility.eval m
+
+let test_safe_rewards_throughput () =
+  let u = Utility.safe () in
+  let lo = eval u (metrics ~rate:10e6 ~throughput:10e6 ()) in
+  let hi = eval u (metrics ~rate:20e6 ~throughput:20e6 ()) in
+  Alcotest.(check bool) "more goodput is better" true (hi > lo)
+
+let test_safe_loss_cap_bites () =
+  let u = Utility.safe () in
+  let ok = eval u (metrics ~loss:0.02 ~throughput:9.8e6 ()) in
+  let bad = eval u (metrics ~loss:0.10 ~throughput:9e6 ()) in
+  Alcotest.(check bool) "under the cap positive" true (ok > 0.);
+  Alcotest.(check bool) "over the cap negative" true (bad < 0.);
+  Alcotest.(check bool) "cliff" true (ok > 10. *. Float.abs bad /. 10.)
+
+let test_safe_conservative_small_samples () =
+  let conservative = Utility.safe () in
+  let literal = Utility.safe ~conservative:false () in
+  (* One drop in 11 packets: raw loss 9.1%. *)
+  let m = metrics ~loss:0.091 ~samples:11 ~throughput:9.1e6 () in
+  Alcotest.(check bool) "literal trips the cliff" true (eval literal m < 0.);
+  Alcotest.(check bool) "confidence bound does not" true
+    (eval conservative m > 0.);
+  (* At large samples the two agree. *)
+  let m_big = metrics ~loss:0.091 ~samples:100000 ~throughput:9.1e6 () in
+  Alcotest.(check bool) "large-sample agreement" true
+    (Float.abs (eval conservative m_big -. eval literal m_big)
+    < 0.05 *. Float.abs (eval literal m_big) +. 0.2)
+
+let test_safe_congestion_prefers_lower_rate () =
+  (* Above capacity: L = 1 - C/x; utility must favour the lower rate. *)
+  let u = Utility.safe () in
+  let c = 100e6 in
+  let at x =
+    let l = 1. -. (c /. x) in
+    eval u (metrics ~rate:x ~throughput:(x *. (1. -. l)) ~loss:l ())
+  in
+  Alcotest.(check bool) "congestion punished" true (at 110e6 < at 105e6)
+
+let test_loss_resilient_ignores_heavy_loss () =
+  let u = Utility.loss_resilient () in
+  let at_half_loss =
+    eval u (metrics ~rate:100e6 ~throughput:50e6 ~loss:0.5 ())
+  in
+  let at_low_rate = eval u (metrics ~rate:10e6 ~throughput:5e6 ~loss:0.5 ()) in
+  Alcotest.(check bool) "push through 50% loss" true
+    (at_half_loss > at_low_rate)
+
+let test_latency_penalizes_rtt_growth () =
+  let u = Utility.latency () in
+  let stable = eval u (metrics ~rtt_early:0.03 ~rtt_late:0.03 ()) in
+  let growing = eval u (metrics ~rtt_early:0.03 ~rtt_late:0.04 ()) in
+  let shrinking = eval u (metrics ~rtt_early:0.04 ~rtt_late:0.03 ()) in
+  Alcotest.(check bool) "growth punished" true (growing < stable);
+  Alcotest.(check bool) "drain rewarded" true (shrinking > stable)
+
+let test_latency_prefers_low_rtt_level () =
+  let u = Utility.latency () in
+  let low = eval u (metrics ~avg_rtt:0.02 ()) in
+  let high = eval u (metrics ~avg_rtt:0.2 ()) in
+  Alcotest.(check bool) "level matters" true (low > high)
+
+let test_simple_utility () =
+  let u = Utility.simple () in
+  Alcotest.(check (float 1e-9)) "T - xL"
+    ((10e6 /. 1e6) -. (10e6 /. 1e6 *. 0.1))
+    (eval u (metrics ~loss:0.1 ()))
+
+let test_vivace_properties () =
+  let u = Utility.vivace () in
+  (* Concave growth in rate at zero loss and flat RTT. *)
+  let at x = eval u (metrics ~rate:(x *. 1e6) ~throughput:(x *. 1e6) ()) in
+  Alcotest.(check bool) "monotone" true (at 100. > at 50. && at 50. > at 10.);
+  Alcotest.(check bool) "concave" true
+    (at 100. -. at 50. < at 50. -. at 10.);
+  (* RTT growth within the MI is penalized; draining is never rewarded
+     beyond the plain rate term. *)
+  let grow = eval u (metrics ~rtt_early:0.03 ~rtt_late:0.05 ()) in
+  let flat = eval u (metrics ()) in
+  let drain = eval u (metrics ~rtt_early:0.05 ~rtt_late:0.03 ()) in
+  Alcotest.(check bool) "growth punished" true (grow < flat);
+  Alcotest.(check (float 1e-9)) "drain clamped" flat drain;
+  (* Loss scales with the rate. *)
+  Alcotest.(check bool) "loss punished" true
+    (eval u (metrics ~loss:0.1 ~throughput:9e6 ()) < flat)
+
+let test_custom_utility () =
+  let u = Utility.custom ~name:"const" (fun _ -> 42.) in
+  Alcotest.(check string) "name" "const" u.Utility.name;
+  Alcotest.(check (float 0.)) "eval" 42. (eval u (metrics ()))
+
+let prop_safe_monotone_in_throughput =
+  QCheck.Test.make ~name:"safe utility monotone in throughput at fixed loss"
+    ~count:300
+    QCheck.(triple (float_range 1. 100.) (float_range 0. 0.04) (float_range 1.01 2.))
+    (fun (mbps, loss, factor) ->
+      let u = Utility.safe () in
+      let m1 = metrics ~rate:(mbps *. 1e6) ~throughput:(mbps *. 1e6) ~loss () in
+      let m2 =
+        metrics
+          ~rate:(mbps *. factor *. 1e6)
+          ~throughput:(mbps *. factor *. 1e6)
+          ~loss ()
+      in
+      eval u m2 > eval u m1)
+
+let prop_loss_lcb_bounded =
+  QCheck.Test.make ~name:"safe utility bounded by throughput" ~count:300
+    QCheck.(pair (float_range 0. 200.) (float_range 0. 1.))
+    (fun (mbps, loss) ->
+      let u = Utility.safe () in
+      let m =
+        metrics ~rate:(mbps *. 1e6)
+          ~throughput:(mbps *. 1e6 *. (1. -. loss))
+          ~loss ()
+      in
+      eval u m <= mbps +. 1e-6)
+
+let q = QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "pcc.utility",
+      [
+        Alcotest.test_case "rewards throughput" `Quick test_safe_rewards_throughput;
+        Alcotest.test_case "loss cap" `Quick test_safe_loss_cap_bites;
+        Alcotest.test_case "small-sample confidence" `Quick
+          test_safe_conservative_small_samples;
+        Alcotest.test_case "congestion gradient" `Quick
+          test_safe_congestion_prefers_lower_rate;
+        Alcotest.test_case "loss resilient" `Quick
+          test_loss_resilient_ignores_heavy_loss;
+        Alcotest.test_case "latency gradient" `Quick
+          test_latency_penalizes_rtt_growth;
+        Alcotest.test_case "latency level" `Quick test_latency_prefers_low_rtt_level;
+        Alcotest.test_case "simple" `Quick test_simple_utility;
+        Alcotest.test_case "vivace" `Quick test_vivace_properties;
+        Alcotest.test_case "custom" `Quick test_custom_utility;
+        q prop_safe_monotone_in_throughput;
+        q prop_loss_lcb_bounded;
+      ] );
+  ]
