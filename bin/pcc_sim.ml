@@ -54,7 +54,7 @@ let transport_conv =
 (* ------------------------------------------------------------------ *)
 
 let run_cmd transports bw_mbps rtt_ms loss rev_loss jitter_ms buffer_kb queue
-    duration seed interval =
+    duration seed interval check_invariants =
   let bandwidth = Units.mbps bw_mbps in
   let rtt = rtt_ms /. 1000. in
   let buffer =
@@ -80,6 +80,7 @@ let run_cmd transports bw_mbps rtt_ms loss rev_loss jitter_ms buffer_kb queue
       ~flows:(List.map (fun t -> Path.flow t) transports)
       ()
   in
+  if check_invariants then ignore (Invariant.attach_path path);
   let flows = Path.flows path in
   Printf.printf
     "link: %.1f Mbps, %.1f ms RTT, %d KB %s buffer, loss %.3f%%\n" bw_mbps
@@ -112,6 +113,52 @@ let run_cmd transports bw_mbps rtt_ms loss rev_loss jitter_ms buffer_kb queue
         (f.Path.sender.Pcc_net.Sender.srtt () *. 1e3))
     flows;
   `Ok ()
+
+let chaos_cmd transport bw_mbps rtt_ms duration seed rate check_invariants =
+  if rate <= 0. then `Error (false, "--rate must be positive")
+  else begin
+  let bandwidth = Units.mbps bw_mbps in
+  let rtt = rtt_ms /. 1000. in
+  let engine = Engine.create () in
+  let rng = Rng.create seed in
+  let fault_rng = Rng.split rng in
+  let path =
+    Path.build engine ~rng ~bandwidth ~rtt
+      ~buffer:(Units.bdp_bytes ~rate:bandwidth ~rtt)
+      ~flows:[ Path.flow transport ]
+      ()
+  in
+  if check_invariants then ignore (Invariant.attach_path path);
+  let f = (Path.flows path).(0) in
+  let recorder =
+    Pcc_metrics.Recorder.create engine ~interval:0.25 (fun () ->
+        float_of_int (Path.goodput_bytes f))
+  in
+  let schedule = Fault.chaos ~rng:fault_rng ~rate ~duration () in
+  Fault.inject_path path schedule;
+  Printf.printf
+    "chaos gauntlet: %s on %.1f Mbps / %.1f ms RTT, seed %d, %d faults\n\n"
+    f.Path.def.Path.label bw_mbps rtt_ms seed (List.length schedule);
+  Format.printf "%a@." Fault.pp_schedule schedule;
+  Engine.run ~until:duration engine;
+  let series = Pcc_metrics.Recorder.rates_bps recorder in
+  let reports =
+    Pcc_metrics.Recovery.analyze ~series (Fault.windows schedule)
+  in
+  Format.printf "%a" Pcc_metrics.Recovery.pp_table reports;
+  let recovered =
+    List.length
+      (List.filter
+         (fun r -> r.Pcc_metrics.Recovery.time_to_recover <> None)
+         reports)
+  in
+  Printf.printf
+    "\nmean goodput %.2f Mbps; recovered from %d/%d faults (>=90%% of \
+     pre-fault throughput)\n"
+    (float_of_int (Path.goodput_bytes f * 8) /. duration /. 1e6)
+    recovered (List.length reports);
+  `Ok ()
+  end
 
 let game_cmd senders capacity steps =
   let x0 =
@@ -183,12 +230,45 @@ let seed_arg =
 let interval_arg =
   Arg.(value & opt float 1. & info [ "interval" ] ~docv:"S" ~doc:"Reporting interval.")
 
+let check_invariants_arg =
+  Arg.(
+    value & flag
+    & info [ "check-invariants" ]
+        ~doc:
+          "Attach the runtime invariant checker (packet conservation, queue \
+           occupancy, throughput bounds) to the topology; any violation \
+           aborts the run with a diagnostic.")
+
 let run_term =
   Term.(
     ret
       (const run_cmd $ transports_arg $ bw_arg $ rtt_arg $ loss_arg
      $ rev_loss_arg $ jitter_arg $ buffer_arg $ queue_arg $ duration_arg
-     $ seed_arg $ interval_arg))
+     $ seed_arg $ interval_arg $ check_invariants_arg))
+
+let chaos_term =
+  let transport_arg =
+    Arg.(
+      value
+      & opt transport_conv (Transport.pcc ())
+      & info [ "t"; "transport" ] ~docv:"NAME"
+          ~doc:"Transport to run through the gauntlet.")
+  in
+  let chaos_duration_arg =
+    Arg.(
+      value & opt float 60.
+      & info [ "duration" ] ~docv:"S" ~doc:"Simulated seconds.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "rate" ] ~docv:"HZ"
+          ~doc:"Mean Poisson fault arrival rate (faults per second).")
+  in
+  Term.(
+    ret
+      (const chaos_cmd $ transport_arg $ bw_arg $ rtt_arg $ chaos_duration_arg
+     $ seed_arg $ rate_arg $ check_invariants_arg))
 
 let game_term =
   let senders =
@@ -207,6 +287,12 @@ let cmds =
     Cmd.v
       (Cmd.info "run" ~doc:"Simulate flows sharing one bottleneck link")
       run_term;
+    Cmd.v
+      (Cmd.info "chaos"
+         ~doc:
+           "Run a transport through a seeded fault gauntlet and report \
+            per-fault recovery")
+      chaos_term;
     Cmd.v
       (Cmd.info "game" ~doc:"Run the Sec. 2.2 game dynamics (Theorems 1-2)")
       game_term;

@@ -1,0 +1,97 @@
+type report = {
+  label : string;
+  start : float;
+  stop : float;
+  baseline : float;
+  depth : float;
+  time_to_recover : float option;
+}
+
+let mean_in series t0 t1 =
+  let sum = ref 0. and n = ref 0 in
+  Array.iter
+    (fun (t, v) ->
+      if t >= t0 && t < t1 then begin
+        sum := !sum +. v;
+        incr n
+      end)
+    series;
+  if !n = 0 then None else Some (!sum /. float_of_int !n)
+
+let min_in series t0 t1 =
+  let m = ref infinity in
+  Array.iter (fun (t, v) -> if t >= t0 && t < t1 then m := Float.min !m v) series;
+  if !m = infinity then None else Some !m
+
+let analyze_one ~threshold ~baseline_window ~sustain ~series ~horizon
+    (label, start, stop) =
+  let baseline =
+    match mean_in series (start -. baseline_window) start with
+    | Some b -> b
+    | None -> ( (* fault before the first full window: use whatever exists *)
+      match mean_in series 0. start with Some b -> b | None -> 0.)
+  in
+  (* Depth: how far throughput fell while the fault was active (extended by
+     one sustain window, so damage that lands just after restoration — e.g.
+     timeouts from a blackout — still counts). *)
+  let depth =
+    if baseline <= 0. then 0.
+    else
+      match min_in series start (Float.min horizon (stop +. sustain)) with
+      | None -> 0.
+      | Some lowest -> Float.max 0. (Float.min 1. (1. -. (lowest /. baseline)))
+  in
+  (* Time to recover: first sample time >= stop from which the mean over
+     the next [sustain] seconds is back above threshold x baseline, scanned
+     only up to [horizon] (the next fault's onset or the end of data). *)
+  let time_to_recover =
+    if baseline <= 0. then None
+    else begin
+      let target = threshold *. baseline in
+      let found = ref None in
+      Array.iter
+        (fun (t, _) ->
+          if !found = None && t >= stop && t +. sustain <= horizon then
+            match mean_in series t (t +. sustain) with
+            | Some m when m >= target -> found := Some (t -. stop)
+            | _ -> ())
+        series;
+      !found
+    end
+  in
+  { label; start; stop; baseline; depth; time_to_recover }
+
+let analyze ?(threshold = 0.9) ?(baseline_window = 5.) ?(sustain = 2.) ~series
+    faults =
+  let faults =
+    List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b) faults
+  in
+  let data_end =
+    if Array.length series = 0 then 0. else fst series.(Array.length series - 1)
+  in
+  let rec go = function
+    | [] -> []
+    | fault :: rest ->
+      let horizon =
+        match rest with
+        | (_, next_start, _) :: _ -> next_start
+        | [] -> data_end +. sustain
+      in
+      analyze_one ~threshold ~baseline_window ~sustain ~series ~horizon fault
+      :: go rest
+  in
+  go faults
+
+let pp_report fmt r =
+  let ttr =
+    match r.time_to_recover with
+    | Some s -> Printf.sprintf "%6.2fs" s
+    | None -> "  never"
+  in
+  Format.fprintf fmt "%-28s %7.2fs %6.2fs %9.2f Mbps %5.0f%% %s" r.label
+    r.start (r.stop -. r.start) (r.baseline /. 1e6) (r.depth *. 100.) ttr
+
+let pp_table fmt reports =
+  Format.fprintf fmt "%-28s %8s %7s %14s %6s %7s@." "fault" "start" "dur"
+    "baseline" "depth" "ttr";
+  List.iter (fun r -> Format.fprintf fmt "%a@." pp_report r) reports

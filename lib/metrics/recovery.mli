@@ -1,0 +1,48 @@
+(** Recovery metrics for fault-injection runs.
+
+    The paper's dynamics claims (Fig. 11: "PCC returns to full rate within
+    a few monitor intervals of the network healing") need two numbers per
+    injected fault: how deep throughput fell, and how long after the fault
+    cleared it took to come back. Both are computed from a windowed
+    throughput series (e.g. {!Recorder.rates_bps}) plus the fault's
+    [(start, stop)] window — this module knows nothing about fault kinds,
+    so it composes with [Pcc_scenario.Fault.windows] without a dependency
+    cycle. *)
+
+type report = {
+  label : string;
+  start : float;  (** Fault onset (seconds). *)
+  stop : float;  (** Fault cleared. *)
+  baseline : float;
+      (** Mean series value over the [baseline_window] before onset —
+          pre-fault throughput in the series' own unit. *)
+  depth : float;
+      (** Degradation depth in [\[0,1\]]: [1 - lowest/baseline] while the
+          fault was active (plus one [sustain] window, so post-restoration
+          damage such as blackout timeouts still counts). 0 when the
+          baseline itself is 0. *)
+  time_to_recover : float option;
+      (** Seconds after [stop] until the series first sustains
+          [threshold * baseline] for [sustain] seconds; [None] if it never
+          does before the next fault (or the data ends). *)
+}
+
+val analyze :
+  ?threshold:float ->
+  ?baseline_window:float ->
+  ?sustain:float ->
+  series:(float * float) array ->
+  (string * float * float) list ->
+  report list
+(** [analyze ~series faults] with [series] a time-ordered [(time, value)]
+    sequence and [faults] a [(label, start, stop)] list: one {!report} per
+    fault, sorted by onset. Recovery for each fault is only sought up to
+    the next fault's onset, so overlapping aftermaths don't credit one
+    fault with another's recovery. Defaults: [threshold = 0.9] (the ≥90%
+    of pre-fault throughput criterion), [baseline_window = 5.],
+    [sustain = 2.]. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val pp_table : Format.formatter -> report list -> unit
+(** Render reports as an aligned table with a header row. *)

@@ -6,6 +6,7 @@ type t = {
   len_bytes : unit -> int;
   len_pkts : unit -> int;
   drops : unit -> int;
+  capacity_bytes : unit -> int option;
 }
 
 (* Shared FIFO core: all disciplines below are policies layered on it. *)
@@ -30,7 +31,7 @@ module Fifo = struct
   let pkts f = Queue.length f.q
 end
 
-let droptail_generic ~name ~fits () =
+let droptail_generic ~name ~fits ?(capacity_bytes = fun () -> None) () =
   let f = Fifo.create () in
   let drops = ref 0 in
   {
@@ -51,17 +52,21 @@ let droptail_generic ~name ~fits () =
     len_bytes = (fun () -> Fifo.bytes f);
     len_pkts = (fun () -> Fifo.pkts f);
     drops = (fun () -> !drops);
+    capacity_bytes;
   }
 
 let droptail_bytes ~capacity () =
   let capacity = max capacity Pcc_sim.Units.mss in
   droptail_generic ~name:"droptail"
     ~fits:(fun f p -> Fifo.bytes f + p.Packet.size <= capacity)
+    ~capacity_bytes:(fun () -> Some capacity)
     ()
 
 let droptail_pkts ~capacity () =
   let capacity = max capacity 1 in
-  droptail_generic ~name:"droptail-pkts" ~fits:(fun f _ -> Fifo.pkts f < capacity) ()
+  droptail_generic ~name:"droptail-pkts" ~fits:(fun f _ -> Fifo.pkts f < capacity)
+    ~capacity_bytes:(fun () -> Some (capacity * Pcc_sim.Units.mss))
+    ()
 
 let infinite () = droptail_generic ~name:"infinite" ~fits:(fun _ _ -> true) ()
 
@@ -172,6 +177,7 @@ let codel ?(target = 0.005) ?(interval = 0.1) ~capacity () =
     len_bytes = (fun () -> Fifo.bytes f);
     len_pkts = (fun () -> Fifo.pkts f);
     drops = (fun () -> !drops);
+    capacity_bytes = (fun () -> Some capacity);
   }
 
 let red ?min_th ?max_th ?(max_p = 0.1) ~capacity () =
@@ -221,6 +227,7 @@ let red ?min_th ?max_th ?(max_p = 0.1) ~capacity () =
     len_bytes = (fun () -> Fifo.bytes f);
     len_pkts = (fun () -> Fifo.pkts f);
     drops = (fun () -> !drops);
+    capacity_bytes = (fun () -> Some capacity);
   }
 
 (* Deficit round robin (Shreedhar & Varghese) with pluggable per-flow
@@ -300,6 +307,16 @@ let fq ?(quantum = Pcc_sim.Units.mss) ~per_flow () =
     len_bytes = (fun () -> total (fun q -> q.len_bytes ()));
     len_pkts = (fun () -> total (fun q -> q.len_pkts ()));
     drops = (fun () -> !drops_here + total (fun q -> q.drops ()));
+    (* The aggregate bound depends on how many flows have appeared, so it
+       is only meaningful as a point-in-time figure. *)
+    capacity_bytes =
+      (fun () ->
+        Hashtbl.fold
+          (fun _ (q, _, _) acc ->
+            match (acc, q.capacity_bytes ()) with
+            | Some a, Some c -> Some (a + c)
+            | _ -> None)
+          flows (Some 0));
   }
 
 let pp_stats fmt t =

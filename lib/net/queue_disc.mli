@@ -18,6 +18,12 @@ type t = {
   len_bytes : unit -> int;  (** Bytes currently buffered. *)
   len_pkts : unit -> int;  (** Packets currently buffered. *)
   drops : unit -> int;  (** Total packets dropped so far. *)
+  capacity_bytes : unit -> int option;
+      (** The discipline's byte-occupancy bound, if it has one: the
+          invariant checker asserts [len_bytes () <= capacity]. [None] for
+          unbounded queues. Packet-limited queues report
+          [capacity * MSS]; fair queuing reports the sum of its current
+          sub-queues' bounds, which grows as flows appear. *)
 }
 
 val droptail_bytes : capacity:int -> unit -> t

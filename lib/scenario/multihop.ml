@@ -39,6 +39,7 @@ type built_flow = {
 }
 
 type t = {
+  engine : Engine.t;
   links : Link.t array;
   built : built_flow array;
 }
@@ -111,8 +112,9 @@ let build engine ~rng ~hops ~flows:defs () =
         b)
       defs
   in
-  { links; built = Array.of_list built }
+  { engine; links; built = Array.of_list built }
 
 let flows t = t.built
 let links t = t.links
+let engine t = t.engine
 let goodput_bytes b = Receiver.goodput_bytes b.receiver

@@ -61,4 +61,8 @@ val build :
 
 val flows : t -> built_flow array
 val links : t -> Pcc_net.Link.t array
+
+val engine : t -> Pcc_sim.Engine.t
+(** The engine the topology was built on. *)
+
 val goodput_bytes : built_flow -> int

@@ -37,6 +37,7 @@ type t = {
   built : built_flow array;
   routes : (int, Packet.t -> unit) Hashtbl.t;
   rev_lines : Delay_line.t array;  (* per built flow *)
+  mutable rev_loss : float;  (* current ack-path loss, mirrored on rev_lines *)
 }
 
 let rec make_queue kind ~capacity =
@@ -122,10 +123,17 @@ let build engine ~rng ~bandwidth ~rtt ~buffer ?(queue = Droptail) ?(loss = 0.)
     built = Array.map strip built;
     routes;
     rev_lines = Array.map strip rev_lines;
+    rev_loss;
   }
 
 let flows t = t.built
 let bottleneck t = t.link
+let engine t = t.engine
+let rev_loss t = t.rev_loss
+
+let set_rev_loss t l =
+  t.rev_loss <- Float.max 0. (Float.min 1. l);
+  Array.iter (fun line -> Delay_line.set_loss line t.rev_loss) t.rev_lines
 
 let goodput_bytes b = Receiver.goodput_bytes b.receiver
 

@@ -65,6 +65,16 @@ val build :
 val flows : t -> built_flow array
 val bottleneck : t -> Pcc_net.Link.t
 
+val engine : t -> Pcc_sim.Engine.t
+(** The engine the topology was built on. *)
+
+val rev_loss : t -> float
+(** Current ack-path Bernoulli loss probability. *)
+
+val set_rev_loss : t -> float -> unit
+(** Change the ack-path loss on every flow's reverse delay line (clamped
+    to [\[0,1\]]) — the knob behind reverse-path fault injection. *)
+
 val goodput_bytes : built_flow -> int
 (** Distinct payload bytes the flow's receiver has accepted so far.
     Sample it before and after an [Engine.run ~until] window to compute

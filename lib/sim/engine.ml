@@ -1,8 +1,58 @@
-type t = { mutable clock : float; q : (unit -> unit) Event_heap.t }
+type error_policy = Raise | Collect
+
+type livelock_kind = Stall | Budget
+
+exception Event_error of { time : float; exn : exn }
+
+exception Livelock of { time : float; events : int; kind : livelock_kind }
+
+let () =
+  Printexc.register_printer (function
+    | Event_error { time; exn } ->
+      Some
+        (Printf.sprintf "Engine.Event_error: event scheduled at t=%.9f raised %s"
+           time (Printexc.to_string exn))
+    | Livelock { time; events; kind = Stall } ->
+      Some
+        (Printf.sprintf
+           "Engine.Livelock: %d events executed at simulated time t=%.9f \
+            without the clock advancing (zero-delay event loop?)"
+           events time)
+    | Livelock { time; events; kind = Budget } ->
+      Some
+        (Printf.sprintf
+           "Engine.Livelock: event budget exhausted after %d events with the \
+            clock at t=%.9f"
+           events time)
+    | _ -> None)
+
+type t = {
+  mutable clock : float;
+  q : (unit -> unit) Event_heap.t;
+  mutable on_error : error_policy;
+  mutable errors : (float * exn) list;  (* newest first *)
+  mutable stall_budget : int;
+  mutable stall_count : int;
+  mutable executed : int;
+}
 
 type timer = Event_heap.handle
 
-let create ?(now = 0.) () = { clock = now; q = Event_heap.create () }
+let default_stall_budget = 1_000_000
+
+let create ?(now = 0.) ?(stall_budget = default_stall_budget)
+    ?(on_error = Raise) () =
+  if stall_budget <= 0 then
+    invalid_arg "Engine.create: stall_budget must be positive";
+  {
+    clock = now;
+    q = Event_heap.create ();
+    on_error;
+    errors = [];
+    stall_budget;
+    stall_count = 0;
+    executed = 0;
+  }
 
 let now t = t.clock
 
@@ -20,25 +70,68 @@ let cancel = Event_heap.cancel
 
 let pending t = Event_heap.size t.q
 
+let set_stall_budget t n =
+  if n <= 0 then invalid_arg "Engine.set_stall_budget: must be positive";
+  t.stall_budget <- n
+
+let set_on_error t p = t.on_error <- p
+let errors t = List.rev t.errors
+let clear_errors t = t.errors <- []
+let executed t = t.executed
+
 let step t =
   match Event_heap.pop t.q with
   | None -> false
   | Some (time, f) ->
-    t.clock <- time;
-    f ();
+    if time > t.clock then begin
+      t.clock <- time;
+      t.stall_count <- 0
+    end
+    else begin
+      (* The heap never yields times before the clock, so this event fires
+         at the current instant: charge it against the stall budget. *)
+      t.stall_count <- t.stall_count + 1;
+      if t.stall_count > t.stall_budget then
+        raise (Livelock { time; events = t.stall_count; kind = Stall })
+    end;
+    t.executed <- t.executed + 1;
+    (try f () with
+    | Livelock _ as watchdog -> raise watchdog
+    | exn -> (
+      match t.on_error with
+      | Raise -> raise (Event_error { time; exn })
+      | Collect -> t.errors <- (time, exn) :: t.errors));
     true
 
-let run ?until t =
+let run ?until ?max_events t =
+  let ran = ref 0 in
+  let spend () =
+    (match max_events with
+    | Some budget when !ran >= budget ->
+      raise (Livelock { time = t.clock; events = !ran; kind = Budget })
+    | _ -> ());
+    incr ran
+  in
   match until with
-  | None -> while step t do () done
+  | None ->
+    let continue = ref true in
+    while !continue do
+      match Event_heap.peek_time t.q with
+      | None -> continue := false
+      | Some _ ->
+        spend ();
+        ignore (step t)
+    done
   | Some limit ->
     let continue = ref true in
     while !continue do
       match Event_heap.peek_time t.q with
-      | Some time when time <= limit -> ignore (step t)
+      | Some time when time <= limit ->
+        spend ();
+        ignore (step t)
       | Some _ | None ->
         if limit > t.clock then t.clock <- limit;
         continue := false
     done
 
-let run_for t d = run ~until:(t.clock +. d) t
+let run_for ?max_events t d = run ?max_events ~until:(t.clock +. d) t

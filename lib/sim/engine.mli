@@ -4,7 +4,23 @@
     closures at absolute or relative times; {!run} executes them in
     timestamp order, advancing the clock. All simulator state changes happen
     inside event callbacks, so a single engine is single-threaded and fully
-    deterministic. *)
+    deterministic.
+
+    The engine is hardened against two failure modes of event-driven code:
+
+    - {b Raising callbacks.} An event callback that raises would otherwise
+      unwind {!run} mid-step with no indication of {e which} event failed.
+      Dispatch is exception-safe: the offending exception is wrapped in
+      {!Event_error} together with the event's scheduled time, and the
+      engine remains steppable (the clock has advanced, the event is
+      consumed, the rest of the queue is intact). Under the {!Collect}
+      policy errors are recorded in {!errors} and execution continues.
+    - {b Livelock.} A zero-delay event that (transitively) reschedules
+      itself at the current instant would spin {!run} forever without
+      advancing the clock. A watchdog counts events executed without the
+      clock moving and raises {!Livelock} once the stall budget is
+      exceeded, turning a hang into a diagnosable error. [run ~max_events]
+      additionally bounds the total number of events one call may execute. *)
 
 type t
 (** A simulation engine. *)
@@ -12,8 +28,31 @@ type t
 type timer
 (** A cancellable handle on a scheduled event. *)
 
-val create : ?now:float -> unit -> t
-(** [create ()] is a fresh engine with the clock at [now] (default 0). *)
+type error_policy =
+  | Raise  (** Wrap the exception in {!Event_error} and re-raise (default). *)
+  | Collect
+      (** Record [(time, exn)] in {!errors} and keep executing events. *)
+
+type livelock_kind =
+  | Stall  (** The stall budget was exceeded at one simulated instant. *)
+  | Budget  (** [run ~max_events] executed its full event budget. *)
+
+exception Event_error of { time : float; exn : exn }
+(** Raised (under the {!Raise} policy) when an event callback raises:
+    [time] is the instant the event fired, [exn] the original exception. *)
+
+exception Livelock of { time : float; events : int; kind : livelock_kind }
+(** Raised by the watchdog: [events] callbacks ran without the clock
+    leaving [time] ({!Stall}), or a [run ~max_events] budget ran out
+    ({!Budget}). *)
+
+val create :
+  ?now:float -> ?stall_budget:int -> ?on_error:error_policy -> unit -> t
+(** [create ()] is a fresh engine with the clock at [now] (default 0).
+    [stall_budget] (default 1_000_000) is the number of events that may
+    execute at a single simulated instant before {!Livelock} is raised;
+    legitimate bursts of simultaneous events are orders of magnitude
+    smaller. @raise Invalid_argument if [stall_budget <= 0]. *)
 
 val now : t -> float
 (** [now t] is the current simulated time in seconds. *)
@@ -34,14 +73,33 @@ val cancel : timer -> unit
 val pending : t -> int
 (** Number of events still queued. *)
 
+val set_stall_budget : t -> int -> unit
+(** Adjust the livelock watchdog's per-instant event budget.
+    @raise Invalid_argument if the budget is not positive. *)
+
+val set_on_error : t -> error_policy -> unit
+(** Switch how raising callbacks are handled (default {!Raise}). *)
+
+val errors : t -> (float * exn) list
+(** Errors collected so far under the {!Collect} policy, oldest first. *)
+
+val clear_errors : t -> unit
+
+val executed : t -> int
+(** Total events executed over the engine's lifetime. *)
+
 val step : t -> bool
 (** [step t] executes the next event, if any; returns [false] when the
-    queue is empty. *)
+    queue is empty.
+    @raise Event_error under the {!Raise} policy if the callback raises.
+    @raise Livelock if the stall budget is exceeded. *)
 
-val run : ?until:float -> t -> unit
+val run : ?until:float -> ?max_events:int -> t -> unit
 (** [run t] executes events until the queue drains, or — if [until] is
     given — until the next event would fire strictly after [until], in
-    which case the clock is left at [until]. *)
+    which case the clock is left at [until]. If [max_events] is given the
+    call executes at most that many events before raising
+    {!Livelock}[ {kind = Budget; _}]. *)
 
-val run_for : t -> float -> unit
+val run_for : ?max_events:int -> t -> float -> unit
 (** [run_for t d] is [run t ~until:(now t +. d)]. *)

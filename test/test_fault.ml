@@ -1,0 +1,336 @@
+open Pcc_sim
+open Pcc_scenario
+
+(* The fault-injection subsystem itself: schedule algebra, the seeded
+   chaos generator's determinism contract, knob restoration, the runtime
+   invariant checker, and the recovery metrics. *)
+
+let build_path ?(seed = 31) ?(rev_loss = 0.) () =
+  let engine = Engine.create () in
+  let rng = Rng.create seed in
+  let bandwidth = Units.mbps 20. in
+  let path =
+    Path.build engine ~rng ~bandwidth ~rtt:0.03
+      ~buffer:(Units.bdp_bytes ~rate:bandwidth ~rtt:0.03)
+      ~rev_loss
+      ~flows:[ Path.flow (Transport.pcc ()) ]
+      ()
+  in
+  (engine, path)
+
+(* ------------------------------------------------------------------ *)
+(* Schedule algebra *)
+
+let test_schedule_helpers () =
+  let flap = Fault.Bandwidth_flap { count = 3; period = 0.5; factor = 0.2 } in
+  Alcotest.(check (float 1e-9)) "flap duration" 1.5 (Fault.duration flap);
+  let ev = Fault.at 4. (Fault.Blackout { duration = 2. }) in
+  let t0, t1 = Fault.window ev in
+  Alcotest.(check (pair (float 1e-9) (float 1e-9))) "window" (4., 6.) (t0, t1);
+  (match Fault.windows [ ev ] with
+  | [ (label, 4., 6.) ] ->
+    Alcotest.(check bool) "label mentions blackout" true
+      (String.length label >= 8 && String.sub label 0 8 = "blackout")
+  | _ -> Alcotest.fail "windows shape");
+  Alcotest.check_raises "negative time rejected"
+    (Invalid_argument "Fault.at: time must be non-negative") (fun () ->
+      ignore (Fault.at (-1.) (Fault.Blackout { duration = 1. })))
+
+let test_chaos_deterministic () =
+  let gen seed =
+    Fault.chaos ~rng:(Rng.create seed) ~rate:0.2 ~duration:120. ()
+  in
+  Alcotest.(check bool) "same seed, same gauntlet" true (gen 42 = gen 42);
+  Alcotest.(check bool) "different seeds differ" true (gen 42 <> gen 43);
+  let sched = gen 42 in
+  Alcotest.(check bool) "produces faults" true (List.length sched >= 3);
+  (* Non-overlapping by construction, with the recovery gap, inside the
+     horizon, and strictly after the warm-up. *)
+  let rec check_gaps = function
+    | a :: (b :: _ as rest) ->
+      let _, stop_a = Fault.window a in
+      Alcotest.(check bool) "gap respected" true (b.Fault.at >= stop_a +. 4.);
+      check_gaps rest
+    | _ -> ()
+  in
+  check_gaps sched;
+  List.iter
+    (fun ev ->
+      let start, stop = Fault.window ev in
+      Alcotest.(check bool) "after warm-up" true (start > 5.);
+      Alcotest.(check bool) "ends inside horizon" true (stop <= 120.))
+    sched
+
+let test_chaos_kind_pool () =
+  let kinds = [| Fault.Blackout { duration = 1. } |] in
+  let sched =
+    Fault.chaos ~rng:(Rng.create 7) ~rate:0.5 ~kinds ~duration:60. ()
+  in
+  Alcotest.(check bool) "nonempty" true (sched <> []);
+  List.iter
+    (fun ev ->
+      match ev.Fault.kind with
+      | Fault.Blackout _ -> ()
+      | _ -> Alcotest.fail "kind outside the pool")
+    sched
+
+(* ------------------------------------------------------------------ *)
+(* Injection and restoration *)
+
+let test_inject_restores_episodes () =
+  (* Jitter / duplication / reordering faults flip their knob on and fully
+     off again; no traffic needed to observe the knobs. *)
+  let engine, path = build_path () in
+  let link = Path.bottleneck path in
+  Fault.inject_path path
+    [
+      Fault.at 1. (Fault.Jitter_burst { duration = 1.; jitter = 0.004 });
+      Fault.at 3. (Fault.Duplication_episode { duration = 1.; prob = 0.5 });
+      Fault.at 5.
+        (Fault.Reordering_episode { duration = 1.; prob = 0.5; extra = 0.02 });
+    ];
+  Engine.run ~until:1.5 engine;
+  Alcotest.(check (float 1e-9)) "jitter on" 0.004 (Pcc_net.Link.jitter link);
+  Engine.run ~until:2.5 engine;
+  Alcotest.(check (float 1e-9)) "jitter off" 0. (Pcc_net.Link.jitter link);
+  Engine.run ~until:10. engine;
+  Alcotest.(check bool) "flow survived the episodes" true
+    (Path.goodput_bytes (Path.flows path).(0) > 0)
+
+let test_reverse_blackhole_restores_baseline () =
+  let engine, path = build_path ~rev_loss:0.1 () in
+  Fault.inject_path path
+    [ Fault.at 1. (Fault.Reverse_blackhole { duration = 0.5 }) ];
+  Engine.run ~until:1.2 engine;
+  Alcotest.(check (float 1e-9)) "hole open" 1. (Path.rev_loss path);
+  Engine.run ~until:2. engine;
+  Alcotest.(check (float 1e-9)) "baseline ack loss restored" 0.1
+    (Path.rev_loss path)
+
+let test_partition_targets_one_hop () =
+  let engine = Engine.create () in
+  let rng = Rng.create 5 in
+  let mh =
+    Multihop.build engine ~rng
+      ~hops:
+        [
+          Multihop.hop ~bandwidth:(Units.mbps 20.) ~delay:0.005 ();
+          Multihop.hop ~bandwidth:(Units.mbps 20.) ~delay:0.005 ();
+        ]
+      ~flows:[ Multihop.flow ~enter:0 ~exit:2 (Transport.pcc ()) ]
+      ()
+  in
+  let tgt = Fault.target_of_multihop mh in
+  Fault.inject tgt [ Fault.at 1. (Fault.Partition { duration = 1.; hop = 1 }) ];
+  Engine.run ~until:1.5 engine;
+  let links = Multihop.links mh in
+  Alcotest.(check (float 1e-9)) "hop 0 untouched" 0.
+    (Pcc_net.Link.loss links.(0));
+  Alcotest.(check (float 1e-9)) "hop 1 partitioned" 1.
+    (Pcc_net.Link.loss links.(1));
+  Engine.run ~until:3. engine;
+  Alcotest.(check (float 1e-9)) "hop 1 healed" 0.
+    (Pcc_net.Link.loss links.(1));
+  Alcotest.check_raises "hop out of range"
+    (Invalid_argument "Fault.inject: partition hop 7 outside [0,2)") (fun () ->
+      Fault.inject tgt
+        [ Fault.at 5. (Fault.Partition { duration = 1.; hop = 7 }) ])
+
+(* ------------------------------------------------------------------ *)
+(* Invariant checker *)
+
+let test_invariants_pass_on_healthy_run () =
+  let engine, path = build_path () in
+  let inv = Invariant.attach_path path in
+  Engine.run ~until:5. engine;
+  Invariant.check_now inv;
+  Alcotest.(check bool) "swept many times" true (Invariant.checks_run inv > 50);
+  Invariant.stop inv;
+  let n = Invariant.checks_run inv in
+  Engine.run ~until:6. engine;
+  Alcotest.(check int) "stop stops sweeping" n (Invariant.checks_run inv)
+
+let test_invariants_pass_under_faults () =
+  (* The checker must hold across every fault kind — faults perturb the
+     network, never the accounting. *)
+  let engine, path = build_path () in
+  let inv = Invariant.attach_path path in
+  Fault.inject_path path
+    [
+      Fault.at 1. (Fault.Loss_burst { duration = 1.; loss = 0.3 });
+      Fault.at 3. (Fault.Bandwidth_cliff { duration = 1.; factor = 0.2 });
+      Fault.at 5. (Fault.Duplication_episode { duration = 1.; prob = 0.3 });
+      Fault.at 7.
+        (Fault.Reordering_episode { duration = 1.; prob = 0.3; extra = 0.02 });
+      Fault.at 9. (Fault.Delay_spike { duration = 1.; extra = 0.03 });
+    ];
+  Engine.run ~until:12. engine;
+  Invariant.check_now inv;
+  Alcotest.(check bool) "checker ran" true (Invariant.checks_run inv > 0)
+
+let lying_queue () =
+  (* An unbounded FIFO that advertises a zero-byte occupancy bound — the
+     cheapest way to manufacture a real, observable invariant violation. *)
+  let q = Pcc_net.Queue_disc.infinite () in
+  { q with Pcc_net.Queue_disc.capacity_bytes = (fun () -> Some 0) }
+
+let flood engine link n =
+  Pcc_net.Link.set_receiver link (fun _ -> ());
+  ignore
+    (Engine.schedule engine ~at:0. (fun () ->
+         let flow = Pcc_net.Packet.fresh_flow_id () in
+         for seq = 0 to n - 1 do
+           Pcc_net.Link.send link
+             (Pcc_net.Packet.data ~flow ~seq ~size:1500 ~now:0. ~retx:false)
+         done))
+
+let test_invariant_catches_occupancy_violation () =
+  let engine = Engine.create () in
+  let rng = Rng.create 1 in
+  let link =
+    (* 12 kbit/s: one packet per second, so the flood sits in the queue. *)
+    Pcc_net.Link.create engine ~rng ~bandwidth:12000. ~delay:0.001
+      ~queue:(lying_queue ()) ()
+  in
+  let seen = ref [] in
+  let inv =
+    Invariant.attach_link engine
+      ~on_violation:(fun v -> seen := v :: !seen)
+      link
+  in
+  flood engine link 10;
+  Engine.run ~until:0.2 engine;
+  Alcotest.(check bool) "violation collected" true
+    (List.exists (fun v -> v.Invariant.check = "occupancy") !seen);
+  Invariant.stop inv
+
+let test_violation_surfaces_as_event_error () =
+  (* Default policy: the sweep raises Violation inside an engine callback,
+     which the hardened dispatcher wraps with the scheduled time. *)
+  let engine = Engine.create () in
+  let rng = Rng.create 1 in
+  let link =
+    Pcc_net.Link.create engine ~rng ~bandwidth:12000. ~delay:0.001
+      ~queue:(lying_queue ()) ()
+  in
+  ignore (Invariant.attach_link engine link);
+  flood engine link 10;
+  (match Engine.run ~until:0.2 engine with
+  | () -> Alcotest.fail "expected Event_error"
+  | exception Engine.Event_error { time; exn = Invariant.Violation v } ->
+    Alcotest.(check string) "check name" "occupancy" v.Invariant.check;
+    Alcotest.(check (float 1e-9)) "context time matches violation" time
+      v.Invariant.time
+  | exception e -> raise e);
+  (* Collect policy instead records it and keeps going. *)
+  Engine.set_on_error engine Engine.Collect;
+  Engine.run ~until:0.3 engine;
+  Alcotest.(check bool) "collected under Collect" true
+    (Engine.errors engine <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Recovery metrics *)
+
+let series_of f = Array.init 121 (fun i ->
+    let t = float_of_int i *. 0.25 in
+    (t, f t))
+
+let test_recovery_clean () =
+  let series =
+    series_of (fun t -> if t >= 10. && t < 13. then 0. else 100.)
+  in
+  match
+    Pcc_metrics.Recovery.analyze ~series [ ("blackout", 10., 13.) ]
+  with
+  | [ r ] ->
+    Alcotest.(check (float 1e-6)) "baseline" 100. r.Pcc_metrics.Recovery.baseline;
+    Alcotest.(check (float 1e-6)) "full depth" 1. r.Pcc_metrics.Recovery.depth;
+    (match r.Pcc_metrics.Recovery.time_to_recover with
+    | Some ttr -> Alcotest.(check bool) "immediate recovery" true (ttr < 0.5)
+    | None -> Alcotest.fail "should recover")
+  | rs -> Alcotest.failf "expected 1 report, got %d" (List.length rs)
+
+let test_recovery_partial_depth () =
+  let series =
+    series_of (fun t -> if t >= 10. && t < 13. then 50. else 100.)
+  in
+  match
+    Pcc_metrics.Recovery.analyze ~series [ ("cliff", 10., 13.) ]
+  with
+  | [ r ] ->
+    Alcotest.(check (float 1e-6)) "half depth" 0.5 r.Pcc_metrics.Recovery.depth
+  | _ -> Alcotest.fail "one report"
+
+let test_recovery_never () =
+  let series = series_of (fun t -> if t >= 10. then 0. else 100.) in
+  match
+    Pcc_metrics.Recovery.analyze ~series [ ("blackout", 10., 13.) ]
+  with
+  | [ r ] ->
+    Alcotest.(check bool) "no recovery" true
+      (r.Pcc_metrics.Recovery.time_to_recover = None)
+  | _ -> Alcotest.fail "one report"
+
+let test_recovery_horizon_is_next_fault () =
+  (* Throughput comes back at t=16 but cannot sustain the required 2 s
+     before the next fault hits at t=17: the first fault must not be
+     credited with a recovery that only the post-second-fault data shows. *)
+  let series =
+    series_of (fun t ->
+        if (t >= 10. && t < 16.) || (t >= 17. && t < 19.) then 0. else 100.)
+  in
+  match
+    Pcc_metrics.Recovery.analyze ~series
+      [ ("first", 10., 12.); ("second", 17., 19.) ]
+  with
+  | [ a; b ] ->
+    Alcotest.(check bool) "first unrecovered before second" true
+      (a.Pcc_metrics.Recovery.time_to_recover = None);
+    Alcotest.(check bool) "second recovers" true
+      (b.Pcc_metrics.Recovery.time_to_recover <> None)
+  | rs -> Alcotest.failf "expected 2 reports, got %d" (List.length rs)
+
+let test_recovery_pp_table () =
+  let series = series_of (fun _ -> 100.) in
+  let reports =
+    Pcc_metrics.Recovery.analyze ~series [ ("noop", 10., 11.) ]
+  in
+  let out = Format.asprintf "%a" Pcc_metrics.Recovery.pp_table reports in
+  Alcotest.(check bool) "has header" true
+    (String.length out > 0 && String.index_opt out '\n' <> None)
+
+let suites =
+  [
+    ( "fault",
+      [
+        Alcotest.test_case "schedule helpers" `Quick test_schedule_helpers;
+        Alcotest.test_case "chaos determinism" `Quick test_chaos_deterministic;
+        Alcotest.test_case "chaos kind pool" `Quick test_chaos_kind_pool;
+        Alcotest.test_case "episode restoration" `Quick
+          test_inject_restores_episodes;
+        Alcotest.test_case "reverse blackhole restoration" `Quick
+          test_reverse_blackhole_restores_baseline;
+        Alcotest.test_case "partition per hop" `Quick
+          test_partition_targets_one_hop;
+      ] );
+    ( "fault.invariant",
+      [
+        Alcotest.test_case "healthy run passes" `Quick
+          test_invariants_pass_on_healthy_run;
+        Alcotest.test_case "holds under faults" `Slow
+          test_invariants_pass_under_faults;
+        Alcotest.test_case "catches occupancy violation" `Quick
+          test_invariant_catches_occupancy_violation;
+        Alcotest.test_case "violation carries event context" `Quick
+          test_violation_surfaces_as_event_error;
+      ] );
+    ( "fault.recovery",
+      [
+        Alcotest.test_case "clean recovery" `Quick test_recovery_clean;
+        Alcotest.test_case "partial depth" `Quick test_recovery_partial_depth;
+        Alcotest.test_case "never recovers" `Quick test_recovery_never;
+        Alcotest.test_case "horizon is next fault" `Quick
+          test_recovery_horizon_is_next_fault;
+        Alcotest.test_case "table rendering" `Quick test_recovery_pp_table;
+      ] );
+  ]

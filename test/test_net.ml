@@ -120,6 +120,62 @@ let test_link_dynamic_bandwidth () =
     Alcotest.(check (float 1e-9)) "new timing" (t0 +. 0.0011) t1
   | [] -> Alcotest.fail "no delivery"
 
+let test_link_bandwidth_change_mid_transmission () =
+  (* Pins the documented Link.set_bandwidth semantics that bandwidth-cliff
+     faults rely on: a packet already being serialized completes at the
+     OLD rate; the new rate applies from the next dequeue. *)
+  let engine = Engine.create () in
+  let link, received = make_link ~bandwidth:(Units.mbps 12.) ~delay:0. engine in
+  (* 1500 B at 12 Mbps = 1 ms serialization each. *)
+  Link.send link (Packet.data ~flow:1 ~seq:0 ~size:1500 ~now:0. ~retx:false);
+  Link.send link (Packet.data ~flow:1 ~seq:1 ~size:1500 ~now:0. ~retx:false);
+  (* Mid-way through packet 0's serialization, grow the link 10x. *)
+  ignore
+    (Engine.schedule engine ~at:0.0005 (fun () ->
+         Link.set_bandwidth link (Units.mbps 120.)));
+  Engine.run engine;
+  match List.rev !received with
+  | [ (t0, p0); (t1, p1) ] ->
+    Alcotest.(check int) "first seq" 0 p0.Packet.seq;
+    Alcotest.(check int) "second seq" 1 p1.Packet.seq;
+    (* Packet 0 keeps its pre-change completion time... *)
+    check_float "in-flight packet finishes at the old rate" 0.001 t0;
+    (* ...and packet 1 is the first to see the new 0.1 ms serialization. *)
+    check_float "next packet serializes at the new rate" 0.0011 t1
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 deliveries, got %d" (List.length l))
+
+let test_link_duplication_episode () =
+  let engine = Engine.create () in
+  let link, received = make_link engine in
+  Link.set_duplication link 1.;
+  Link.send link (Packet.data ~flow:1 ~seq:0 ~size:1500 ~now:0. ~retx:false);
+  Engine.run engine;
+  Alcotest.(check int) "delivered twice" 2 (List.length !received);
+  Alcotest.(check int) "counted" 1 (Link.duplicated_pkts link);
+  Alcotest.(check int) "dup bytes" 1500 (Link.duplicated_bytes link);
+  Link.set_duplication link 0.;
+  Link.send link (Packet.data ~flow:1 ~seq:1 ~size:1500 ~now:(Engine.now engine) ~retx:false);
+  Engine.run engine;
+  Alcotest.(check int) "episode over" 3 (List.length !received)
+
+let test_link_reordering_episode () =
+  let engine = Engine.create () in
+  let link, received = make_link engine in
+  (* Every packet gets +50 ms: with 1 ms serialization spacing, seq 0
+     (delayed) arrives after seq 1 would have without its own delay — use
+     prob 1 on seq 0 only by toggling the episode off in between. *)
+  Link.set_reordering link ~prob:1. ~extra:0.05;
+  Link.send link (Packet.data ~flow:1 ~seq:0 ~size:1500 ~now:0. ~retx:false);
+  ignore
+    (Engine.schedule engine ~at:0.0015 (fun () ->
+         Link.set_reordering link ~prob:0. ~extra:0.;
+         Link.send link
+           (Packet.data ~flow:1 ~seq:1 ~size:1500 ~now:0.0015 ~retx:false)));
+  Engine.run engine;
+  let seqs = List.rev_map (fun (_, p) -> p.Packet.seq) !received in
+  Alcotest.(check (list int)) "arrivals out of order" [ 1; 0 ] seqs;
+  Alcotest.(check int) "counted" 1 (Link.reordered_pkts link)
+
 let test_link_rejects_bad_args () =
   let engine = Engine.create () in
   let rng = Rng.create 1 in
@@ -404,6 +460,12 @@ let suites =
         Alcotest.test_case "overflow drops" `Quick test_link_queue_overflow_drops;
         Alcotest.test_case "random loss" `Quick test_link_random_loss;
         Alcotest.test_case "dynamic retuning" `Quick test_link_dynamic_bandwidth;
+        Alcotest.test_case "bandwidth change mid-transmission" `Quick
+          test_link_bandwidth_change_mid_transmission;
+        Alcotest.test_case "duplication episode" `Quick
+          test_link_duplication_episode;
+        Alcotest.test_case "reordering episode" `Quick
+          test_link_reordering_episode;
         Alcotest.test_case "bad args" `Quick test_link_rejects_bad_args;
       ] );
     ( "net.delay_line",

@@ -1,7 +1,11 @@
 open Pcc_sim
 open Pcc_scenario
 
-(* Failure injection and adversarial conditions. *)
+(* Failure injection and adversarial conditions, driven through the
+   declarative Fault schedule API (faults are data; Fault.inject compiles
+   them onto engine timers). The invariant checker rides along on the
+   fault-heavy scenarios, so every run also audits packet conservation,
+   queue occupancy and throughput bounds. *)
 
 let build ?(bandwidth = Units.mbps 50.) ?(rtt = 0.03) ?(loss = 0.)
     ?(rev_loss = 0.) ?seed:(sd = 31) spec =
@@ -24,10 +28,9 @@ let window_mbps engine f t0 t1 =
 
 let test_pcc_survives_blackout () =
   let engine, path, f = build (Transport.pcc ()) in
-  let link = Path.bottleneck path in
+  ignore (Invariant.attach_path path);
   (* Total blackout between t=10 and t=13. *)
-  ignore (Engine.schedule engine ~at:10. (fun () -> Pcc_net.Link.set_loss link 1.0));
-  ignore (Engine.schedule engine ~at:13. (fun () -> Pcc_net.Link.set_loss link 0.0));
+  Fault.inject_path path [ Fault.at 10. (Fault.Blackout { duration = 3. }) ];
   let before = window_mbps engine f 5. 10. in
   let during = window_mbps engine f 10.5 12.5 in
   let after = window_mbps engine f 25. 40. in
@@ -37,13 +40,10 @@ let test_pcc_survives_blackout () =
 
 let test_pcc_adapts_to_bandwidth_cliff () =
   let engine, path, f = build (Transport.pcc ()) in
-  let link = Path.bottleneck path in
-  ignore
-    (Engine.schedule engine ~at:15. (fun () ->
-         Pcc_net.Link.set_bandwidth link (Units.mbps 5.)));
-  ignore
-    (Engine.schedule engine ~at:30. (fun () ->
-         Pcc_net.Link.set_bandwidth link (Units.mbps 50.)));
+  ignore (Invariant.attach_path path);
+  (* 50 -> 5 Mbps at t=15, restored at t=30. *)
+  Fault.inject_path path
+    [ Fault.at 15. (Fault.Bandwidth_cliff { duration = 15.; factor = 0.1 }) ];
   let high1 = window_mbps engine f 8. 14. in
   let low = window_mbps engine f 22. 29. in
   let high2 = window_mbps engine f 45. 60. in
@@ -55,37 +55,123 @@ let test_pcc_adapts_to_bandwidth_cliff () =
 let test_pcc_tolerates_ack_loss () =
   (* 20% ack loss: cumulative acks must keep the monitor's loss estimate
      at the true (zero) data loss. *)
-  let engine, _, f = build ~rev_loss:0.2 (Transport.pcc ()) in
+  let engine, path, f = build (Transport.pcc ()) in
+  Fault.inject_path path
+    [ Fault.at 0. (Fault.Reverse_loss_burst { duration = 45.; loss = 0.2 }) ];
   let tput = window_mbps engine f 10. 40. in
   Alcotest.(check bool) "still near capacity" true (tput > 35.)
 
 let test_tcp_tolerates_ack_loss () =
-  let engine, _, f = build ~rev_loss:0.2 (Transport.tcp "newreno") in
+  let engine, path, f = build (Transport.tcp "newreno") in
+  Fault.inject_path path
+    [ Fault.at 0. (Fault.Reverse_loss_burst { duration = 45.; loss = 0.2 }) ];
   let tput = window_mbps engine f 10. 40. in
   Alcotest.(check bool) "cumulative acks carry reno" true (tput > 25.)
 
 let test_pcc_reverse_blackhole_then_recovery () =
   (* All acks vanish for 2 s: every MI during the hole reads 100% loss;
      PCC must neither crash nor deadlock, and must come back. *)
-  let engine = Engine.create () in
-  let rng = Rng.create 13 in
-  let bandwidth = Units.mbps 50. in
-  let path =
-    Path.build engine ~rng ~bandwidth ~rtt:0.03
-      ~buffer:(Units.bdp_bytes ~rate:bandwidth ~rtt:0.03)
-      ~rev_loss:0.
-      ~flows:[ Path.flow (Transport.pcc ()) ]
-      ()
-  in
-  let f = (Path.flows path).(0) in
-  (* Simulate the hole by dropping the *forward* link entirely — the
-     effect on the monitor is the same (nothing comes back). *)
-  let link = Path.bottleneck path in
-  ignore (Engine.schedule engine ~at:8. (fun () -> Pcc_net.Link.set_loss link 1.));
-  ignore (Engine.schedule engine ~at:10. (fun () -> Pcc_net.Link.set_loss link 0.));
+  let engine, path, f = build ~seed:13 (Transport.pcc ()) in
+  Fault.inject_path path
+    [ Fault.at 8. (Fault.Reverse_blackhole { duration = 2. }) ];
   Engine.run ~until:30. engine;
   let late = window_mbps engine f 30. 45. in
   Alcotest.(check bool) "recovered" true (late > 30.)
+
+let test_pcc_forward_blackhole_then_recovery () =
+  (* The forward-path variant of the same hole (the pre-Fault-API version
+     of this test): the monitor again sees nothing come back. *)
+  let engine, path, f = build ~seed:13 (Transport.pcc ()) in
+  Fault.inject_path path [ Fault.at 8. (Fault.Blackout { duration = 2. }) ];
+  Engine.run ~until:30. engine;
+  let late = window_mbps engine f 30. 45. in
+  Alcotest.(check bool) "recovered" true (late > 30.)
+
+let test_fault_restoration_is_exact () =
+  (* Faults snapshot the knob they perturb and restore it, composing with
+     a standing baseline impairment. *)
+  let engine, path, _ = build ~loss:0.01 (Transport.pcc ()) in
+  let link = Path.bottleneck path in
+  Fault.inject_path path
+    [
+      Fault.at 2. (Fault.Loss_burst { duration = 1.; loss = 0.3 });
+      Fault.at 5. (Fault.Bandwidth_cliff { duration = 1.; factor = 0.25 });
+      Fault.at 8. (Fault.Delay_spike { duration = 1.; extra = 0.05 });
+    ];
+  Engine.run ~until:2.5 engine;
+  Alcotest.(check (float 1e-9)) "burst active" 0.3 (Pcc_net.Link.loss link);
+  Engine.run ~until:4. engine;
+  Alcotest.(check (float 1e-9)) "baseline loss restored" 0.01
+    (Pcc_net.Link.loss link);
+  Engine.run ~until:5.5 engine;
+  Alcotest.(check (float 1e-9)) "cliff active" (Units.mbps 12.5)
+    (Pcc_net.Link.bandwidth link);
+  Engine.run ~until:7. engine;
+  Alcotest.(check (float 1e-9)) "bandwidth restored" (Units.mbps 50.)
+    (Pcc_net.Link.bandwidth link);
+  Engine.run ~until:8.5 engine;
+  Alcotest.(check (float 1e-9)) "spike active" 0.065
+    (Pcc_net.Link.delay link);
+  Engine.run ~until:10. engine;
+  Alcotest.(check (float 1e-9)) "delay restored" 0.015
+    (Pcc_net.Link.delay link)
+
+let test_chaos_gauntlet_pcc_vs_cubic () =
+  (* The paper's Fig. 11 dynamics claim, condensed: through an identical
+     seeded gauntlet of faults, PCC recovers to >=90% of its pre-fault
+     throughput after every fault. *)
+  let gauntlet spec =
+    let engine = Engine.create () in
+    let rng = Rng.create 11 in
+    let fault_rng = Rng.split rng in
+    let bandwidth = Units.mbps 50. in
+    let path =
+      Path.build engine ~rng ~bandwidth ~rtt:0.03
+        ~buffer:(Units.bdp_bytes ~rate:bandwidth ~rtt:0.03)
+        ~flows:[ Path.flow spec ]
+        ()
+    in
+    ignore (Invariant.attach_path path);
+    let f = (Path.flows path).(0) in
+    let recorder =
+      Pcc_metrics.Recorder.create engine ~interval:0.25 (fun () ->
+          float_of_int (Path.goodput_bytes f))
+    in
+    let schedule = Fault.chaos ~rng:fault_rng ~duration:60. () in
+    Fault.inject_path path schedule;
+    Engine.run ~until:60. engine;
+    let reports =
+      Pcc_metrics.Recovery.analyze
+        ~series:(Pcc_metrics.Recorder.rates_bps recorder)
+        (Fault.windows schedule)
+    in
+    (Fault.windows schedule, reports, Path.goodput_bytes f)
+  in
+  let faults_pcc, reports_pcc, goodput_pcc = gauntlet (Transport.pcc ()) in
+  let faults_cubic, reports_cubic, goodput_cubic =
+    gauntlet (Transport.tcp "cubic")
+  in
+  (* Determinism: both transports faced the exact same gauntlet. *)
+  Alcotest.(check bool) "identical schedules" true (faults_pcc = faults_cubic);
+  Alcotest.(check bool) "gauntlet not empty" true (List.length faults_pcc >= 2);
+  Alcotest.(check int) "one report per fault" (List.length faults_pcc)
+    (List.length reports_pcc);
+  (* PCC comes back from every fault... *)
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        ("pcc recovers from " ^ r.Pcc_metrics.Recovery.label)
+        true
+        (r.Pcc_metrics.Recovery.time_to_recover <> None))
+    reports_pcc;
+  (* ...and neither transport collapses outright. *)
+  Alcotest.(check bool) "pcc made progress" true
+    (float_of_int (goodput_pcc * 8) /. 60. > Units.mbps 20.);
+  Alcotest.(check bool) "cubic made progress" true
+    (float_of_int (goodput_cubic * 8) /. 60. > Units.mbps 5.);
+  Alcotest.(check int) "one report per fault (cubic)"
+    (List.length faults_cubic)
+    (List.length reports_cubic)
 
 let test_determinism_end_to_end () =
   (* The flagship reproducibility property: identical seeds give
@@ -119,6 +205,7 @@ let test_many_flows_share_link () =
       ~flows:(List.init 16 (fun _ -> Path.flow (Transport.pcc ())))
       ()
   in
+  ignore (Invariant.attach_path path);
   Engine.run ~until:60. engine;
   let fs = Path.flows path in
   let b0 = Array.map Path.goodput_bytes fs in
@@ -174,7 +261,8 @@ let test_zero_size_transfer () =
 let prop_conservation =
   (* End-to-end conservation on random single-flow scenarios: the receiver
      never accepts more distinct bytes than were sent, goodput never
-     exceeds capacity x time, and the engine drains without error. *)
+     exceeds capacity x time, and the engine drains without error. The
+     invariant checker audits the same run at link granularity. *)
   QCheck.Test.make ~name:"conservation: goodput <= sent and <= capacity*time"
     ~count:12
     QCheck.(
@@ -199,6 +287,7 @@ let prop_conservation =
           ~flows:[ Path.flow spec ]
           ()
       in
+      ignore (Invariant.attach_path path);
       let duration = 5. in
       Engine.run ~until:duration engine;
       let f = (Path.flows path).(0) in
@@ -219,6 +308,12 @@ let suites =
         Alcotest.test_case "ack loss (tcp)" `Slow test_tcp_tolerates_ack_loss;
         Alcotest.test_case "reverse blackhole" `Slow
           test_pcc_reverse_blackhole_then_recovery;
+        Alcotest.test_case "forward blackhole" `Slow
+          test_pcc_forward_blackhole_then_recovery;
+        Alcotest.test_case "fault restoration" `Quick
+          test_fault_restoration_is_exact;
+        Alcotest.test_case "chaos gauntlet (pcc vs cubic)" `Slow
+          test_chaos_gauntlet_pcc_vs_cubic;
         Alcotest.test_case "determinism" `Slow test_determinism_end_to_end;
         Alcotest.test_case "seed variation" `Quick test_seeds_actually_vary;
         Alcotest.test_case "16-flow sharing" `Slow test_many_flows_share_link;

@@ -174,6 +174,92 @@ let test_engine_negative_delay_clamped () =
   check_float "clock unchanged" 0. (Engine.now engine)
 
 (* ------------------------------------------------------------------ *)
+(* Engine hardening: exception-safe dispatch and the livelock watchdog *)
+
+let test_engine_event_error_context () =
+  let engine = Engine.create () in
+  ignore (Engine.schedule engine ~at:1.5 (fun () -> failwith "boom"));
+  ignore (Engine.schedule engine ~at:2. (fun () -> ()));
+  (match Engine.run engine with
+  | () -> Alcotest.fail "raising callback must surface"
+  | exception Engine.Event_error { time; exn } ->
+    check_float "scheduled time attached" 1.5 time;
+    Alcotest.(check bool) "original exn preserved" true
+      (match exn with Failure m -> m = "boom" | _ -> false));
+  (* The failing event was consumed and the engine is still steppable. *)
+  check_float "clock advanced to the failed event" 1.5 (Engine.now engine);
+  Alcotest.(check bool) "next event still runs" true (Engine.step engine);
+  check_float "clock reaches the survivor" 2. (Engine.now engine)
+
+let test_engine_collect_policy () =
+  let engine = Engine.create ~on_error:Collect () in
+  let survived = ref false in
+  ignore (Engine.schedule engine ~at:1. (fun () -> failwith "first"));
+  ignore (Engine.schedule engine ~at:2. (fun () -> failwith "second"));
+  ignore (Engine.schedule engine ~at:3. (fun () -> survived := true));
+  Engine.run engine;
+  Alcotest.(check bool) "later events still ran" true !survived;
+  let errs = Engine.errors engine in
+  Alcotest.(check int) "both errors collected" 2 (List.length errs);
+  check_float "oldest first" 1. (fst (List.hd errs));
+  Engine.clear_errors engine;
+  Alcotest.(check int) "cleared" 0 (List.length (Engine.errors engine))
+
+let test_engine_livelock_watchdog () =
+  (* A zero-delay self-rescheduling event must trip the watchdog instead
+     of hanging the run forever. *)
+  let engine = Engine.create ~stall_budget:500 () in
+  ignore
+    (Engine.schedule engine ~at:1. (fun () ->
+         let rec respawn () =
+           ignore (Engine.schedule_in engine ~after:0. respawn)
+         in
+         respawn ()));
+  (match Engine.run engine with
+  | () -> Alcotest.fail "expected a livelock"
+  | exception Engine.Livelock { time; events; kind = Engine.Stall } ->
+    check_float "offending instant reported" 1. time;
+    Alcotest.(check bool) "budget was spent" true (events > 500);
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    let msg =
+      Printexc.to_string (Engine.Livelock { time; events; kind = Engine.Stall })
+    in
+    Alcotest.(check bool) "time is in the message" true (contains msg "t=1.0")
+  | exception Engine.Livelock _ -> Alcotest.fail "wrong livelock kind");
+  (* The watchdog fires mid-run but the engine survives: advancing the
+     clock resets the stall counter. *)
+  ignore (Engine.schedule_in engine ~after:1. (fun () -> ()));
+  Alcotest.(check bool) "still steppable" true (Engine.step engine)
+
+let test_engine_event_budget () =
+  let engine = Engine.create () in
+  let rec chain n =
+    ignore
+      (Engine.schedule_in engine ~after:0.001 (fun () -> chain (n + 1)))
+  in
+  chain 0;
+  match Engine.run ~max_events:100 engine with
+  | () -> Alcotest.fail "expected budget exhaustion"
+  | exception Engine.Livelock { events; kind = Engine.Budget; _ } ->
+    Alcotest.(check int) "stopped at the budget" 100 events
+  | exception Engine.Livelock _ -> Alcotest.fail "wrong livelock kind"
+
+let test_engine_watchdog_spares_bursts () =
+  (* Many simultaneous events are normal (incast); only unbounded
+     same-instant loops should trip. *)
+  let engine = Engine.create ~stall_budget:1000 () in
+  let fired = ref 0 in
+  for _ = 1 to 900 do
+    ignore (Engine.schedule engine ~at:1. (fun () -> incr fired))
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "all burst events ran" 900 !fired
+
+(* ------------------------------------------------------------------ *)
 (* Rng *)
 
 let test_rng_deterministic () =
@@ -292,6 +378,14 @@ let suites =
         Alcotest.test_case "same-time fifo" `Quick test_engine_same_time_fifo;
         Alcotest.test_case "negative delay clamped" `Quick
           test_engine_negative_delay_clamped;
+        Alcotest.test_case "event error carries its time" `Quick
+          test_engine_event_error_context;
+        Alcotest.test_case "collect policy" `Quick test_engine_collect_policy;
+        Alcotest.test_case "livelock watchdog" `Quick
+          test_engine_livelock_watchdog;
+        Alcotest.test_case "event budget" `Quick test_engine_event_budget;
+        Alcotest.test_case "watchdog spares bursts" `Quick
+          test_engine_watchdog_spares_bursts;
       ] );
     ( "sim.rng",
       [

@@ -77,11 +77,13 @@ let test_simple_utility () =
 
 let test_vivace_properties () =
   let u = Utility.vivace () in
-  (* Concave growth in rate at zero loss and flat RTT. *)
+  (* Concave growth in rate at zero loss and flat RTT. Concavity must be
+     checked over equal-width rate steps — unequal intervals can order the
+     differences either way even for a genuinely concave x^0.9. *)
   let at x = eval u (metrics ~rate:(x *. 1e6) ~throughput:(x *. 1e6) ()) in
   Alcotest.(check bool) "monotone" true (at 100. > at 50. && at 50. > at 10.);
   Alcotest.(check bool) "concave" true
-    (at 100. -. at 50. < at 50. -. at 10.);
+    (at 90. -. at 50. < at 50. -. at 10.);
   (* RTT growth within the MI is penalized; draining is never rewarded
      beyond the plain rate term. *)
   let grow = eval u (metrics ~rtt_early:0.03 ~rtt_late:0.05 ()) in
