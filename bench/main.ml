@@ -6,114 +6,21 @@
      dune exec bench/main.exe                 -- all experiments, default scale
      dune exec bench/main.exe -- --scale 1.0  -- paper-length runs
      dune exec bench/main.exe -- --only fig7,fig9
+     dune exec bench/main.exe -- --jobs 4     -- fan out over 4 domains
      dune exec bench/main.exe -- --micro      -- bechamel micro-benchmarks
      dune exec bench/main.exe -- --list
+
+   Experiment runs write a machine-readable BENCH_pcc.json (see --out and
+   README.md for the schema). With --jobs N > 1 each experiment is also
+   re-run sequentially to measure the speedup and to assert that the
+   parallel output is byte-identical to the sequential one.
 
    Set PCC_DUMP_DIR=<dir> to also write the fig11/fig12 time series as
    CSVs for external plotting.                                              *)
 
 open Pcc_experiments
 
-let experiments : (string * string * (scale:float -> seed:int -> unit)) list =
-  [
-    ( "game",
-      "Theorems 1-2: game dynamics, equilibrium, naive-utility contrast",
-      fun ~scale:_ ~seed -> Exp_game.print ~seed () );
-    ( "fig5",
-      "Fig. 4/5: large-scale Internet experiment (synthetic paths)",
-      fun ~scale ~seed -> Exp_internet.print ~scale ~seed () );
-    ( "table1",
-      "Table 1: inter-data-center paths over reserved bandwidth",
-      fun ~scale ~seed -> Exp_interdc.print ~scale ~seed () );
-    ( "fig6",
-      "Fig. 6: emulated satellite links",
-      fun ~scale ~seed -> Exp_satellite.print ~scale ~seed () );
-    ( "fig7",
-      "Fig. 7: random loss resilience",
-      fun ~scale ~seed -> Exp_loss.print ~scale ~seed () );
-    ( "fig8",
-      "Fig. 8: RTT fairness",
-      fun ~scale ~seed -> Exp_rtt_fairness.print ~scale ~seed () );
-    ( "fig9",
-      "Fig. 9: shallow bottleneck buffers",
-      fun ~scale ~seed -> Exp_buffer.print ~scale ~seed () );
-    ( "fig10",
-      "Fig. 10: data-center incast",
-      fun ~scale ~seed -> Exp_incast.print ~scale ~seed () );
-    ( "fig11",
-      "Fig. 11: rapidly changing network",
-      fun ~scale ~seed ->
-        let rows, series = Exp_dynamic.run ~scale ~seed () in
-        Exp_common.print_table (Exp_dynamic.table rows);
-        match Sys.getenv_opt "PCC_DUMP_DIR" with
-        | None -> ()
-        | Some dir ->
-          let all =
-            List.concat_map
-              (fun (name, pts) ->
-                [
-                  ( name ^ "-rate",
-                    Array.of_list
-                      (List.map
-                         (fun p ->
-                           Exp_dynamic.(p.time, p.rate /. 1e6))
-                         pts) );
-                  ( name ^ "-optimal",
-                    Array.of_list
-                      (List.map
-                         (fun p ->
-                           Exp_dynamic.(p.time, p.optimal /. 1e6))
-                         pts) );
-                ])
-              series
-          in
-          let path = Filename.concat dir "fig11_rate_tracking.csv" in
-          Pcc_metrics.Series_io.write_multi_series ~path all;
-          Printf.printf "[series written to %s]\n" path );
-    ( "fig12",
-      "Fig. 12/13: convergence and fairness of competing flows",
-      fun ~scale ~seed ->
-        let results = Exp_convergence.run ~scale ~seed () in
-        Exp_common.print_table (Exp_convergence.table results);
-        match Sys.getenv_opt "PCC_DUMP_DIR" with
-        | None -> ()
-        | Some dir ->
-          List.iter
-            (fun r ->
-              let open Exp_convergence in
-              let series =
-                List.mapi
-                  (fun i s ->
-                    ( Printf.sprintf "flow%d" (i + 1),
-                      Array.map (fun (t, v) -> (t, v /. 1e6)) s ))
-                  r.series
-              in
-              let path =
-                Filename.concat dir
-                  (Printf.sprintf "fig12_%s_rates.csv" r.protocol)
-              in
-              Pcc_metrics.Series_io.write_multi_series ~path series;
-              Printf.printf "[series written to %s]\n" path)
-            results );
-    ( "fig14",
-      "Fig. 14: TCP friendliness vs parallel-TCP selfishness",
-      fun ~scale ~seed -> Exp_friendliness.print ~scale ~seed () );
-    ( "fig15",
-      "Fig. 15: short-flow completion times",
-      fun ~scale ~seed -> Exp_fct.print ~scale ~seed () );
-    ( "fig16",
-      "Fig. 16: stability vs reactiveness trade-off",
-      fun ~scale ~seed -> Exp_tradeoff.print ~scale ~seed () );
-    ( "fig17",
-      "Fig. 17: power under FQ with CoDel vs bufferbloat",
-      fun ~scale ~seed -> Exp_power.print ~scale ~seed () );
-    ( "highloss",
-      "Sec. 4.4.2: loss-resilient utility under 10-50% loss",
-      fun ~scale ~seed -> Exp_high_loss.print ~scale ~seed () );
-    ( "ablation",
-      "Ablations: confidence-bound loss estimate, MI sizing",
-      fun ~scale ~seed -> Exp_ablation.print ~scale ~seed () );
-  ]
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the simulator's hot paths. *)
@@ -133,11 +40,39 @@ let micro () =
     done;
     Pcc_sim.Engine.run engine
   in
+  let engine_drain_bench () =
+    (* A 10k-event drain: the steady-state run loop without callbacks
+       scheduling more work, i.e. pure pop + dispatch cost. *)
+    let engine = Pcc_sim.Engine.create () in
+    let n = ref 0 in
+    for i = 1 to 10_000 do
+      ignore
+        (Pcc_sim.Engine.schedule engine
+           ~at:(float_of_int (i * 7919 mod 10_000) *. 1e-4)
+           (fun () -> incr n))
+    done;
+    Pcc_sim.Engine.run engine
+  in
   let heap_bench () =
     let h = Pcc_sim.Event_heap.create () in
     for i = 0 to 99 do
       ignore (Pcc_sim.Event_heap.push h ~time:(float_of_int (i * 7919 mod 100)) i)
     done;
+    while Pcc_sim.Event_heap.pop h <> None do
+      ()
+    done
+  in
+  let heap_churn_bench () =
+    (* Timer-wheel-like churn: push, cancel half (as rescheduled timers
+       do), pop the survivors. Exercises the lazy-deletion path. *)
+    let h = Pcc_sim.Event_heap.create () in
+    let handles =
+      Array.init 256 (fun i ->
+          Pcc_sim.Event_heap.push h ~time:(float_of_int (i * 7919 mod 256)) i)
+    in
+    Array.iteri
+      (fun i han -> if i land 1 = 0 then Pcc_sim.Event_heap.cancel han)
+      handles;
     while Pcc_sim.Event_heap.pop h <> None do
       ()
     done
@@ -175,7 +110,10 @@ let micro () =
   let tests =
     [
       Test.make ~name:"engine: 100-event cascade" (Staged.stage engine_bench);
+      Test.make ~name:"engine: 10k-event drain" (Staged.stage engine_drain_bench);
       Test.make ~name:"event_heap: 100 push+pop" (Staged.stage heap_bench);
+      Test.make ~name:"event_heap: 256 push+cancel+pop churn"
+        (Staged.stage heap_churn_bench);
       Test.make ~name:"rng: one float" (Staged.stage rng_bench);
       Test.make ~name:"utility: one safe eval" (Staged.stage utility_bench);
       Test.make ~name:"pcc: 1 simulated second @20Mbps"
@@ -201,11 +139,69 @@ let micro () =
         (fun name result ->
           match Bechamel.Analyze.OLS.estimates result with
           | Some [ est ] ->
-            Printf.printf "%-36s %12.1f ns/run\n" name est
-          | _ -> Printf.printf "%-36s (no estimate)\n" name)
+            Printf.printf "%-40s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "%-40s (no estimate)\n" name)
         results)
     tests;
   flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_pcc.json: a hand-rolled writer (no JSON dependency). *)
+
+type bench_record = {
+  b_name : string;
+  b_wall : float;
+  b_events : int;
+  (* Present only when --jobs > 1: the sequential re-run. *)
+  b_seq_wall : float option;
+  b_identical : bool option;
+}
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_bench_json ~path ~scale ~seed ~jobs ~total_wall records =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"pcc-bench/1\",\n";
+  p "  \"scale\": %g,\n" scale;
+  p "  \"seed\": %d,\n" seed;
+  p "  \"jobs\": %d,\n" jobs;
+  p "  \"total_wall_s\": %.6f,\n" total_wall;
+  p "  \"experiments\": [\n";
+  List.iteri
+    (fun i r ->
+      p "    {\n";
+      p "      \"name\": \"%s\",\n" (json_escape r.b_name);
+      p "      \"wall_s\": %.6f,\n" r.b_wall;
+      p "      \"events\": %d,\n" r.b_events;
+      p "      \"events_per_sec\": %.1f"
+        (if r.b_wall > 0. then float_of_int r.b_events /. r.b_wall else 0.);
+      (match r.b_seq_wall with
+      | Some sw ->
+        p ",\n      \"seq_wall_s\": %.6f,\n" sw;
+        p "      \"speedup\": %.3f,\n"
+          (if r.b_wall > 0. then sw /. r.b_wall else 0.);
+        p "      \"identical\": %b\n"
+          (match r.b_identical with Some b -> b | None -> false)
+      | None -> p "\n");
+      p "    }%s\n" (if i = List.length records - 1 then "" else ","))
+    records;
+  p "  ]\n";
+  p "}\n";
+  close_out oc
 
 (* ------------------------------------------------------------------ *)
 
@@ -213,6 +209,8 @@ let () =
   let scale = ref 0.3 in
   let seed = ref 42 in
   let only = ref [] in
+  let jobs = ref 1 in
+  let out = ref "BENCH_pcc.json" in
   let run_micro = ref false in
   let list_only = ref false in
   let rec parse = function
@@ -226,6 +224,12 @@ let () =
     | "--only" :: v :: rest ->
       only := String.split_on_char ',' v;
       parse rest
+    | "--jobs" :: v :: rest ->
+      jobs := int_of_string v;
+      parse rest
+    | "--out" :: v :: rest ->
+      out := v;
+      parse rest
     | "--micro" :: rest ->
       run_micro := true;
       parse rest
@@ -235,31 +239,100 @@ let () =
     | arg :: _ ->
       Printf.eprintf
         "unknown argument %s\n\
-         usage: main.exe [--scale S] [--seed N] [--only a,b] [--micro] [--list]\n"
+         usage: main.exe [--scale S] [--seed N] [--only a,b] [--jobs N] \
+         [--out FILE] [--micro] [--list]\n"
         arg;
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
   if !list_only then begin
     List.iter
-      (fun (name, descr, _) -> Printf.printf "%-10s %s\n" name descr)
-      experiments;
+      (fun e -> Printf.printf "%-10s %s\n" e.Exp_registry.name e.Exp_registry.descr)
+      Exp_registry.all;
     exit 0
   end;
   if !run_micro then micro ()
   else begin
+    if !jobs < 1 then begin
+      Printf.eprintf "--jobs must be >= 1\n";
+      exit 2
+    end;
+    let dump_dir = Sys.getenv_opt "PCC_DUMP_DIR" in
     Printf.printf
-      "PCC reproduction benchmarks (scale %.2f of paper durations, seed %d)\n"
-      !scale !seed;
-    let wanted (name, _, _) = !only = [] || List.mem name !only in
-    List.iter
-      (fun ((name, descr, f) as e) ->
-        if wanted e then begin
-          Printf.printf "\n### %s — %s\n%!" name descr;
-          let t0 = Unix.gettimeofday () in
-          f ~scale:!scale ~seed:!seed;
-          Printf.printf "[%s took %.1fs wall]\n%!" name
-            (Unix.gettimeofday () -. t0)
-        end)
-      experiments
+      "PCC reproduction benchmarks (scale %.2f of paper durations, seed %d, \
+       jobs %d)\n"
+      !scale !seed !jobs;
+    let wanted e = !only = [] || List.mem e.Exp_registry.name !only in
+    (match
+       List.filter
+         (fun n -> Exp_registry.find n = None)
+         !only
+     with
+    | [] -> ()
+    | unknown ->
+      Printf.eprintf "unknown experiment(s): %s (see --list)\n"
+        (String.concat ", " unknown);
+      exit 2);
+    let pool = if !jobs > 1 then Some (Runner.create ~jobs:!jobs ()) else None in
+    let mismatches = ref [] in
+    let t_start = now_s () in
+    let records =
+      List.filter_map
+        (fun e ->
+          if not (wanted e) then None
+          else begin
+            let open Exp_registry in
+            Printf.printf "\n### %s — %s\n%!" e.name e.descr;
+            let e0 = Pcc_sim.Engine.total_executed () in
+            let t0 = now_s () in
+            let rendered = e.render ?pool ?dump_dir ~scale:!scale ~seed:!seed () in
+            let wall = now_s () -. t0 in
+            let events = Pcc_sim.Engine.total_executed () - e0 in
+            print_string rendered;
+            Printf.printf "[%s took %.1fs wall, %d events]\n%!" e.name wall
+              events;
+            let seq_wall, identical =
+              match pool with
+              | None -> (None, None)
+              | Some _ ->
+                (* Sequential re-run: measures speedup and proves the
+                   parallel output is byte-identical. *)
+                let t0 = now_s () in
+                let seq = e.render ~scale:!scale ~seed:!seed () in
+                let sw = now_s () -. t0 in
+                let same = String.equal seq rendered in
+                if not same then begin
+                  mismatches := e.name :: !mismatches;
+                  Printf.printf
+                    "[%s MISMATCH: parallel output differs from sequential]\n%!"
+                    e.name
+                end
+                else
+                  Printf.printf "[%s sequential re-run %.1fs, speedup %.2fx, \
+                                 outputs identical]\n%!"
+                    e.name sw
+                    (if wall > 0. then sw /. wall else 0.);
+                (Some sw, Some same)
+            in
+            Some
+              {
+                b_name = e.name;
+                b_wall = wall;
+                b_events = events;
+                b_seq_wall = seq_wall;
+                b_identical = identical;
+              }
+          end)
+        Exp_registry.all
+    in
+    let total_wall = now_s () -. t_start in
+    (match pool with Some p -> Runner.shutdown p | None -> ());
+    write_bench_json ~path:!out ~scale:!scale ~seed:!seed ~jobs:!jobs
+      ~total_wall records;
+    Printf.printf "\n[bench results written to %s]\n%!" !out;
+    if !mismatches <> [] then begin
+      Printf.eprintf "determinism violation in: %s\n"
+        (String.concat ", " (List.rev !mismatches));
+      exit 1
+    end
   end

@@ -177,6 +177,48 @@ let game_cmd senders capacity steps =
   done;
   `Ok ()
 
+let exp_cmd names scale seed jobs dump_dir list_exps =
+  let open Pcc_experiments in
+  if list_exps then begin
+    List.iter
+      (fun e ->
+        Printf.printf "%-10s %s\n" e.Exp_registry.name e.Exp_registry.descr)
+      Exp_registry.all;
+    `Ok ()
+  end
+  else if jobs < 1 then `Error (false, "--jobs must be >= 1")
+  else begin
+    let entries =
+      match names with
+      | [] -> Ok Exp_registry.all
+      | names ->
+        let unknown =
+          List.filter (fun n -> Exp_registry.find n = None) names
+        in
+        if unknown <> [] then
+          Error
+            (Printf.sprintf "unknown experiment(s): %s (try --list)"
+               (String.concat ", " unknown))
+        else
+          Ok
+            (List.filter
+               (fun e -> List.mem e.Exp_registry.name names)
+               Exp_registry.all)
+    in
+    match entries with
+    | Error msg -> `Error (false, msg)
+    | Ok entries ->
+      Runner.with_pool ~jobs (fun pool ->
+          List.iter
+            (fun e ->
+              let open Exp_registry in
+              Printf.printf "\n### %s — %s\n%!" e.name e.descr;
+              print_string (e.render ~pool ?dump_dir ~scale ~seed ());
+              flush stdout)
+            entries);
+      `Ok ()
+  end
+
 let list_cmd () =
   Printf.printf "transports:\n";
   List.iter (Printf.printf "  %s\n")
@@ -282,11 +324,54 @@ let game_term =
   in
   Term.(ret (const game_cmd $ senders $ capacity $ steps))
 
+let exp_term =
+  let names_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:"Experiments to run (default: all). See $(b,--list).")
+  in
+  let scale_arg =
+    Arg.(
+      value & opt float 0.3
+      & info [ "scale" ] ~docv:"S"
+          ~doc:"Fraction of the paper's run durations.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int (Pcc_experiments.Runner.default_jobs ())
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the simulation fan-out (default: the \
+             machine's recommended domain count). Output is byte-identical \
+             for every N.")
+  in
+  let dump_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-dir" ] ~docv:"DIR"
+          ~doc:"Also write fig11/fig12 time-series CSVs into $(docv).")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List experiments and exit.")
+  in
+  Term.(
+    ret
+      (const exp_cmd $ names_arg $ scale_arg $ seed_arg $ jobs_arg $ dump_arg
+     $ list_arg))
+
 let cmds =
   [
     Cmd.v
       (Cmd.info "run" ~doc:"Simulate flows sharing one bottleneck link")
       run_term;
+    Cmd.v
+      (Cmd.info "exp"
+         ~doc:
+           "Reproduce the paper's experiments (optionally in parallel with \
+            --jobs)")
+      exp_term;
     Cmd.v
       (Cmd.info "chaos"
          ~doc:

@@ -17,39 +17,39 @@ let pcc_min_pkts n =
       { c with Pcc_sender.monitor = { c.Pcc_sender.monitor with Monitor.min_pkts = n } }
     ()
 
-let run ?(scale = 1.) ?(seed = 42) () =
+let variants () =
+  [
+    ("safe utility, LCB loss (default)", pcc_conservative true);
+    ("safe utility, raw loss (paper literal)", pcc_conservative false);
+    ("MI >= 10 pkts (default)", pcc_min_pkts 10);
+    ("MI >= 40 pkts", pcc_min_pkts 40);
+  ]
+
+let tasks ?(scale = 1.) ?(seed = 42) () =
   let bandwidth = Units.mbps 100. and rtt = 0.03 in
   let buffer = Units.bdp_bytes ~rate:bandwidth ~rtt in
   let duration = 60. *. scale in
-  let measure loss spec =
-    Exp_common.solo_throughput ~seed ~bandwidth ~rtt ~buffer ~duration ~loss
-      spec
-  in
   List.concat_map
     (fun loss ->
-      [
-        {
-          label = "safe utility, LCB loss (default)";
-          loss;
-          throughput = measure loss (pcc_conservative true);
-        };
-        {
-          label = "safe utility, raw loss (paper literal)";
-          loss;
-          throughput = measure loss (pcc_conservative false);
-        };
-        {
-          label = "MI >= 10 pkts (default)";
-          loss;
-          throughput = measure loss (pcc_min_pkts 10);
-        };
-        {
-          label = "MI >= 40 pkts";
-          loss;
-          throughput = measure loss (pcc_min_pkts 40);
-        };
-      ])
+      List.map
+        (fun (label, spec) ->
+          Exp_common.task
+            ~label:(Printf.sprintf "ablation/%s/loss=%g" label loss)
+            (fun () ->
+              {
+                label;
+                loss;
+                throughput =
+                  Exp_common.solo_throughput ~seed ~bandwidth ~rtt ~buffer
+                    ~duration ~loss spec;
+              }))
+        (variants ()))
     [ 0.0; 0.01 ]
+
+let collect results = results
+
+let run ?pool ?scale ?seed () =
+  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ()))
 
 let table rows =
   Exp_common.
@@ -69,5 +69,5 @@ let table rows =
            of decision latency.";
     }
 
-let print ?scale ?seed () =
-  Exp_common.print_table (table (run ?scale ?seed ()))
+let print ?pool ?scale ?seed () =
+  Exp_common.print_table (table (run ?pool ?scale ?seed ()))

@@ -16,6 +16,12 @@ type row = {
   throughput : float;  (** bits/s over the measurement window *)
 }
 
-val run : ?scale:float -> ?seed:int -> unit -> row list
+val tasks : ?scale:float -> ?seed:int -> unit -> row Exp_common.task list
+(** One simulation per (variant, loss); each task yields its row. *)
+
+val collect : row list -> row list
+(** Identity — each task already yields a finished row. *)
+
+val run : ?pool:Runner.t -> ?scale:float -> ?seed:int -> unit -> row list
 val table : row list -> Exp_common.table
-val print : ?scale:float -> ?seed:int -> unit -> unit
+val print : ?pool:Runner.t -> ?scale:float -> ?seed:int -> unit -> unit

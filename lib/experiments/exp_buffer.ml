@@ -6,21 +6,39 @@ type row = { buffer : int; pcc : float; cubic : float; paced_reno : float }
 let default_buffers =
   [ 1500; 4500; 9000; 18000; 45000; 90000; 187500; 375000 ]
 
-let run ?(scale = 1.) ?(seed = 42) ?(buffers = default_buffers) () =
+let specs () =
+  [
+    ("pcc", Transport.pcc ());
+    ("cubic", Transport.tcp "cubic");
+    ("paced-reno", Transport.tcp_paced "newreno");
+  ]
+
+let tasks ?(scale = 1.) ?(seed = 42) ?(buffers = default_buffers) () =
   let bandwidth = Units.mbps 100. and rtt = 0.03 in
   let duration = 100. *. scale in
-  let measure buffer spec =
-    Exp_common.solo_throughput ~seed ~bandwidth ~rtt ~buffer ~duration spec
-  in
-  List.map
+  List.concat_map
     (fun buffer ->
-      {
-        buffer;
-        pcc = measure buffer (Transport.pcc ());
-        cubic = measure buffer (Transport.tcp "cubic");
-        paced_reno = measure buffer (Transport.tcp_paced "newreno");
-      })
+      List.map
+        (fun (name, spec) ->
+          Exp_common.task
+            ~label:(Printf.sprintf "fig9/%s/buf=%d" name buffer)
+            (fun () ->
+              ( buffer,
+                Exp_common.solo_throughput ~seed ~bandwidth ~rtt ~buffer
+                  ~duration spec )))
+        (specs ()))
     buffers
+
+let collect results =
+  List.map
+    (function
+      | [ (buffer, pcc); (_, cubic); (_, paced_reno) ] ->
+        { buffer; pcc; cubic; paced_reno }
+      | _ -> invalid_arg "Exp_buffer.collect: 3 measurements per buffer")
+    (Exp_common.chunk (List.length (specs ())) results)
+
+let run ?pool ?scale ?seed ?buffers () =
+  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ?buffers ()))
 
 let table rows =
   Exp_common.
@@ -44,5 +62,5 @@ let table rows =
            needs 13x more; even paced TCP needs 25x more.";
     }
 
-let print ?scale ?seed () =
-  Exp_common.print_table (table (run ?scale ?seed ()))
+let print ?pool ?scale ?seed () =
+  Exp_common.print_table (table (run ?pool ?scale ?seed ()))

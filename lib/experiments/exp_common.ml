@@ -8,7 +8,7 @@ type table = {
   note : string option;
 }
 
-let print_table t =
+let render_table t =
   let all = t.header :: t.rows in
   let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
   let width c =
@@ -30,14 +30,72 @@ let print_table t =
            else String.make pad ' ' ^ cell)
          row)
   in
-  Printf.printf "\n== %s ==\n" t.title;
-  Printf.printf "%s\n" (render t.header);
-  Printf.printf "%s\n" (String.make (String.length (render t.header)) '-');
-  List.iter (fun r -> Printf.printf "%s\n" (render r)) t.rows;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "\n== %s ==\n" t.title);
+  Buffer.add_string buf (render t.header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.make (String.length (render t.header)) '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (render r);
+      Buffer.add_char buf '\n')
+    t.rows;
   (match t.note with
-  | Some n -> Printf.printf "%s\n" n
+  | Some n ->
+    Buffer.add_string buf n;
+    Buffer.add_char buf '\n'
   | None -> ());
+  Buffer.contents buf
+
+let print_table t =
+  print_string (render_table t);
   flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* Task plumbing: every experiment describes its independent simulation
+   runs as a list of tasks, executed sequentially or fanned out over a
+   Runner pool. Results always come back in task order, so [collect]
+   functions may rely on position. *)
+
+module Task = struct
+  type 'a t = { label : string; run : unit -> 'a }
+end
+
+type 'a task = 'a Task.t
+
+let task ?(label = "") run = { Task.label; run }
+
+let task_label (t : _ task) = t.Task.label
+
+let run_tasks ?pool tasks =
+  match pool with
+  | Some p when Runner.jobs p > 1 ->
+    Runner.map_list p (fun t -> t.Task.run ()) tasks
+  | _ -> List.map (fun t -> t.Task.run ()) tasks
+
+let chunk n l =
+  if n <= 0 then invalid_arg "Exp_common.chunk";
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if k = n then go (List.rev cur :: acc) [ x ] 1 rest
+      else go acc (x :: cur) (k + 1) rest
+  in
+  go [] [] 0 l
+
+let group_by key l =
+  List.fold_left
+    (fun acc x ->
+      let k = key x in
+      match List.assoc_opt k acc with
+      | Some _ ->
+        List.map
+          (fun (k', xs') -> if k' = k then (k, x :: xs') else (k', xs'))
+          acc
+      | None -> acc @ [ (k, [ x ]) ])
+    [] l
+  |> List.map (fun (k, xs) -> (k, List.rev xs))
 
 let f1 v = Printf.sprintf "%.1f" v
 let f2 v = Printf.sprintf "%.2f" v

@@ -13,8 +13,46 @@ type table = {
   note : string option;
 }
 
+val render_table : table -> string
+(** Render with aligned columns, exactly as {!print_table} prints it —
+    used to compare parallel and sequential runs byte-for-byte. *)
+
 val print_table : table -> unit
-(** Render with aligned columns. *)
+(** [print_string (render_table t)], flushed. *)
+
+(** {2 Task plumbing}
+
+    Every experiment module splits into [tasks] (a pure, cheap
+    description of its independent simulation runs — all randomness
+    derived from the seed at construction time) and [collect] (folds the
+    per-task results, {e in task order}, back into rows). {!run_tasks}
+    executes a task list either sequentially or on a {!Runner} pool; by
+    the Runner's determinism contract both give identical results. *)
+
+module Task : sig
+  type 'a t = { label : string; run : unit -> 'a }
+end
+
+type 'a task = 'a Task.t
+(** One independent simulation run. The [label] identifies it in logs.
+    (The record lives in {!Task} so its fields don't shadow experiment
+    row fields under local opens of this module.) *)
+
+val task : ?label:string -> (unit -> 'a) -> 'a task
+val task_label : 'a task -> string
+
+val run_tasks : ?pool:Runner.t -> 'a task list -> 'a list
+(** Execute the tasks and return their results in task order. With no
+    [pool] (or a 1-worker pool) runs sequentially in the calling
+    domain. *)
+
+val chunk : int -> 'a list -> 'a list list
+(** [chunk n l] splits [l] into consecutive groups of [n] (last group
+    may be shorter). @raise Invalid_argument if [n <= 0]. *)
+
+val group_by : ('a -> 'k) -> 'a list -> ('k * 'a list) list
+(** Group consecutive-or-not elements by key, preserving first-seen key
+    order and within-group element order. *)
 
 val f1 : float -> string
 (** Format with 1 decimal. *)

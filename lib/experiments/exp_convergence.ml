@@ -60,13 +60,26 @@ let measure ~seed ~stagger ~flows spec name =
     series = windows;
   }
 
-let run ?(scale = 1.) ?(seed = 42) ?(flows = 4) () =
-  let stagger = Float.max 120. (500. *. scale) in
+let specs () =
   [
-    measure ~seed ~stagger ~flows (Transport.pcc ()) "pcc";
-    measure ~seed ~stagger ~flows (Transport.tcp "cubic") "cubic";
-    measure ~seed ~stagger ~flows (Transport.tcp "newreno") "newreno";
+    ("pcc", Transport.pcc ());
+    ("cubic", Transport.tcp "cubic");
+    ("newreno", Transport.tcp "newreno");
   ]
+
+let tasks ?(scale = 1.) ?(seed = 42) ?(flows = 4) () =
+  let stagger = Float.max 120. (500. *. scale) in
+  List.map
+    (fun (name, spec) ->
+      Exp_common.task
+        ~label:(Printf.sprintf "convergence/%s" name)
+        (fun () -> measure ~seed ~stagger ~flows spec name))
+    (specs ())
+
+let collect results = results
+
+let run ?pool ?scale ?seed ?flows () =
+  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ?flows ()))
 
 let table results =
   let header =
@@ -93,5 +106,5 @@ let table results =
            scale; PCC rate variance is a fraction of CUBIC's.";
     }
 
-let print ?scale ?seed () =
-  Exp_common.print_table (table (run ?scale ?seed ()))
+let print ?pool ?scale ?seed () =
+  Exp_common.print_table (table (run ?pool ?scale ?seed ()))

@@ -16,10 +16,26 @@ type protocol_result = {
   series : (float * float) array list;  (** Per-flow 1 s throughput. *)
 }
 
+val tasks :
+  ?scale:float ->
+  ?seed:int ->
+  ?flows:int ->
+  unit ->
+  protocol_result Exp_common.task list
+(** One simulation per protocol; each task yields its result. *)
+
+val collect : protocol_result list -> protocol_result list
+(** Identity — each task already yields a finished result. *)
+
 val run :
-  ?scale:float -> ?seed:int -> ?flows:int -> unit -> protocol_result list
+  ?pool:Runner.t ->
+  ?scale:float ->
+  ?seed:int ->
+  ?flows:int ->
+  unit ->
+  protocol_result list
 (** Stagger is 500 s · scale (min 60 s); flows run for 4 staggers each.
     Protocols: PCC, CUBIC, New Reno. *)
 
 val table : protocol_result list -> Exp_common.table
-val print : ?scale:float -> ?seed:int -> unit -> unit
+val print : ?pool:Runner.t -> ?scale:float -> ?seed:int -> unit -> unit

@@ -43,29 +43,34 @@ let measure ~seed ~duration spec =
   let optimal = Dynamics.mean_optimal dyn ~until:duration in
   (throughput, optimal, List.rev !series)
 
-let run ?(scale = 1.) ?(seed = 42) () =
+let specs () =
+  [
+    ("pcc", Transport.pcc ());
+    ("cubic", Transport.tcp "cubic");
+    ("illinois", Transport.tcp "illinois");
+  ]
+
+let tasks ?(scale = 1.) ?(seed = 42) () =
   let duration = Float.max 50. (500. *. scale) in
-  let specs =
-    [
-      ("pcc", Transport.pcc ());
-      ("cubic", Transport.tcp "cubic");
-      ("illinois", Transport.tcp "illinois");
-    ]
-  in
-  let results =
-    List.map
-      (fun (name, spec) ->
-        let throughput, optimal, series = measure ~seed ~duration spec in
-        ( {
-            protocol = name;
-            throughput;
-            optimal;
-            fraction = Exp_common.ratio throughput optimal;
-          },
-          (name, series) ))
-      specs
-  in
-  (List.map fst results, List.map snd results)
+  List.map
+    (fun (name, spec) ->
+      Exp_common.task
+        ~label:(Printf.sprintf "dynamic/%s" name)
+        (fun () ->
+          let throughput, optimal, series = measure ~seed ~duration spec in
+          ( {
+              protocol = name;
+              throughput;
+              optimal;
+              fraction = Exp_common.ratio throughput optimal;
+            },
+            (name, series) )))
+    (specs ())
+
+let collect results = (List.map fst results, List.map snd results)
+
+let run ?pool ?scale ?seed () =
+  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ()))
 
 let table rows =
   Exp_common.
@@ -90,6 +95,6 @@ let table rows =
            5.6x worse than PCC.";
     }
 
-let print ?scale ?seed () =
-  let rows, _ = run ?scale ?seed () in
+let print ?pool ?scale ?seed () =
+  let rows, _ = run ?pool ?scale ?seed () in
   Exp_common.print_table (table rows)

@@ -16,11 +16,27 @@ type row = {
 
 type series_point = { time : float; optimal : float; rate : float }
 
+val tasks :
+  ?scale:float ->
+  ?seed:int ->
+  unit ->
+  (row * (string * series_point list)) Exp_common.task list
+(** One simulation per protocol, yielding the summary row and the
+    sampled series together. *)
+
+val collect :
+  (row * (string * series_point list)) list ->
+  row list * (string * series_point list) list
+
 val run :
-  ?scale:float -> ?seed:int -> unit -> row list * (string * series_point list) list
+  ?pool:Runner.t ->
+  ?scale:float ->
+  ?seed:int ->
+  unit ->
+  row list * (string * series_point list) list
 (** Base duration 500 s, scaled (minimum 50 s). Also returns, per
     protocol, a 5 s-sampled series of (optimal bandwidth, controller
     rate) for rate-tracking plots. *)
 
 val table : row list -> Exp_common.table
-val print : ?scale:float -> ?seed:int -> unit -> unit
+val print : ?pool:Runner.t -> ?scale:float -> ?seed:int -> unit -> unit

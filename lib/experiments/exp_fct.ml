@@ -51,15 +51,25 @@ let measure ~seed ~horizon ~load spec name =
     completed = Array.length a;
   }
 
-let run ?(scale = 1.) ?(seed = 42) ?(loads = [ 0.05; 0.25; 0.5; 0.75 ]) () =
+let specs () =
+  [ ("pcc", Transport.pcc ()); ("tcp", Transport.tcp "newreno") ]
+
+let tasks ?(scale = 1.) ?(seed = 42) ?(loads = [ 0.05; 0.25; 0.5; 0.75 ]) () =
   let horizon = Float.max 30. (120. *. scale) in
   List.concat_map
     (fun load ->
-      [
-        measure ~seed ~horizon ~load (Transport.pcc ()) "pcc";
-        measure ~seed ~horizon ~load (Transport.tcp "newreno") "tcp";
-      ])
+      List.map
+        (fun (name, spec) ->
+          Exp_common.task
+            ~label:(Printf.sprintf "fct/%s/load=%g" name load)
+            (fun () -> measure ~seed ~horizon ~load spec name))
+        (specs ()))
     loads
+
+let collect results = results
+
+let run ?pool ?scale ?seed ?loads () =
+  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ?loads ()))
 
 let table rows =
   Exp_common.
@@ -85,5 +95,5 @@ let table rows =
            75% load (95th pct ~20% above TCP at 75%).";
     }
 
-let print ?scale ?seed () =
-  Exp_common.print_table (table (run ?scale ?seed ()))
+let print ?pool ?scale ?seed () =
+  Exp_common.print_table (table (run ?pool ?scale ?seed ()))

@@ -15,8 +15,25 @@ type row = {
   completed : int;
 }
 
-val run : ?scale:float -> ?seed:int -> ?loads:float list -> unit -> row list
+val tasks :
+  ?scale:float ->
+  ?seed:int ->
+  ?loads:float list ->
+  unit ->
+  row Exp_common.task list
+(** One simulation per (load, protocol); each task yields its row. *)
+
+val collect : row list -> row list
+(** Identity — each task already yields a finished row. *)
+
+val run :
+  ?pool:Runner.t ->
+  ?scale:float ->
+  ?seed:int ->
+  ?loads:float list ->
+  unit ->
+  row list
 (** Arrival horizon 120 s · scale per point. *)
 
 val table : row list -> Exp_common.table
-val print : ?scale:float -> ?seed:int -> unit -> unit
+val print : ?pool:Runner.t -> ?scale:float -> ?seed:int -> unit -> unit

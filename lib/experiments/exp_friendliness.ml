@@ -37,32 +37,55 @@ let normal_tcp_throughput ~seed ~duration ~bandwidth ~rtt selfish_flows =
   Exp_common.goodput_between engine (Path.flows path).(0) ~t0:warmup
     ~t1:(warmup +. duration)
 
-let run ?(scale = 1.) ?(seed = 42) ?(selfish_counts = [ 1; 2; 4; 8 ]) () =
+let tasks ?(scale = 1.) ?(seed = 42) ?(selfish_counts = [ 1; 2; 4; 8 ]) () =
   let duration = 100. *. scale in
   List.concat_map
     (fun (bandwidth, rtt) ->
-      List.map
+      List.concat_map
         (fun n ->
-          let vs_pcc =
-            normal_tcp_throughput ~seed ~duration ~bandwidth ~rtt
-              (List.init n (fun _ -> Path.flow (Transport.pcc ())))
+          let label kind =
+            Printf.sprintf "friendliness/%s/bw=%g/n=%d" kind (bandwidth /. 1e6)
+              n
           in
-          let vs_bundle =
-            normal_tcp_throughput ~seed ~duration ~bandwidth ~rtt
-              (List.init (n * 10) (fun _ -> Path.flow (Transport.tcp "newreno")))
-          in
-          {
-            bandwidth;
-            rtt;
-            selfish = n;
-            tcp_vs_pcc = vs_pcc;
-            tcp_vs_bundle = vs_bundle;
-            (* >1: the normal flow does better against PCC than against
-               the parallel-TCP bundle, i.e. PCC is friendlier. *)
-            unfriendliness = Exp_common.ratio vs_pcc vs_bundle;
-          })
+          [
+            Exp_common.task ~label:(label "vs-pcc") (fun () ->
+                normal_tcp_throughput ~seed ~duration ~bandwidth ~rtt
+                  (List.init n (fun _ -> Path.flow (Transport.pcc ()))));
+            Exp_common.task ~label:(label "vs-bundle") (fun () ->
+                normal_tcp_throughput ~seed ~duration ~bandwidth ~rtt
+                  (List.init (n * 10) (fun _ ->
+                       Path.flow (Transport.tcp "newreno"))));
+          ])
         selfish_counts)
     configs
+
+let collect ?(selfish_counts = [ 1; 2; 4; 8 ]) results =
+  let cells =
+    List.concat_map
+      (fun (bandwidth, rtt) ->
+        List.map (fun n -> (bandwidth, rtt, n)) selfish_counts)
+      configs
+  in
+  List.map2
+    (fun (bandwidth, rtt, n) -> function
+      | [ vs_pcc; vs_bundle ] ->
+        {
+          bandwidth;
+          rtt;
+          selfish = n;
+          tcp_vs_pcc = vs_pcc;
+          tcp_vs_bundle = vs_bundle;
+          (* >1: the normal flow does better against PCC than against
+             the parallel-TCP bundle, i.e. PCC is friendlier. *)
+          unfriendliness = Exp_common.ratio vs_pcc vs_bundle;
+        }
+      | _ -> invalid_arg "Exp_friendliness.collect: 2 measurements per cell")
+    cells
+    (Exp_common.chunk 2 results)
+
+let run ?pool ?scale ?seed ?selfish_counts () =
+  collect ?selfish_counts
+    (Exp_common.run_tasks ?pool (tasks ?scale ?seed ?selfish_counts ()))
 
 let table rows =
   Exp_common.
@@ -98,5 +121,5 @@ let table rows =
            units increase).";
     }
 
-let print ?scale ?seed () =
-  Exp_common.print_table (table (run ?scale ?seed ()))
+let print ?pool ?scale ?seed () =
+  Exp_common.print_table (table (run ?pool ?scale ?seed ()))

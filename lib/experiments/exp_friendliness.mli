@@ -17,10 +17,28 @@ type row = {
       ratio > 1 means PCC friendlier (paper's "relative unfriendliness"). *)
 }
 
+val tasks :
+  ?scale:float ->
+  ?seed:int ->
+  ?selfish_counts:int list ->
+  unit ->
+  float Exp_common.task list
+(** Two simulations per (link, N) cell: the normal flow against N PCC
+    flows, then against N bundles of 10 TCPs. *)
+
+val collect : ?selfish_counts:int list -> float list -> row list
+(** Pairs up the per-cell measurements; pass the same [selfish_counts]
+    given to {!tasks}. *)
+
 val run :
-  ?scale:float -> ?seed:int -> ?selfish_counts:int list -> unit -> row list
+  ?pool:Runner.t ->
+  ?scale:float ->
+  ?seed:int ->
+  ?selfish_counts:int list ->
+  unit ->
+  row list
 (** Configurations: (10 Mbps, 10 ms), (30 Mbps, 20 ms), (30 Mbps, 10 ms),
     (100 Mbps, 10 ms); 100 s · scale each. *)
 
 val table : row list -> Exp_common.table
-val print : ?scale:float -> ?seed:int -> unit -> unit
+val print : ?pool:Runner.t -> ?scale:float -> ?seed:int -> unit -> unit

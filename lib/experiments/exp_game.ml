@@ -11,15 +11,21 @@ type row = {
   loss_naive : float;
 }
 
-let run ?(seed = 42) ?(ns = [ 2; 3; 5; 10; 20 ]) () =
+let tasks ?(seed = 42) ?(ns = [ 2; 3; 5; 10; 20 ]) () =
   let c = 100. in
+  (* Initial rates for every n are drawn sequentially here, at
+     task-construction time, so they depend only on [seed] and [ns]. *)
   let rng = Pcc_sim.Rng.create seed in
+  let starts =
+    List.map
+      (fun n ->
+        (* Asymmetric start: rates spread over an order of magnitude. *)
+        (n, Array.init n (fun _ -> Pcc_sim.Rng.log_uniform rng (c /. 100.) c)))
+      ns
+  in
   List.map
-    (fun n ->
-      (* Asymmetric start: rates spread over an order of magnitude. *)
-      let x0 =
-        Array.init n (fun _ -> Pcc_sim.Rng.log_uniform rng (c /. 100.) c)
-      in
+    (fun (n, x0) ->
+      Exp_common.task ~label:(Printf.sprintf "game/n=%d" n) (fun () ->
       let eps = 0.01 in
       let x_hat = Game.equilibrium_rate ~n ~c () in
       (* Theorem 2's claim: every sender enters (and stays in) the band
@@ -55,8 +61,13 @@ let run ?(seed = 42) ?(ns = [ 2; 3; 5; 10; 20 ]) () =
         mean_rate = total /. float_of_int n;
         loss_safe = Game.loss ~c final;
         loss_naive = Game.loss ~c naive_final;
-      })
-    ns
+      }))
+    starts
+
+let collect results = results
+
+let run ?pool ?seed ?ns () =
+  collect (Exp_common.run_tasks ?pool (tasks ?seed ?ns ()))
 
 let table rows =
   Exp_common.
@@ -96,4 +107,5 @@ let table rows =
            motivating the sigmoid cut-off.";
     }
 
-let print ?seed () = Exp_common.print_table (table (run ?seed ()))
+let print ?pool ?seed () =
+  Exp_common.print_table (table (run ?pool ?seed ()))

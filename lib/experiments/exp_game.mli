@@ -20,6 +20,14 @@ type row = {
   loss_naive : float;  (** equilibrium loss rate, T − x·L utility *)
 }
 
-val run : ?seed:int -> ?ns:int list -> unit -> row list
+val tasks : ?seed:int -> ?ns:int list -> unit -> row Exp_common.task list
+(** One dynamics run per sender count. Initial rates for every n are
+    drawn up front from a sequential RNG, so they are a pure function of
+    [seed] and [ns]. *)
+
+val collect : row list -> row list
+(** Identity — each task already yields a finished row. *)
+
+val run : ?pool:Runner.t -> ?seed:int -> ?ns:int list -> unit -> row list
 val table : row list -> Exp_common.table
-val print : ?seed:int -> unit -> unit
+val print : ?pool:Runner.t -> ?seed:int -> unit -> unit

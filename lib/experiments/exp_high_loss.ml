@@ -9,11 +9,9 @@ type row = {
   cubic : float;
 }
 
-let run ?(scale = 1.) ?(seed = 42) ?(losses = [ 0.1; 0.2; 0.3; 0.4; 0.5 ]) ()
-    =
-  let bandwidth = Units.mbps 100. and rtt = 0.03 in
-  let buffer = Units.bdp_bytes ~rate:bandwidth ~rtt in
-  let duration = 100. *. scale in
+let bandwidth = Units.mbps 100.
+
+let specs () =
   let resilient =
     Transport.pcc
       ~config:
@@ -22,20 +20,47 @@ let run ?(scale = 1.) ?(seed = 42) ?(losses = [ 0.1; 0.2; 0.3; 0.4; 0.5 ]) ()
            ())
       ()
   in
-  let measure loss spec =
-    Exp_common.solo_throughput ~seed ~bandwidth ~rtt ~buffer ~duration ~loss
-      ~queue:(Path.Fq Path.Droptail) spec
-  in
-  List.map
+  [
+    ("pcc-resilient", resilient);
+    ("pcc-safe", Transport.pcc ());
+    ("cubic", Transport.tcp "cubic");
+  ]
+
+let tasks ?(scale = 1.) ?(seed = 42) ?(losses = [ 0.1; 0.2; 0.3; 0.4; 0.5 ])
+    () =
+  let rtt = 0.03 in
+  let buffer = Units.bdp_bytes ~rate:bandwidth ~rtt in
+  let duration = 100. *. scale in
+  List.concat_map
     (fun loss ->
-      {
-        loss;
-        achievable = bandwidth *. (1. -. loss);
-        pcc_resilient = measure loss resilient;
-        pcc_safe = measure loss (Transport.pcc ());
-        cubic = measure loss (Transport.tcp "cubic");
-      })
+      List.map
+        (fun (name, spec) ->
+          Exp_common.task
+            ~label:(Printf.sprintf "highloss/%s/loss=%g" name loss)
+            (fun () ->
+              ( loss,
+                Exp_common.solo_throughput ~seed ~bandwidth ~rtt ~buffer
+                  ~duration ~loss
+                  ~queue:(Path.Fq Path.Droptail) spec )))
+        (specs ()))
     losses
+
+let collect results =
+  List.map
+    (function
+      | [ (loss, pcc_resilient); (_, pcc_safe); (_, cubic) ] ->
+        {
+          loss;
+          achievable = bandwidth *. (1. -. loss);
+          pcc_resilient;
+          pcc_safe;
+          cubic;
+        }
+      | _ -> invalid_arg "Exp_high_loss.collect: 3 measurements per loss")
+    (Exp_common.chunk (List.length (specs ())) results)
+
+let run ?pool ?scale ?seed ?losses () =
+  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ?losses ()))
 
 let table rows =
   Exp_common.
@@ -72,5 +97,5 @@ let table rows =
            its 5% cap, as designed.";
     }
 
-let print ?scale ?seed () =
-  Exp_common.print_table (table (run ?scale ?seed ()))
+let print ?pool ?scale ?seed () =
+  Exp_common.print_table (table (run ?pool ?scale ?seed ()))

@@ -14,6 +14,22 @@ type row = {
   cubic : float;
 }
 
-val run : ?scale:float -> ?seed:int -> ?losses:float list -> unit -> row list
+val tasks :
+  ?scale:float ->
+  ?seed:int ->
+  ?losses:float list ->
+  unit ->
+  (float * float) Exp_common.task list
+
+val collect : (float * float) list -> row list
+
+val run :
+  ?pool:Runner.t ->
+  ?scale:float ->
+  ?seed:int ->
+  ?losses:float list ->
+  unit ->
+  row list
+
 val table : row list -> Exp_common.table
-val print : ?scale:float -> ?seed:int -> unit -> unit
+val print : ?pool:Runner.t -> ?scale:float -> ?seed:int -> unit -> unit

@@ -35,29 +35,53 @@ let round ~seed ~senders ~block spec =
   in
   float_of_int (senders * block * 8) /. Float.max worst 1e-9
 
-let run ?(scale = 1.) ?(seed = 42) ?(senders = default_senders)
+(* A task's result carries its cell key so [collect] can re-aggregate the
+   per-round measurements regardless of how many rounds [scale] chose. *)
+type sample = { s_block : int; s_senders : int; s_proto : string; v : float }
+
+let specs () =
+  [ ("pcc", Transport.pcc ()); ("tcp", Transport.tcp "newreno") ]
+
+let tasks ?(scale = 1.) ?(seed = 42) ?(senders = default_senders)
     ?(blocks = default_blocks) () =
   let rounds = max 2 (int_of_float (15. *. scale)) in
-  let avg f =
-    let total = ref 0. in
-    for i = 0 to rounds - 1 do
-      total := !total +. f (seed + (i * 7919))
-    done;
-    !total /. float_of_int rounds
-  in
   List.concat_map
     (fun block ->
-      List.map
+      List.concat_map
         (fun n ->
-          {
-            senders = n;
-            block;
-            pcc = avg (fun s -> round ~seed:s ~senders:n ~block (Transport.pcc ()));
-            tcp =
-              avg (fun s -> round ~seed:s ~senders:n ~block (Transport.tcp "newreno"));
-          })
+          List.concat_map
+            (fun (proto, spec) ->
+              List.init rounds (fun i ->
+                  let round_seed = seed + (i * 7919) in
+                  Exp_common.task
+                    ~label:
+                      (Printf.sprintf "incast/%s/block=%d/n=%d/round=%d" proto
+                         block n i)
+                    (fun () ->
+                      {
+                        s_block = block;
+                        s_senders = n;
+                        s_proto = proto;
+                        v = round ~seed:round_seed ~senders:n ~block spec;
+                      })))
+            (specs ()))
         senders)
     blocks
+
+let collect samples =
+  let mean = function
+    | [] -> nan
+    | vs -> List.fold_left ( +. ) 0. vs /. float_of_int (List.length vs)
+  in
+  Exp_common.group_by (fun s -> (s.s_block, s.s_senders)) samples
+  |> List.map (fun ((block, n), cell) ->
+         let of_proto p =
+           mean (List.filter_map (fun s -> if s.s_proto = p then Some s.v else None) cell)
+         in
+         { senders = n; block; pcc = of_proto "pcc"; tcp = of_proto "tcp" })
+
+let run ?pool ?scale ?seed ?senders ?blocks () =
+  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ?senders ?blocks ()))
 
 let table rows =
   Exp_common.
@@ -83,5 +107,5 @@ let table rows =
            TCP, and stays flat as senders increase.";
     }
 
-let print ?scale ?seed () =
-  Exp_common.print_table (table (run ?scale ?seed ()))
+let print ?pool ?scale ?seed () =
+  Exp_common.print_table (table (run ?pool ?scale ?seed ()))

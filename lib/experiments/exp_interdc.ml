@@ -23,27 +23,43 @@ let pairs =
     ("NYSERNet->Illinois", 0.0361);
   ]
 
-let run ?(scale = 1.) ?(seed = 42) () =
+let specs () =
+  [
+    ("pcc", Transport.pcc ());
+    ("sabul", Transport.sabul);
+    ("cubic", Transport.tcp "cubic");
+    ("illinois", Transport.tcp "illinois");
+  ]
+
+let tasks ?(scale = 1.) ?(seed = 42) () =
   let bandwidth = Units.mbps 800. in
   (* The bandwidth reservation's rate limiter: a shallow, 64-packet
      buffer, far below the BDP of every pair. *)
   let buffer = 64 * Units.mss in
   let duration = 100. *. scale in
-  let measure rtt spec =
-    Exp_common.solo_throughput ~seed ~bandwidth ~rtt ~buffer ~duration
-      ~loss:0.0001 spec
-  in
-  List.map
+  List.concat_map
     (fun (name, rtt) ->
-      {
-        name;
-        rtt;
-        pcc = measure rtt (Transport.pcc ());
-        sabul = measure rtt Transport.sabul;
-        cubic = measure rtt (Transport.tcp "cubic");
-        illinois = measure rtt (Transport.tcp "illinois");
-      })
+      List.map
+        (fun (proto, spec) ->
+          Exp_common.task
+            ~label:(Printf.sprintf "table1/%s/%s" proto name)
+            (fun () ->
+              Exp_common.solo_throughput ~seed ~bandwidth ~rtt ~buffer
+                ~duration ~loss:0.0001 spec))
+        (specs ()))
     pairs
+
+let collect results =
+  List.map2
+    (fun (name, rtt) -> function
+      | [ pcc; sabul; cubic; illinois ] ->
+        { name; rtt; pcc; sabul; cubic; illinois }
+      | _ -> invalid_arg "Exp_interdc.collect: 4 measurements per pair")
+    pairs
+    (Exp_common.chunk (List.length (specs ())) results)
+
+let run ?pool ?scale ?seed () =
+  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ()))
 
 let table rows =
   let avg f =
@@ -82,5 +98,5 @@ let table rows =
            average; SABUL within ~15% of PCC.";
     }
 
-let print ?scale ?seed () =
-  Exp_common.print_table (table (run ?scale ?seed ()))
+let print ?pool ?scale ?seed () =
+  Exp_common.print_table (table (run ?pool ?scale ?seed ()))

@@ -19,8 +19,14 @@ type row = {
 val pairs : (string * float) list
 (** The paper's transmission pairs with their RTTs (ms converted to s). *)
 
-val run : ?scale:float -> ?seed:int -> unit -> row list
+val tasks :
+  ?scale:float -> ?seed:int -> unit -> float Exp_common.task list
+(** One simulation per (pair, protocol), yielding a throughput. *)
+
+val collect : float list -> row list
+
+val run : ?pool:Runner.t -> ?scale:float -> ?seed:int -> unit -> row list
 (** Base duration 100 s per pair and protocol. *)
 
 val table : row list -> Exp_common.table
-val print : ?scale:float -> ?seed:int -> unit -> unit
+val print : ?pool:Runner.t -> ?scale:float -> ?seed:int -> unit -> unit

@@ -18,22 +18,46 @@ type summary = {
   frac_ge_10x : float;
 }
 
-let run ?(scale = 1.) ?(seed = 42) ?(pairs = 40) () =
+let specs () =
+  [
+    ("pcc", Transport.pcc ());
+    ("cubic", Transport.tcp "cubic");
+    ("sabul", Transport.sabul);
+    ("pcp", Transport.pcp);
+  ]
+
+let tasks ?(scale = 1.) ?(seed = 42) ?(pairs = 40) () =
   let duration = 60. *. scale in
+  (* Paths are drawn sequentially at task-construction time so the path
+     set depends only on [seed] and [pairs], never on which domain runs
+     which measurement. *)
   let path_rng = Rng.create seed in
-  List.init pairs (fun i ->
-      let params = Internet_model.random path_rng in
-      let run_seed = seed + (1000 * (i + 1)) in
-      let measure spec =
-        Internet_model.measure ~duration ~seed:run_seed params spec
-      in
-      {
-        params;
-        pcc = measure (Transport.pcc ());
-        cubic = measure (Transport.tcp "cubic");
-        sabul = measure Transport.sabul;
-        pcp = measure Transport.pcp;
-      })
+  let drawn =
+    List.init pairs (fun i ->
+        (i, Internet_model.random path_rng, seed + (1000 * (i + 1))))
+  in
+  List.concat_map
+    (fun (i, params, run_seed) ->
+      List.map
+        (fun (name, spec) ->
+          Exp_common.task
+            ~label:(Printf.sprintf "internet/pair%02d/%s" i name)
+            (fun () ->
+              ( params,
+                Internet_model.measure ~duration ~seed:run_seed params spec )))
+        (specs ()))
+    drawn
+
+let collect results =
+  List.map
+    (function
+      | [ (params, pcc); (_, cubic); (_, sabul); (_, pcp) ] ->
+        { params; pcc; cubic; sabul; pcp }
+      | _ -> invalid_arg "Exp_internet.collect: 4 measurements per pair")
+    (Exp_common.chunk (List.length (specs ())) results)
+
+let run ?pool ?scale ?seed ?pairs () =
+  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ?pairs ()))
 
 let summarize results =
   let mk baseline extract =
@@ -92,5 +116,5 @@ let table results =
            1.41x median; vs PCP 4.58x median.";
     }
 
-let print ?scale ?seed ?pairs () =
-  Exp_common.print_table (table (run ?scale ?seed ?pairs ()))
+let print ?pool ?scale ?seed ?pairs () =
+  Exp_common.print_table (table (run ?pool ?scale ?seed ?pairs ()))

@@ -24,9 +24,29 @@ type summary = {
   frac_ge_10x : float;  (** Fraction of pairs with PCC ≥ 10× baseline. *)
 }
 
-val run : ?scale:float -> ?seed:int -> ?pairs:int -> unit -> pair_result list
+val tasks :
+  ?scale:float ->
+  ?seed:int ->
+  ?pairs:int ->
+  unit ->
+  (Pcc_scenario.Internet_model.params * float) Exp_common.task list
+(** One simulation per (path, protocol). All paths are drawn up front
+    from a sequential RNG, so the path set — and every per-pair run seed
+    — is a pure function of [seed] and [pairs]. *)
+
+val collect :
+  (Pcc_scenario.Internet_model.params * float) list -> pair_result list
+
+val run :
+  ?pool:Runner.t ->
+  ?scale:float ->
+  ?seed:int ->
+  ?pairs:int ->
+  unit ->
+  pair_result list
 (** [pairs] defaults to 40; per-protocol run is 60 s · [scale]. *)
 
 val summarize : pair_result list -> summary list
 val table : pair_result list -> Exp_common.table
-val print : ?scale:float -> ?seed:int -> ?pairs:int -> unit -> unit
+val print :
+  ?pool:Runner.t -> ?scale:float -> ?seed:int -> ?pairs:int -> unit -> unit

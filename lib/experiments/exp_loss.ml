@@ -11,24 +11,43 @@ type row = {
 
 let default_losses = [ 0.0; 0.001; 0.005; 0.01; 0.02; 0.03; 0.04; 0.05; 0.06 ]
 
-let run ?(scale = 1.) ?(seed = 42) ?(losses = default_losses) () =
+let specs () =
+  [
+    ("pcc", Transport.pcc ());
+    ("cubic", Transport.tcp "cubic");
+    ("illinois", Transport.tcp "illinois");
+    ("newreno", Transport.tcp "newreno");
+  ]
+
+(* One task per (loss, protocol) pair; the measurement is a pure function
+   of the parameters captured at construction time. *)
+let tasks ?(scale = 1.) ?(seed = 42) ?(losses = default_losses) () =
   let bandwidth = Units.mbps 100. and rtt = 0.03 in
   let buffer = Units.bdp_bytes ~rate:bandwidth ~rtt in
   let duration = 60. *. scale in
-  let measure loss spec =
-    Exp_common.solo_throughput ~seed ~bandwidth ~rtt ~buffer ~duration ~loss
-      ~rev_loss:loss spec
-  in
-  List.map
+  List.concat_map
     (fun loss ->
-      {
-        loss;
-        pcc = measure loss (Transport.pcc ());
-        cubic = measure loss (Transport.tcp "cubic");
-        illinois = measure loss (Transport.tcp "illinois");
-        newreno = measure loss (Transport.tcp "newreno");
-      })
+      List.map
+        (fun (name, spec) ->
+          Exp_common.task
+            ~label:(Printf.sprintf "fig7/%s/loss=%g" name loss)
+            (fun () ->
+              ( loss,
+                Exp_common.solo_throughput ~seed ~bandwidth ~rtt ~buffer
+                  ~duration ~loss ~rev_loss:loss spec )))
+        (specs ()))
     losses
+
+let collect results =
+  List.map
+    (function
+      | [ (loss, pcc); (_, cubic); (_, illinois); (_, newreno) ] ->
+        { loss; pcc; cubic; illinois; newreno }
+      | _ -> invalid_arg "Exp_loss.collect: 4 measurements per loss point")
+    (Exp_common.chunk (List.length (specs ())) results)
+
+let run ?pool ?scale ?seed ?losses () =
+  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ?losses ()))
 
 let table rows =
   Exp_common.
@@ -54,5 +73,5 @@ let table rows =
            6% (5% utility cap); CUBIC 10x below PCC at 0.1%.";
     }
 
-let print ?scale ?seed () =
-  Exp_common.print_table (table (run ?scale ?seed ()))
+let print ?pool ?scale ?seed () =
+  Exp_common.print_table (table (run ?pool ?scale ?seed ()))

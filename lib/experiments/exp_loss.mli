@@ -16,8 +16,28 @@ type row = {
   newreno : float;
 }
 
-val run : ?scale:float -> ?seed:int -> ?losses:float list -> unit -> row list
-(** Base duration 60 s per point, multiplied by [scale] (default 1). *)
+val tasks :
+  ?scale:float ->
+  ?seed:int ->
+  ?losses:float list ->
+  unit ->
+  (float * float) Exp_common.task list
+(** One independent simulation per (loss, protocol); each yields
+    [(loss, throughput)]. *)
+
+val collect : (float * float) list -> row list
+(** Reassemble task results (in task order) into rows. *)
+
+val run :
+  ?pool:Runner.t ->
+  ?scale:float ->
+  ?seed:int ->
+  ?losses:float list ->
+  unit ->
+  row list
+(** Base duration 60 s per point, multiplied by [scale] (default 1).
+    [pool] fans the measurements across domains; the rows are identical
+    with and without it. *)
 
 val table : row list -> Exp_common.table
-val print : ?scale:float -> ?seed:int -> unit -> unit
+val print : ?pool:Runner.t -> ?scale:float -> ?seed:int -> unit -> unit

@@ -42,8 +42,7 @@ let measure ~seed ~duration ~queue spec name =
   let avg_rtt = !rtt_sum /. float_of_int !rtt_n in
   { combo = name; throughput; rtt = avg_rtt; power = throughput /. avg_rtt }
 
-let run ?(scale = 1.) ?(seed = 42) () =
-  let duration = 60. *. scale in
+let combos () =
   let pcc_latency =
     Transport.pcc
       ~config:
@@ -53,15 +52,25 @@ let run ?(scale = 1.) ?(seed = 42) () =
       ()
   in
   [
-    measure ~seed ~duration ~queue:(Path.Fq Path.Codel) (Transport.tcp "cubic")
-      "TCP + FQ + CoDel";
-    measure ~seed ~duration ~queue:(Path.Fq Path.Droptail)
-      (Transport.tcp "cubic") "TCP + FQ + Bufferbloat";
-    measure ~seed ~duration ~queue:(Path.Fq Path.Codel) pcc_latency
-      "PCC + FQ + CoDel";
-    measure ~seed ~duration ~queue:(Path.Fq Path.Droptail) pcc_latency
-      "PCC + FQ + Bufferbloat";
+    ("TCP + FQ + CoDel", Path.Fq Path.Codel, Transport.tcp "cubic");
+    ("TCP + FQ + Bufferbloat", Path.Fq Path.Droptail, Transport.tcp "cubic");
+    ("PCC + FQ + CoDel", Path.Fq Path.Codel, pcc_latency);
+    ("PCC + FQ + Bufferbloat", Path.Fq Path.Droptail, pcc_latency);
   ]
+
+let tasks ?(scale = 1.) ?(seed = 42) () =
+  let duration = 60. *. scale in
+  List.map
+    (fun (name, queue, spec) ->
+      Exp_common.task
+        ~label:(Printf.sprintf "power/%s" name)
+        (fun () -> measure ~seed ~duration ~queue spec name))
+    (combos ())
+
+let collect results = results
+
+let run ?pool ?scale ?seed () =
+  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ()))
 
 let table rows =
   let find name =
@@ -102,5 +111,5 @@ let table rows =
       note;
     }
 
-let print ?scale ?seed () =
-  Exp_common.print_table (table (run ?scale ?seed ()))
+let print ?pool ?scale ?seed () =
+  Exp_common.print_table (table (run ?pool ?scale ?seed ()))

@@ -15,8 +15,14 @@ type row = {
   power : float;  (** throughput / rtt *)
 }
 
-val run : ?scale:float -> ?seed:int -> unit -> row list
+val tasks : ?scale:float -> ?seed:int -> unit -> row Exp_common.task list
+(** One simulation per combination; each task yields its row. *)
+
+val collect : row list -> row list
+(** Identity — each task already yields a finished row. *)
+
+val run : ?pool:Runner.t -> ?scale:float -> ?seed:int -> unit -> row list
 (** Base duration 60 s · scale per combination. *)
 
 val table : row list -> Exp_common.table
-val print : ?scale:float -> ?seed:int -> unit -> unit
+val print : ?pool:Runner.t -> ?scale:float -> ?seed:int -> unit -> unit

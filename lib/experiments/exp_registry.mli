@@ -1,0 +1,31 @@
+(** The catalogue of paper-reproduction experiments.
+
+    Each entry renders its tables to a string — the same string whether
+    the underlying simulations ran sequentially or fanned out over a
+    {!Runner} pool, which is what lets callers assert byte-identical
+    output across [--jobs] settings. Entries whose figures have
+    plottable time series ([fig11], [fig12]) also write CSVs when
+    [dump_dir] is given, appending a note line per file to the rendered
+    output. *)
+
+type entry = {
+  name : string;  (** Short key, e.g. ["fig7"], used by [--only]. *)
+  descr : string;
+  render :
+    ?pool:Runner.t ->
+    ?dump_dir:string ->
+    scale:float ->
+    seed:int ->
+    unit ->
+    string;
+      (** Runs the experiment and returns the rendered tables. The
+          result is a pure function of [scale] and [seed] (plus
+          [dump_dir] note lines) — never of the pool's job count or
+          scheduling. *)
+}
+
+val all : entry list
+(** In the paper's presentation order. *)
+
+val find : string -> entry option
+val names : unit -> string list

@@ -30,18 +30,36 @@ let measure_ratio ~seed ~duration ~long_rtt spec =
   let l1 = Path.goodput_bytes flows.(0) and s1 = Path.goodput_bytes flows.(1) in
   Exp_common.ratio (float_of_int (l1 - l0)) (float_of_int (s1 - s0))
 
-let run ?(scale = 1.) ?(seed = 42) ?(rtts = default_rtts) () =
+let specs () =
+  [
+    ("pcc", Transport.pcc ());
+    ("cubic", Transport.tcp "cubic");
+    ("newreno", Transport.tcp "newreno");
+  ]
+
+let tasks ?(scale = 1.) ?(seed = 42) ?(rtts = default_rtts) () =
   let duration = 500. *. scale in
-  List.map
+  List.concat_map
     (fun long_rtt ->
-      {
-        long_rtt;
-        pcc = measure_ratio ~seed ~duration ~long_rtt (Transport.pcc ());
-        cubic = measure_ratio ~seed ~duration ~long_rtt (Transport.tcp "cubic");
-        newreno =
-          measure_ratio ~seed ~duration ~long_rtt (Transport.tcp "newreno");
-      })
+      List.map
+        (fun (name, spec) ->
+          Exp_common.task
+            ~label:(Printf.sprintf "rtt_fairness/%s/rtt=%g" name long_rtt)
+            (fun () ->
+              (long_rtt, measure_ratio ~seed ~duration ~long_rtt spec)))
+        (specs ()))
     rtts
+
+let collect results =
+  List.map
+    (function
+      | [ (long_rtt, pcc); (_, cubic); (_, newreno) ] ->
+        { long_rtt; pcc; cubic; newreno }
+      | _ -> invalid_arg "Exp_rtt_fairness.collect: 3 measurements per RTT")
+    (Exp_common.chunk (List.length (specs ())) results)
+
+let run ?pool ?scale ?seed ?rtts () =
+  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ?rtts ()))
 
 let table rows =
   Exp_common.
@@ -63,5 +81,5 @@ let table rows =
            PCC near 1, CUBIC below, New Reno worst.";
     }
 
-let print ?scale ?seed () =
-  Exp_common.print_table (table (run ?scale ?seed ()))
+let print ?pool ?scale ?seed () =
+  Exp_common.print_table (table (run ?pool ?scale ?seed ()))

@@ -15,8 +15,24 @@ type row = {
   newreno : float;
 }
 
-val run : ?scale:float -> ?seed:int -> ?rtts:float list -> unit -> row list
+val tasks :
+  ?scale:float ->
+  ?seed:int ->
+  ?rtts:float list ->
+  unit ->
+  (float * float) Exp_common.task list
+(** One simulation per (RTT, protocol), yielding (long_rtt, ratio). *)
+
+val collect : (float * float) list -> row list
+
+val run :
+  ?pool:Runner.t ->
+  ?scale:float ->
+  ?seed:int ->
+  ?rtts:float list ->
+  unit ->
+  row list
 (** Base measurement 500 s per point (paper), scaled. *)
 
 val table : row list -> Exp_common.table
-val print : ?scale:float -> ?seed:int -> unit -> unit
+val print : ?pool:Runner.t -> ?scale:float -> ?seed:int -> unit -> unit

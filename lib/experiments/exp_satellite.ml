@@ -13,28 +13,46 @@ type row = {
 let default_buffers =
   [ 1500; 7500; 15000; 30000; 75000; 150000; 375000; 1000000 ]
 
-let run ?(scale = 1.) ?(seed = 42) ?(buffers = default_buffers) () =
+let specs () =
+  [
+    ("pcc", Transport.pcc ());
+    ("hybla", Transport.tcp "hybla");
+    ("illinois", Transport.tcp "illinois");
+    ("cubic", Transport.tcp "cubic");
+    ("newreno", Transport.tcp "newreno");
+  ]
+
+let tasks ?(scale = 1.) ?(seed = 42) ?(buffers = default_buffers) () =
   let bandwidth = Units.mbps 42. and rtt = 0.8 and loss = 0.0074 in
   let duration = 100. *. scale in
   (* PCC's paper-faithful 2*MSS/RTT start is 30 kbps here and the climb
      through monitor intervals of ~1.4 s takes tens of seconds, so steady
      state needs a long warmup (the paper reports 100 s averages where the
      ramp is a modest fraction). *)
-  let measure buffer spec =
-    Exp_common.solo_throughput ~seed ~warmup:(60. *. rtt) ~bandwidth ~rtt
-      ~buffer ~duration ~loss spec
-  in
-  List.map
+  List.concat_map
     (fun buffer ->
-      {
-        buffer;
-        pcc = measure buffer (Transport.pcc ());
-        hybla = measure buffer (Transport.tcp "hybla");
-        illinois = measure buffer (Transport.tcp "illinois");
-        cubic = measure buffer (Transport.tcp "cubic");
-        newreno = measure buffer (Transport.tcp "newreno");
-      })
+      List.map
+        (fun (name, spec) ->
+          Exp_common.task
+            ~label:(Printf.sprintf "fig6/%s/buf=%d" name buffer)
+            (fun () ->
+              ( buffer,
+                Exp_common.solo_throughput ~seed ~warmup:(60. *. rtt)
+                  ~bandwidth ~rtt ~buffer ~duration ~loss spec )))
+        (specs ()))
     buffers
+
+let collect results =
+  List.map
+    (function
+      | [ (buffer, pcc); (_, hybla); (_, illinois); (_, cubic); (_, newreno) ]
+        ->
+        { buffer; pcc; hybla; illinois; cubic; newreno }
+      | _ -> invalid_arg "Exp_satellite.collect: 5 measurements per buffer")
+    (Exp_common.chunk (List.length (specs ())) results)
+
+let run ?pool ?scale ?seed ?buffers () =
+  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ?buffers ()))
 
 let table rows =
   Exp_common.
@@ -62,5 +80,5 @@ let table rows =
            Illinois 54x below PCC at 1 MB.";
     }
 
-let print ?scale ?seed () =
-  Exp_common.print_table (table (run ?scale ?seed ()))
+let print ?pool ?scale ?seed () =
+  Exp_common.print_table (table (run ?pool ?scale ?seed ()))

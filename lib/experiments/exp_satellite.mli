@@ -15,8 +15,23 @@ type row = {
   newreno : float;
 }
 
-val run : ?scale:float -> ?seed:int -> ?buffers:int list -> unit -> row list
+val tasks :
+  ?scale:float ->
+  ?seed:int ->
+  ?buffers:int list ->
+  unit ->
+  (int * float) Exp_common.task list
+
+val collect : (int * float) list -> row list
+
+val run :
+  ?pool:Runner.t ->
+  ?scale:float ->
+  ?seed:int ->
+  ?buffers:int list ->
+  unit ->
+  row list
 (** Base duration 100 s per point. *)
 
 val table : row list -> Exp_common.table
-val print : ?scale:float -> ?seed:int -> unit -> unit
+val print : ?pool:Runner.t -> ?scale:float -> ?seed:int -> unit -> unit

@@ -64,27 +64,38 @@ let single ~seed ~horizon spec =
   in
   (ct, sd)
 
-let run ?(scale = 1.) ?(seed = 42) ?trials () =
+type sample = { s_label : string; s_ct : float option; s_sd : float }
+
+let tasks ?(scale = 1.) ?(seed = 42) ?trials () =
   let trials =
     match trials with Some t -> t | None -> max 2 (int_of_float (4. *. scale))
   in
   let horizon = Float.max 80. (150. *. scale) in
-  List.map
+  List.concat_map
     (fun (label, spec) ->
-      let cts = ref [] and sds = ref [] in
-      for i = 0 to trials - 1 do
-        let ct, sd = single ~seed:(seed + (101 * i)) ~horizon spec in
-        (match ct with Some t -> cts := t :: !cts | None -> ());
-        sds := sd :: !sds
-      done;
-      {
-        label;
-        convergence_time =
-          (if !cts = [] then None
-           else Some (Stats.mean (Array.of_list !cts)));
-        stddev = Stats.mean (Array.of_list !sds);
-      })
+      List.init trials (fun i ->
+          let trial_seed = seed + (101 * i) in
+          Exp_common.task
+            ~label:(Printf.sprintf "tradeoff/%s/trial=%d" label i)
+            (fun () ->
+              let ct, sd = single ~seed:trial_seed ~horizon spec in
+              { s_label = label; s_ct = ct; s_sd = sd })))
     (configs ())
+
+let collect samples =
+  Exp_common.group_by (fun s -> s.s_label) samples
+  |> List.map (fun (label, cell) ->
+         let cts = List.filter_map (fun s -> s.s_ct) cell in
+         {
+           label;
+           convergence_time =
+             (if cts = [] then None
+              else Some (Stats.mean (Array.of_list cts)));
+           stddev = Stats.mean (Array.of_list (List.map (fun s -> s.s_sd) cell));
+         })
+
+let run ?pool ?scale ?seed ?trials () =
+  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ?trials ()))
 
 let table points =
   Exp_common.
@@ -111,5 +122,5 @@ let table points =
            time at Tm=1.0.";
     }
 
-let print ?scale ?seed () =
-  Exp_common.print_table (table (run ?scale ?seed ()))
+let print ?pool ?scale ?seed () =
+  Exp_common.print_table (table (run ?pool ?scale ?seed ()))

@@ -15,8 +15,30 @@ type point = {
   stddev : float;  (** bits/s *)
 }
 
-val run : ?scale:float -> ?seed:int -> ?trials:int -> unit -> point list
+type sample = {
+  s_label : string;
+  s_ct : float option;
+  s_sd : float;
+}
+(** One trial's measurement, tagged with its configuration label so
+    {!collect} can average trials without knowing how many ran. *)
+
+val tasks :
+  ?scale:float -> ?seed:int -> ?trials:int -> unit -> sample Exp_common.task list
+(** One simulation per (configuration, trial). Trial seeds are a pure
+    function of [seed] and the trial index. *)
+
+val collect : sample list -> point list
+(** Averages trials per configuration, preserving configuration order. *)
+
+val run :
+  ?pool:Runner.t ->
+  ?scale:float ->
+  ?seed:int ->
+  ?trials:int ->
+  unit ->
+  point list
 (** [trials] (default max 2 (15·scale)) runs are averaged per point. *)
 
 val table : point list -> Exp_common.table
-val print : ?scale:float -> ?seed:int -> unit -> unit
+val print : ?pool:Runner.t -> ?scale:float -> ?seed:int -> unit -> unit

@@ -1,0 +1,204 @@
+(* A work-stealing pool of OCaml 5 domains for fanning independent
+   simulation tasks across cores.
+
+   Determinism contract: the pool never decides *what* a task computes,
+   only *when* it runs. Results land in a slot array indexed by task
+   position, seeds are derived from (master_seed, task_index) with
+   {!derive_seed}, and the first (lowest-index) exception wins — so the
+   observable outcome of [map] is a pure function of the task array,
+   independent of worker count and scheduling order.
+
+   Work distribution: each worker owns a deque seeded round-robin at
+   submission; a worker drains its own deque first and steals from the
+   longest other deque when empty. Tasks here are whole simulations
+   (milliseconds to seconds each), so one pool-wide lock around the
+   deques is far off the critical path. *)
+
+type batch = {
+  run : int -> unit;  (* run task [i] and store its result *)
+  queues : int Queue.t array;  (* per-worker pending task indices *)
+  mutable remaining : int;  (* submitted tasks not yet completed *)
+  mutable error : (int * exn * Printexc.raw_backtrace) option;
+      (* lowest-index failure *)
+}
+
+type t = {
+  m : Mutex.t;
+  work : Condition.t;  (* new batch available, or shutting down *)
+  finished : Condition.t;  (* a batch just completed *)
+  mutable current : batch option;
+  mutable stop : bool;
+  mutable domains : unit Domain.t array;
+  njobs : int;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* ---- seed derivation ---------------------------------------------- *)
+
+(* splitmix64's finalizer over a combination of master and index. Pure,
+   so a task's seed depends only on its position in the batch, never on
+   which worker runs it or in what order tasks complete. *)
+let derive_seed ~master ~index =
+  let open Int64 in
+  let z =
+    add (of_int master)
+      (mul (of_int (index + 1)) 0x9E3779B97F4A7C15L)
+  in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  to_int (logand z 0x3FFFFFFFFFFFFFFFL)
+
+(* ---- worker loop --------------------------------------------------- *)
+
+(* Take one task index for worker [w], own deque first, else steal from
+   the victim with the most pending work. Caller holds the pool lock. *)
+let take b w =
+  if not (Queue.is_empty b.queues.(w)) then Some (Queue.pop b.queues.(w))
+  else begin
+    let victim = ref (-1) and best = ref 0 in
+    Array.iteri
+      (fun i q ->
+        let n = Queue.length q in
+        if n > !best then begin
+          victim := i;
+          best := n
+        end)
+      b.queues;
+    if !victim < 0 then None else Some (Queue.pop b.queues.(!victim))
+  end
+
+let run_one t b i =
+  Mutex.unlock t.m;
+  (try b.run i
+   with exn ->
+     let bt = Printexc.get_raw_backtrace () in
+     Mutex.lock t.m;
+     (match b.error with
+     | Some (j, _, _) when j <= i -> ()
+     | _ -> b.error <- Some (i, exn, bt));
+     Mutex.unlock t.m);
+  Mutex.lock t.m;
+  b.remaining <- b.remaining - 1;
+  if b.remaining = 0 then begin
+    t.current <- None;
+    Condition.broadcast t.finished
+  end
+
+let worker t w =
+  Mutex.lock t.m;
+  let rec loop () =
+    if t.stop then Mutex.unlock t.m
+    else
+      match t.current with
+      | Some b -> (
+        match take b w with
+        | Some i ->
+          run_one t b i;
+          loop ()
+        | None ->
+          (* Batch fully distributed but not finished: sleep until the
+             next batch (or shutdown) rather than spin. *)
+          Condition.wait t.work t.m;
+          loop ())
+      | None ->
+        Condition.wait t.work t.m;
+        loop ()
+  in
+  loop ()
+
+(* ---- pool lifecycle ------------------------------------------------ *)
+
+let create ?jobs () =
+  let njobs =
+    match jobs with
+    | None -> default_jobs ()
+    | Some n when n >= 1 -> n
+    | Some n ->
+      invalid_arg (Printf.sprintf "Runner.create: jobs must be >= 1, got %d" n)
+  in
+  let t =
+    {
+      m = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      current = None;
+      stop = false;
+      domains = [||];
+      njobs;
+    }
+  in
+  (* The caller participates as worker 0; spawn the other njobs-1. *)
+  t.domains <- Array.init (njobs - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)));
+  t
+
+let jobs t = t.njobs
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m;
+  Array.iter Domain.join t.domains;
+  t.domains <- [||]
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* ---- mapping ------------------------------------------------------- *)
+
+let map t f tasks =
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else if t.njobs = 1 || n = 1 then Array.map f tasks
+  else begin
+    let results = Array.make n None in
+    let b =
+      {
+        run = (fun i -> results.(i) <- Some (f tasks.(i)));
+        queues = Array.init t.njobs (fun _ -> Queue.create ());
+        remaining = n;
+        error = None;
+      }
+    in
+    (* Deal indices round-robin so every worker starts with a share and
+       stealing only handles imbalance. *)
+    for i = 0 to n - 1 do
+      Queue.push i b.queues.(i mod t.njobs)
+    done;
+    Mutex.lock t.m;
+    if t.stop then begin
+      Mutex.unlock t.m;
+      invalid_arg "Runner.map: pool is shut down"
+    end;
+    if t.current <> None then begin
+      Mutex.unlock t.m;
+      invalid_arg "Runner.map: pool is already running a batch"
+    end;
+    t.current <- Some b;
+    Condition.broadcast t.work;
+    (* The caller works the batch as worker 0, then waits for stolen
+       stragglers to finish. *)
+    let rec drive () =
+      match take b 0 with
+      | Some i ->
+        run_one t b i;
+        drive ()
+      | None -> while b.remaining > 0 do Condition.wait t.finished t.m done
+    in
+    drive ();
+    Mutex.unlock t.m;
+    (match b.error with
+    | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None -> ());
+    Array.map
+      (function
+        | Some r -> r
+        | None -> invalid_arg "Runner.map: task produced no result")
+      results
+  end
+
+let map_list t f tasks =
+  Array.to_list (map t (fun x -> f x) (Array.of_list tasks))

@@ -1,0 +1,62 @@
+(** Work-stealing domain pool for embarrassingly parallel experiments.
+
+    The paper's evaluation is hundreds of independent simulation runs;
+    this pool fans them out across cores (OCaml 5 domains) while keeping
+    the result of a run {b byte-identical} to sequential execution.
+
+    {2 Determinism contract}
+
+    - {!map} writes each task's result into a slot indexed by the task's
+      position and returns the slots in order: the output never depends
+      on completion order.
+    - Seeds must be derived from [(master_seed, task_index)] with
+      {!derive_seed} (or any other pure function of the index) {e before}
+      tasks are submitted — never from scheduling, wall-clock time, or
+      shared RNG streams consumed inside tasks.
+    - Tasks must not share mutable state. Each simulation task builds its
+      own [Engine]/[Rng]; {!Pcc_scenario.Transport.spec} values are
+      immutable and safe to share.
+    - If several tasks raise, the exception of the {e lowest-indexed}
+      failing task is re-raised — again independent of scheduling.
+
+    Under these rules, [--jobs 1] and [--jobs N] produce identical
+    tables, which the test suite checks. *)
+
+type t
+(** A pool of worker domains. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the pool size that matches
+    the hardware. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns a pool of [jobs] workers (default
+    {!default_jobs}). The calling domain participates as a worker during
+    {!map}, so [jobs - 1] domains are spawned; [jobs = 1] spawns none
+    and runs everything inline. @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+(** Worker count (including the caller). *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map t f tasks] applies [f] to every element of [tasks], spreading
+    the calls across the pool's workers via per-worker deques with
+    stealing, and returns the results {b in task order}. Blocks until
+    every task finished. Re-raises the lowest-indexed task's exception,
+    if any, after the batch completes. Not reentrant: one batch at a
+    time per pool. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over lists. *)
+
+val derive_seed : master:int -> index:int -> int
+(** [derive_seed ~master ~index] is a non-negative seed mixed from the
+    pair with a splitmix64 finalizer: decorrelated across indices,
+    deterministic, and independent of scheduling. *)
+
+val shutdown : t -> unit
+(** Join all worker domains. The pool is unusable afterwards. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and shuts it down on exit,
+    also on exceptions. *)

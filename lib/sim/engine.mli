@@ -71,7 +71,8 @@ val cancel : timer -> unit
     already-fired or already-cancelled timer is harmless. *)
 
 val pending : t -> int
-(** Number of events still queued. *)
+(** Number of live events still queued. Exact: cancelled timers stop
+    counting immediately, even while still buried in the heap. *)
 
 val set_stall_budget : t -> int -> unit
 (** Adjust the livelock watchdog's per-instant event budget.
@@ -87,6 +88,12 @@ val clear_errors : t -> unit
 
 val executed : t -> int
 (** Total events executed over the engine's lifetime. *)
+
+val total_executed : unit -> int
+(** Process-wide tally of events executed by {e all} engines across all
+    domains, for benchmark reporting (events/second). Engines flush
+    their contribution once per {!run}/{!step} call, so concurrent
+    readers may lag an in-flight [run] by that call's events. *)
 
 val step : t -> bool
 (** [step t] executes the next event, if any; returns [false] when the

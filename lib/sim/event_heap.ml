@@ -1,102 +1,163 @@
-type handle = { mutable dead : bool }
+(* Binary min-heap on two parallel arrays.
 
-type 'a entry = { time : float; seq : int; h : handle; v : 'a }
+   [times] is a plain [float array] so the hot comparison path reads
+   unboxed floats straight out of the array; [cells] carries the
+   sequence number (FIFO tie-break), the cancellation handle and the
+   payload. A mixed record holding the key would box the float and cost
+   a pointer chase per comparison — with the key split out, sift loops
+   touch [cells] only to break exact ties.
+
+   Cancellation stays lazy (dead entries surface and are dropped at the
+   root), but the heap maintains an exact live count so [size] and
+   [is_empty] are O(1) and never over-report buried dead entries. *)
+
+(* state: 0 = pending (in the heap), 1 = cancelled, 2 = popped.
+   [live] aliases the owning heap's counter so [cancel] — which has no
+   heap argument — can keep the count exact. *)
+type handle = { mutable state : int; live : int ref }
+
+type 'a cell = { seq : int; h : handle; v : 'a }
 
 type 'a t = {
-  mutable a : 'a entry array;
-  mutable len : int;
+  mutable times : float array;
+  mutable cells : 'a cell array;
+  mutable len : int;  (* slots used, including dead entries *)
   mutable next_seq : int;
+  live : int ref;  (* pending (non-cancelled, non-popped) entries *)
 }
 
-let create () = { a = [||]; len = 0; next_seq = 0 }
+let create () =
+  { times = [||]; cells = [||]; len = 0; next_seq = 0; live = ref 0 }
 
-let before x y = x.time < y.time || (x.time = y.time && x.seq < y.seq)
+let is_empty t = !(t.live) = 0
+let size t = !(t.live)
 
-let grow t =
-  let cap = Array.length t.a in
+(* Is key (time, c) strictly before slot [j]? *)
+let before_slot t time (c : 'a cell) j =
+  time < t.times.(j) || (time = t.times.(j) && c.seq < t.cells.(j).seq)
+
+let ensure_capacity t time c =
+  let cap = Array.length t.cells in
   if t.len >= cap then begin
     let ncap = if cap = 0 then 64 else cap * 2 in
-    let na =
-      if cap = 0 then
-        (* The placeholder cell is never read: indices >= len are unused
-           and immediately overwritten on push. *)
-        Array.make ncap { time = 0.; seq = 0; h = { dead = true }; v = Obj.magic 0 }
-      else Array.make ncap t.a.(0)
-    in
-    Array.blit t.a 0 na 0 t.len;
-    t.a <- na
+    (* Unused slots are seeded with the entry being inserted; they are
+       never read before being overwritten. *)
+    let ntimes = Array.make ncap time in
+    let ncells = Array.make ncap c in
+    Array.blit t.times 0 ntimes 0 t.len;
+    Array.blit t.cells 0 ncells 0 t.len;
+    t.times <- ntimes;
+    t.cells <- ncells
   end
 
-let swap t i j =
-  let tmp = t.a.(i) in
-  t.a.(i) <- t.a.(j);
-  t.a.(j) <- tmp
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if before t.a.(i) t.a.(parent) then begin
-      swap t i parent;
-      sift_up t parent
+(* Move the hole at [i] up until (time, c) fits, then place it. One
+   write per visited level instead of a three-write swap. *)
+let sift_up t i time c =
+  let i = ref i in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before_slot t time c parent then begin
+      t.times.(!i) <- t.times.(parent);
+      t.cells.(!i) <- t.cells.(parent);
+      i := parent
     end
-  end
+    else continue := false
+  done;
+  t.times.(!i) <- time;
+  t.cells.(!i) <- c
 
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.len && before t.a.(l) t.a.(!smallest) then smallest := l;
-  if r < t.len && before t.a.(r) t.a.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
-  end
+(* Move the hole at [i] down until (time, c) fits, then place it. *)
+let sift_down t i time c =
+  let i = ref i in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 in
+    if l >= t.len then continue := false
+    else begin
+      let r = l + 1 in
+      let child =
+        if
+          r < t.len
+          && (t.times.(r) < t.times.(l)
+             || (t.times.(r) = t.times.(l)
+                && t.cells.(r).seq < t.cells.(l).seq))
+        then r
+        else l
+      in
+      if
+        t.times.(child) < time
+        || (t.times.(child) = time && t.cells.(child).seq < c.seq)
+      then begin
+        t.times.(!i) <- t.times.(child);
+        t.cells.(!i) <- t.cells.(child);
+        i := child
+      end
+      else continue := false
+    end
+  done;
+  t.times.(!i) <- time;
+  t.cells.(!i) <- c
 
 let push t ~time v =
-  grow t;
-  let h = { dead = false } in
-  let e = { time; seq = t.next_seq; h; v } in
+  let h = { state = 0; live = t.live } in
+  let c = { seq = t.next_seq; h; v } in
   t.next_seq <- t.next_seq + 1;
-  t.a.(t.len) <- e;
+  ensure_capacity t time c;
   t.len <- t.len + 1;
-  sift_up t (t.len - 1);
+  incr t.live;
+  sift_up t (t.len - 1) time c;
   h
 
-let pop_root t =
-  let e = t.a.(0) in
+(* Remove the root, refilling the hole from the last slot. *)
+let remove_root t =
   t.len <- t.len - 1;
   if t.len > 0 then begin
-    t.a.(0) <- t.a.(t.len);
-    sift_down t 0
-  end;
-  e
-
-(* Discard cancelled entries sitting at the root, so that peeks and size
-   queries reflect only live events. *)
-let rec purge t =
-  if t.len > 0 && t.a.(0).h.dead then begin
-    ignore (pop_root t);
-    purge t
+    let time = t.times.(t.len) and c = t.cells.(t.len) in
+    sift_down t 0 time c
   end
 
 let rec pop t =
-  purge t;
   if t.len = 0 then None
   else begin
-    let e = pop_root t in
-    if e.h.dead then pop t else Some (e.time, e.v)
+    let time = t.times.(0) and c = t.cells.(0) in
+    remove_root t;
+    if c.h.state = 0 then begin
+      c.h.state <- 2;
+      decr t.live;
+      Some (time, c.v)
+    end
+    else pop t
   end
 
-let peek_time t =
-  purge t;
-  if t.len = 0 then None else Some t.a.(0).time
+let rec pop_le t ~max_time =
+  if t.len = 0 then None
+  else if t.cells.(0).h.state <> 0 then begin
+    (* Dead root: discard it even if it lies beyond [max_time]. *)
+    remove_root t;
+    pop_le t ~max_time
+  end
+  else if t.times.(0) > max_time then None
+  else begin
+    let time = t.times.(0) and c = t.cells.(0) in
+    remove_root t;
+    c.h.state <- 2;
+    decr t.live;
+    Some (time, c.v)
+  end
 
-let is_empty t =
-  purge t;
-  t.len = 0
+let rec peek_time t =
+  if t.len = 0 then None
+  else if t.cells.(0).h.state <> 0 then begin
+    remove_root t;
+    peek_time t
+  end
+  else Some t.times.(0)
 
-let size t =
-  purge t;
-  t.len
+let cancel h =
+  if h.state = 0 then begin
+    h.state <- 1;
+    decr h.live
+  end
 
-let cancel h = h.dead <- true
-let cancelled h = h.dead
+let cancelled h = h.state = 1

@@ -1,0 +1,243 @@
+(* The domain pool (Pcc_experiments.Runner), the event heap's exact live
+   count, and the determinism contract: identical output for any --jobs. *)
+
+open Pcc_experiments
+module Heap = Pcc_sim.Event_heap
+
+(* ------------------------------------------------------------------ *)
+(* Event heap: exact size under cancellation. *)
+
+let test_heap_size_buried_cancel () =
+  let h = Heap.create () in
+  let handles =
+    List.map (fun t -> (t, Heap.push h ~time:t t)) [ 5.; 1.; 4.; 2.; 3. ]
+  in
+  Alcotest.(check int) "five live" 5 (Heap.size h);
+  (* Cancel entries that are NOT at the root (times 4 and 5): they stay
+     buried in the arrays but must stop counting immediately. *)
+  List.iter (fun (t, han) -> if t >= 4. then Heap.cancel han) handles;
+  Alcotest.(check int) "three live after burying two" 3 (Heap.size h);
+  Alcotest.(check bool) "not empty" false (Heap.is_empty h);
+  (* Pops only surface the live ones, in order. *)
+  let order = List.filter_map (fun _ -> Heap.pop h) [ (); (); (); () ] in
+  Alcotest.(check (list (pair (float 0.) (float 0.))))
+    "live events in time order"
+    [ (1., 1.); (2., 2.); (3., 3.) ]
+    order;
+  Alcotest.(check int) "drained" 0 (Heap.size h);
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let test_heap_cancel_all_is_empty () =
+  let h = Heap.create () in
+  let handles = List.init 8 (fun i -> Heap.push h ~time:(float_of_int i) i) in
+  List.iter Heap.cancel handles;
+  Alcotest.(check int) "size 0 with 8 dead entries stored" 0 (Heap.size h);
+  Alcotest.(check bool) "is_empty despite stored entries" true (Heap.is_empty h);
+  Alcotest.(check bool) "pop finds nothing" true (Heap.pop h = None)
+
+let test_heap_cancel_after_pop () =
+  let h = Heap.create () in
+  let a = Heap.push h ~time:1. "a" in
+  let _b = Heap.push h ~time:2. "b" in
+  Alcotest.(check bool) "popped a" true (Heap.pop h = Some (1., "a"));
+  (* Cancelling a's handle after it was popped must not corrupt the
+     count of the remaining live entry. *)
+  Heap.cancel a;
+  Heap.cancel a;
+  Alcotest.(check int) "b still counted" 1 (Heap.size h);
+  Alcotest.(check bool) "cancelled is false for popped" false (Heap.cancelled a);
+  Alcotest.(check bool) "popped b" true (Heap.pop h = Some (2., "b"))
+
+let test_heap_double_cancel () =
+  let h = Heap.create () in
+  let a = Heap.push h ~time:1. 1 in
+  let _b = Heap.push h ~time:2. 2 in
+  Heap.cancel a;
+  Heap.cancel a;
+  Alcotest.(check int) "double cancel decrements once" 1 (Heap.size h)
+
+let test_heap_pop_le () =
+  let h = Heap.create () in
+  let _ = Heap.push h ~time:1. 1 in
+  let h2 = Heap.push h ~time:2. 2 in
+  let _ = Heap.push h ~time:3. 3 in
+  Alcotest.(check bool) "pop_le below earliest" true
+    (Heap.pop_le h ~max_time:0.5 = None);
+  Alcotest.(check bool) "pop_le at 2.5 gives 1" true
+    (Heap.pop_le h ~max_time:2.5 = Some (1., 1));
+  Heap.cancel h2;
+  (* The cancelled 2 must be skipped without being returned. *)
+  Alcotest.(check bool) "pop_le skips cancelled" true
+    (Heap.pop_le h ~max_time:2.5 = None);
+  Alcotest.(check int) "only 3 remains" 1 (Heap.size h);
+  Alcotest.(check bool) "3 still there" true
+    (Heap.pop_le h ~max_time:10. = Some (3., 3))
+
+let test_heap_tie_break_fifo () =
+  let h = Heap.create () in
+  List.iter (fun v -> ignore (Heap.push h ~time:1. v)) [ "a"; "b"; "c" ];
+  let order = List.filter_map (fun _ -> Heap.pop h) [ (); (); () ] in
+  Alcotest.(check (list (pair (float 0.) string)))
+    "simultaneous events pop in insertion order"
+    [ (1., "a"); (1., "b"); (1., "c") ]
+    order
+
+(* ------------------------------------------------------------------ *)
+(* Runner: order preservation, seeds, errors. *)
+
+(* Burn CPU proportionally to [n] so tasks finish out of submission
+   order under real parallelism (and under any scheduling). *)
+let busy n =
+  let acc = ref 0 in
+  for i = 1 to n * 20_000 do
+    acc := !acc + (i land 7)
+  done;
+  Sys.opaque_identity !acc
+
+let test_map_preserves_order () =
+  Runner.with_pool ~jobs:4 (fun pool ->
+      let n = 32 in
+      (* Task i works longest when i is smallest: completion order is
+         roughly the reverse of submission order. *)
+      let inputs = Array.init n (fun i -> i) in
+      let results =
+        Runner.map pool
+          (fun i ->
+            ignore (busy (n - i));
+            i * i)
+          inputs
+      in
+      Alcotest.(check (array int))
+        "slots in task order regardless of completion order"
+        (Array.init n (fun i -> i * i))
+        results)
+
+let test_map_list_matches_sequential () =
+  let inputs = List.init 50 (fun i -> i) in
+  let f i = (i * 7919) mod 1001 in
+  let seq = List.map f inputs in
+  Runner.with_pool ~jobs:8 (fun pool ->
+      Alcotest.(check (list int))
+        "map_list = List.map" seq
+        (Runner.map_list pool f inputs))
+
+let test_derive_seed_pure_and_distinct () =
+  let s = Runner.derive_seed ~master:42 ~index:7 in
+  Alcotest.(check int) "deterministic" s
+    (Runner.derive_seed ~master:42 ~index:7);
+  Alcotest.(check bool) "non-negative" true (s >= 0);
+  let seeds =
+    List.init 1000 (fun i -> Runner.derive_seed ~master:42 ~index:i)
+  in
+  let distinct = List.sort_uniq compare seeds in
+  Alcotest.(check int) "1000 indices, 1000 distinct seeds" 1000
+    (List.length distinct);
+  Alcotest.(check bool) "different master, different stream" true
+    (Runner.derive_seed ~master:1 ~index:0
+    <> Runner.derive_seed ~master:2 ~index:0)
+
+let test_derive_seed_independent_of_completion_order () =
+  (* Each task derives its seed inside the task body; delays reverse the
+     completion order. The derived seeds must still be exactly the
+     sequential ones, slot by slot. *)
+  let n = 16 in
+  let expected = Array.init n (fun i -> Runner.derive_seed ~master:7 ~index:i) in
+  Runner.with_pool ~jobs:4 (fun pool ->
+      let got =
+        Runner.map pool
+          (fun i ->
+            ignore (busy (n - i));
+            Runner.derive_seed ~master:7 ~index:i)
+          (Array.init n (fun i -> i))
+      in
+      Alcotest.(check (array int))
+        "per-task seeds independent of scheduling" expected got)
+
+exception Task_failed of int
+
+let test_lowest_index_error_wins () =
+  Runner.with_pool ~jobs:4 (fun pool ->
+      let raised =
+        try
+          ignore
+            (Runner.map pool
+               (fun i ->
+                 ignore (busy (24 - i));
+                 (* Index 20 fails fast, index 3 fails slow: the slow,
+                    lower-indexed failure must be the one reported. *)
+                 if i = 3 || i = 20 then raise (Task_failed i);
+                 i)
+               (Array.init 24 (fun i -> i)));
+          None
+        with Task_failed i -> Some i
+      in
+      Alcotest.(check (option int)) "lowest-indexed exception" (Some 3) raised)
+
+let test_jobs_one_inline () =
+  Runner.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check int) "jobs" 1 (Runner.jobs pool);
+      Alcotest.(check (list int))
+        "inline map works" [ 2; 4; 6 ]
+        (Runner.map_list pool (fun x -> 2 * x) [ 1; 2; 3 ]))
+
+(* ------------------------------------------------------------------ *)
+(* The determinism contract, end to end: rendered experiment tables are
+   byte-identical for --jobs 1/2/8. *)
+
+let rendered_loss ?pool () =
+  Exp_common.render_table
+    (Exp_loss.table
+       (Exp_loss.run ?pool ~scale:0.02 ~seed:11 ~losses:[ 0.0; 0.02 ] ()))
+
+let rendered_game ?pool () =
+  Exp_common.render_table
+    (Exp_game.table (Exp_game.run ?pool ~seed:11 ~ns:[ 2; 5 ] ()))
+
+let test_tables_byte_identical_across_jobs () =
+  let seq_loss = rendered_loss () in
+  let seq_game = rendered_game () in
+  List.iter
+    (fun jobs ->
+      Runner.with_pool ~jobs (fun pool ->
+          Alcotest.(check string)
+            (Printf.sprintf "fig7 subset identical at jobs=%d" jobs)
+            seq_loss
+            (rendered_loss ~pool ());
+          Alcotest.(check string)
+            (Printf.sprintf "game identical at jobs=%d" jobs)
+            seq_game
+            (rendered_game ~pool ())))
+    [ 1; 2; 8 ]
+
+let suites =
+  [
+    ( "event_heap.live_count",
+      [
+        Alcotest.test_case "buried cancellations" `Quick
+          test_heap_size_buried_cancel;
+        Alcotest.test_case "cancel all -> empty" `Quick
+          test_heap_cancel_all_is_empty;
+        Alcotest.test_case "cancel after pop" `Quick test_heap_cancel_after_pop;
+        Alcotest.test_case "double cancel" `Quick test_heap_double_cancel;
+        Alcotest.test_case "pop_le" `Quick test_heap_pop_le;
+        Alcotest.test_case "FIFO tie-break" `Quick test_heap_tie_break_fifo;
+      ] );
+    ( "runner",
+      [
+        Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
+        Alcotest.test_case "map_list = List.map" `Quick
+          test_map_list_matches_sequential;
+        Alcotest.test_case "derive_seed pure+distinct" `Quick
+          test_derive_seed_pure_and_distinct;
+        Alcotest.test_case "seeds independent of scheduling" `Quick
+          test_derive_seed_independent_of_completion_order;
+        Alcotest.test_case "lowest-index error wins" `Quick
+          test_lowest_index_error_wins;
+        Alcotest.test_case "jobs=1 inline" `Quick test_jobs_one_inline;
+      ] );
+    ( "runner.determinism",
+      [
+        Alcotest.test_case "tables byte-identical jobs 1/2/8" `Slow
+          test_tables_byte_identical_across_jobs;
+      ] );
+  ]
