@@ -160,6 +160,125 @@ let chaos_cmd transport bw_mbps rtt_ms duration seed rate check_invariants =
   `Ok ()
   end
 
+(* Demo shapes for the graph topology layer. "dumbbell" is what `run`
+   builds; "parking" and "revpath" are shapes the flat builders cannot
+   express (asymmetric chain, congested ack path). *)
+let topo_shape ~engine ~rng ~bandwidth ~rtt transports shape =
+  let bdp = Units.bdp_bytes ~rate:bandwidth ~rtt in
+  match shape with
+  | "dumbbell" ->
+    let links =
+      [
+        Topology.link ~name:"bottleneck" ~delay:(rtt /. 2.) ~buffer:bdp ~src:0
+          ~dst:1 ~bandwidth ();
+      ]
+    in
+    let flows = List.map (fun t -> Topology.flow ~route:[ 0; 1 ] t) transports in
+    Ok (Topology.build engine ~rng ~links ~flows ())
+  | "parking" ->
+    (* Asymmetric 3-hop parking lot: the middle hop is the narrowest. The
+       first transport runs end to end; the rest take one-hop routes,
+       spread round-robin, competing with the long flow hop-locally. *)
+    let hop i frac =
+      Topology.link
+        ~name:(Printf.sprintf "hop%d" i)
+        ~delay:(rtt /. 6.)
+        ~buffer:(Units.bdp_bytes ~rate:(bandwidth *. frac) ~rtt)
+        ~src:i ~dst:(i + 1)
+        ~bandwidth:(bandwidth *. frac)
+        ()
+    in
+    let links = [ hop 0 1.0; hop 1 0.5; hop 2 0.8 ] in
+    let flows =
+      List.mapi
+        (fun i t ->
+          if i = 0 then
+            Topology.flow
+              ~label:(Transport.name t ^ "-long")
+              ~route:[ 0; 1; 2; 3 ] t
+          else begin
+            let e = (i - 1) mod 3 in
+            Topology.flow
+              ~label:(Printf.sprintf "%s-hop%d" (Transport.name t) e)
+              ~route:[ e; e + 1 ] t
+          end)
+        transports
+    in
+    Ok (Topology.build engine ~rng ~links ~flows ())
+  | "revpath" ->
+    (* Congested reverse path: acks share a link 100x narrower than the
+       data direction, with a shallow buffer. *)
+    let links =
+      [
+        Topology.link ~name:"forward" ~delay:(rtt /. 2.) ~buffer:bdp ~src:0
+          ~dst:1 ~bandwidth ();
+        Topology.link ~name:"ackpath" ~delay:(rtt /. 2.)
+          ~buffer:(Units.kib 4) ~src:1 ~dst:0 ~bandwidth:(bandwidth /. 100.)
+          ();
+      ]
+    in
+    let flows =
+      List.map
+        (fun t -> Topology.flow ~route:[ 0; 1 ] ~rev_route:[ 1; 0 ] t)
+        transports
+    in
+    Ok (Topology.build engine ~rng ~links ~flows ())
+  | other ->
+    Error (Printf.sprintf "unknown shape %s (dumbbell, parking, revpath)" other)
+
+let topo_cmd transports shape bw_mbps rtt_ms duration seed interval describe
+    check_invariants =
+  let bandwidth = Units.mbps bw_mbps in
+  let rtt = rtt_ms /. 1000. in
+  let engine = Engine.create () in
+  let rng = Rng.create seed in
+  match topo_shape ~engine ~rng ~bandwidth ~rtt transports shape with
+  | Error msg -> `Error (false, msg)
+  | Ok topo ->
+    print_string (Topology.describe topo);
+    if describe then `Ok ()
+    else begin
+      if check_invariants then ignore (Invariant.attach_topology topo);
+      let flows = Topology.flows topo in
+      Printf.printf "\n%8s" "time";
+      Array.iter
+        (fun (f : Topology.built_flow) ->
+          Printf.printf " %14s" f.Topology.def.Topology.label)
+        flows;
+      Printf.printf "\n";
+      let last = Array.make (Array.length flows) 0 in
+      let steps = int_of_float (duration /. interval) in
+      for i = 1 to steps do
+        Engine.run ~until:(float_of_int i *. interval) engine;
+        Printf.printf "%7.1fs" (float_of_int i *. interval);
+        Array.iteri
+          (fun j f ->
+            let b = Topology.goodput_bytes f in
+            Printf.printf " %9.2f Mbps"
+              (float_of_int ((b - last.(j)) * 8) /. interval /. 1e6);
+            last.(j) <- b)
+          flows;
+        Printf.printf "\n%!"
+      done;
+      Printf.printf "\naverages over the full run:\n";
+      Array.iteri
+        (fun j (f : Topology.built_flow) ->
+          let min_cap =
+            List.fold_left
+              (fun acc id ->
+                Float.min acc (Pcc_net.Link.bandwidth (Topology.link_at topo id)))
+              infinity
+              (Topology.route_links topo ~flow:j)
+          in
+          Printf.printf "  %-14s %8.2f Mbps (route cap %.1f Mbps, srtt %.1f ms)\n"
+            f.Topology.def.Topology.label
+            (float_of_int (Topology.goodput_bytes f * 8) /. duration /. 1e6)
+            (min_cap /. 1e6)
+            (f.Topology.sender.Pcc_net.Sender.srtt () *. 1e3))
+        flows;
+      `Ok ()
+    end
+
 let game_cmd senders capacity steps =
   let x0 =
     Array.init senders (fun i -> capacity /. float_of_int (i + 2))
@@ -312,6 +431,28 @@ let chaos_term =
       (const chaos_cmd $ transport_arg $ bw_arg $ rtt_arg $ chaos_duration_arg
      $ seed_arg $ rate_arg $ check_invariants_arg))
 
+let topo_term =
+  let shape_arg =
+    Arg.(
+      value & opt string "dumbbell"
+      & info [ "shape" ] ~docv:"SHAPE"
+          ~doc:
+            "Topology shape: $(b,dumbbell) (one bottleneck), $(b,parking) \
+             (asymmetric 3-hop chain), or $(b,revpath) (ack path 100x \
+             narrower than the data path).")
+  in
+  let describe_arg =
+    Arg.(
+      value & flag
+      & info [ "describe" ]
+          ~doc:"Print the built graph (nodes, links, routes) and exit.")
+  in
+  Term.(
+    ret
+      (const topo_cmd $ transports_arg $ shape_arg $ bw_arg $ rtt_arg
+     $ duration_arg $ seed_arg $ interval_arg $ describe_arg
+     $ check_invariants_arg))
+
 let game_term =
   let senders =
     Arg.(value & opt int 4 & info [ "senders" ] ~docv:"N" ~doc:"Competing senders.")
@@ -372,6 +513,12 @@ let cmds =
            "Reproduce the paper's experiments (optionally in parallel with \
             --jobs)")
       exp_term;
+    Cmd.v
+      (Cmd.info "topo"
+         ~doc:
+           "Simulate flows on a graph topology (multi-hop chains, congested \
+            reverse paths)")
+      topo_term;
     Cmd.v
       (Cmd.info "chaos"
          ~doc:

@@ -106,23 +106,32 @@ let ratio a b = if Float.abs b < 1e-9 then infinity else a /. b
 
 let goodput_between engine flow ~t0 ~t1 =
   Engine.run ~until:t0 engine;
-  let b0 = Path.goodput_bytes flow in
+  let b0 = Topology.goodput_bytes flow in
   Engine.run ~until:t1 engine;
-  let b1 = Path.goodput_bytes flow in
+  let b1 = Topology.goodput_bytes flow in
   float_of_int ((b1 - b0) * 8) /. (t1 -. t0)
 
-let solo_throughput ?(seed = 42) ?warmup ?(queue = Path.Droptail) ?(loss = 0.)
-    ?(rev_loss = 0.) ?(jitter = 0.) ~bandwidth ~rtt ~buffer ~duration spec =
+(* Builds the dumbbell on the graph layer directly; the link/flow specs
+   mirror what Path.build would produce, so seeded results are identical
+   with the pre-graph implementation. *)
+let solo_throughput ?(seed = 42) ?warmup ?(queue = Topology.Droptail)
+    ?(loss = 0.) ?(rev_loss = 0.) ?(jitter = 0.) ~bandwidth ~rtt ~buffer
+    ~duration spec =
   let warmup =
     match warmup with Some w -> w | None -> Float.max 3. (20. *. rtt)
   in
   let engine = Engine.create () in
   let rng = Rng.create seed in
-  let path =
-    Path.build engine ~rng ~bandwidth ~rtt ~buffer ~queue ~loss ~rev_loss
-      ~jitter
-      ~flows:[ Path.flow spec ]
+  let topo =
+    Topology.build engine ~rng
+      ~links:
+        [
+          Topology.link ~name:"bottleneck" ~delay:(rtt /. 2.) ~buffer ~queue
+            ~loss ~jitter ~src:0 ~dst:1 ~bandwidth ();
+        ]
+      ~rev_loss
+      ~flows:[ Topology.flow ~route:[ 0; 1 ] spec ]
       ()
   in
-  goodput_between engine (Path.flows path).(0) ~t0:warmup
+  goodput_between engine (Topology.flows topo).(0) ~t0:warmup
     ~t1:(warmup +. duration)

@@ -69,7 +69,7 @@ val ratio : float -> float -> float
 val solo_throughput :
   ?seed:int ->
   ?warmup:float ->
-  ?queue:Pcc_scenario.Path.queue_kind ->
+  ?queue:Pcc_scenario.Topology.queue_kind ->
   ?loss:float ->
   ?rev_loss:float ->
   ?jitter:float ->
@@ -80,14 +80,16 @@ val solo_throughput :
   Pcc_scenario.Transport.spec ->
   float
 (** Average goodput (bits/s) of a single flow over [duration] after
-    [warmup] (default [max 3. (20·rtt)]) on a fresh single-path
-    topology. *)
+    [warmup] (default [max 3. (20·rtt)]) on a fresh single-bottleneck
+    dumbbell built on the graph layer. *)
 
 val goodput_between :
   Pcc_sim.Engine.t ->
-  Pcc_scenario.Path.built_flow ->
+  Pcc_scenario.Topology.built_flow ->
   t0:float ->
   t1:float ->
   float
 (** Run the engine to [t0], snapshot, run to [t1], return the average
-    goodput in bits/s. The engine must not already be past [t0]. *)
+    goodput in bits/s. The engine must not already be past [t0].
+    Wrapper-built flows convert via e.g.
+    [(Topology.flows (Path.topology path)).(0)]. *)

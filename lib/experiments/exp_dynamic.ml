@@ -20,7 +20,8 @@ let measure ~seed ~duration spec =
       ()
   in
   let dyn =
-    Dynamics.start engine ~rng:(Rng.create (seed + 1)) ~path ()
+    Dynamics.start engine ~rng:(Rng.create (seed + 1))
+      ~topo:(Path.topology path) ()
   in
   let flow = (Path.flows path).(0) in
   let series = ref [] in

@@ -34,7 +34,9 @@ let normal_tcp_throughput ~seed ~duration ~bandwidth ~rtt selfish_flows =
       ()
   in
   let warmup = duration /. 5. in
-  Exp_common.goodput_between engine (Path.flows path).(0) ~t0:warmup
+  Exp_common.goodput_between engine
+    (Topology.flows (Path.topology path)).(0)
+    ~t0:warmup
     ~t1:(warmup +. duration)
 
 let tasks ?(scale = 1.) ?(seed = 42) ?(selfish_counts = [ 1; 2; 4; 8 ]) () =

@@ -15,13 +15,23 @@ let round ~seed ~senders ~block spec =
   (* Sub-millisecond start jitter: the barrier is software, not a pulse
      generator, and perfectly synchronized identical senders would act in
      unrealistic lockstep. *)
-  let path =
-    Path.build engine ~rng ~bandwidth:(Units.gbps 1.) ~rtt:0.0001
-      ~buffer:65536
+  (* The incast star collapses onto the graph as a dumbbell: every sender
+     shares the switch's 1 Gbps egress link. Specs mirror what Path.build
+     would produce, so seeded results are identical with the pre-graph
+     implementation. *)
+  let rtt = 0.0001 in
+  let topo =
+    Topology.build engine ~rng
+      ~links:
+        [
+          Topology.link ~name:"bottleneck" ~delay:(rtt /. 2.) ~buffer:65536
+            ~src:0 ~dst:1 ~bandwidth:(Units.gbps 1.) ();
+        ]
       ~flows:
         (List.init senders (fun _ ->
-             Path.flow ~start_at:(Rng.uniform jitter_rng 0. 0.0005) ~size:block
-               spec))
+             Topology.flow
+               ~start_at:(Rng.uniform jitter_rng 0. 0.0005)
+               ~size:block ~route:[ 0; 1 ] spec))
       ()
   in
   (* Generous deadline; incomplete flows count as the full horizon. *)
@@ -29,9 +39,11 @@ let round ~seed ~senders ~block spec =
   Engine.run ~until:horizon engine;
   let worst =
     Array.fold_left
-      (fun acc f ->
-        match f.Path.fct with Some fct -> Float.max acc fct | None -> horizon)
-      0. (Path.flows path)
+      (fun acc (f : Topology.built_flow) ->
+        match f.Topology.fct with
+        | Some fct -> Float.max acc fct
+        | None -> horizon)
+      0. (Topology.flows topo)
   in
   float_of_int (senders * block * 8) /. Float.max worst 1e-9
 

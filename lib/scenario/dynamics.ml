@@ -3,7 +3,8 @@ open Pcc_sim
 type t = {
   engine : Engine.t;
   rng : Rng.t;
-  path : Path.t;
+  topo : Topology.t;
+  link : Topology.link_id;
   period : float;
   bw_lo : float;
   bw_hi : float;
@@ -19,10 +20,9 @@ let redraw t =
   let bw = Rng.uniform t.rng t.bw_lo t.bw_hi in
   let rtt = Rng.uniform t.rng t.rtt_lo t.rtt_hi in
   let loss = Rng.uniform t.rng t.loss_lo t.loss_hi in
-  let link = Path.bottleneck t.path in
-  Pcc_net.Link.set_bandwidth link bw;
-  Pcc_net.Link.set_loss link loss;
-  Path.set_base_rtt t.path rtt;
+  Topology.set_link_bandwidth t.topo t.link bw;
+  Topology.set_link_loss t.topo t.link loss;
+  Topology.set_base_rtt t.topo ~link:t.link rtt;
   t.changes <- (Engine.now t.engine, bw) :: t.changes
 
 let rec tick t () =
@@ -31,17 +31,19 @@ let rec tick t () =
     ignore (Engine.schedule_in t.engine ~after:t.period (tick t))
   end
 
-let start engine ~rng ~path ?(period = 5.)
+let start engine ~rng ~topo ?(link = 0) ?(period = 5.)
     ?(bw_range = (Units.mbps 10., Units.mbps 100.))
     ?(rtt_range = (0.01, 0.1)) ?(loss_range = (0., 0.01)) () =
   let bw_lo, bw_hi = bw_range in
   let rtt_lo, rtt_hi = rtt_range in
   let loss_lo, loss_hi = loss_range in
+  ignore (Topology.link_at topo link);
   let t =
     {
       engine;
       rng;
-      path;
+      topo;
+      link;
       period;
       bw_lo;
       bw_hi;

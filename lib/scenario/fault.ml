@@ -79,23 +79,22 @@ type target = {
   rev_loss : unit -> float;
 }
 
-let target_of_path path =
+let target_of_topology ?links:ids topo =
+  let links =
+    match ids with
+    | None -> Topology.links topo
+    | Some ids ->
+      Array.of_list (List.map (fun id -> Topology.link_at topo id) ids)
+  in
   {
-    engine = Path.engine path;
-    links = [| Path.bottleneck path |];
-    set_rev_loss = Path.set_rev_loss path;
-    rev_loss = (fun () -> Path.rev_loss path);
+    engine = Topology.engine topo;
+    links;
+    set_rev_loss = Topology.set_rev_loss topo;
+    rev_loss = (fun () -> Topology.rev_loss topo);
   }
 
-let target_of_multihop mh =
-  {
-    engine = Multihop.engine mh;
-    links = Multihop.links mh;
-    (* Multihop reverse paths are lossless delay lines without an RNG, so
-       reverse-path faults are not injectable there. *)
-    set_rev_loss = (fun _ -> ());
-    rev_loss = (fun () -> 0.);
-  }
+let target_of_path path = target_of_topology (Path.topology path)
+let target_of_multihop mh = target_of_topology (Multihop.topology mh)
 
 (* ------------------------------------------------------------------ *)
 (* Compilation onto engine timers *)

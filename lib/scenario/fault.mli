@@ -82,14 +82,20 @@ type target = {
   rev_loss : unit -> float;  (** Current ack-path loss. *)
 }
 
+val target_of_topology : ?links:Topology.link_id list -> Topology.t -> target
+(** General graph target. Link faults hit the listed links ([links]
+    defaults to every link in the graph); {!Partition} indexes into that
+    list. Reverse-path faults drive {!Topology.set_rev_loss}, which only
+    affects flows whose ideal reverse lines are loss-capable. *)
+
 val target_of_path : Path.t -> target
-(** Single-bottleneck topology: faults hit the bottleneck link and the
-    reverse delay lines. *)
+(** [target_of_topology (Path.topology p)]: faults hit the bottleneck
+    link and the reverse delay lines. *)
 
 val target_of_multihop : Multihop.t -> target
-(** Parking-lot topology: link faults hit {e every} hop; {!Partition}
-    singles one out. Reverse-path faults are unavailable (multihop reverse
-    lines carry no RNG) and are silently ignored. *)
+(** [target_of_topology (Multihop.topology mh)]: link faults hit
+    {e every} hop; {!Partition} singles one out. Reverse-path faults have
+    no effect (multihop reverse lines carry no RNG). *)
 
 (** {1 Injection} *)
 

@@ -26,8 +26,8 @@ type t = {
   interval : float;
   on_violation : violation -> unit;
   links : link_watch array;
-  path : Path.t option;
-  mutable last_goodput : int array;  (* per path flow *)
+  goodputs : (unit -> int) array;  (* per watched flow *)
+  mutable last_goodput : int array;
   mutable last_time : float;
   mutable checks_run : int;
   mutable stopped : bool;
@@ -92,16 +92,15 @@ let check_link t w =
       "%s: %d delivered bytes exceed the capacity integral %.0f bits"
       w.lname unique w.cap_bits
 
-let check_path t path =
-  let flows = Path.flows path in
+let check_goodputs t =
   Array.iteri
-    (fun i f ->
-      let g = Path.goodput_bytes f in
-      if g < t.last_goodput.(i) then
+    (fun i g ->
+      let v = g () in
+      if v < t.last_goodput.(i) then
         fail t ~check:"goodput-monotone" "flow %d goodput fell from %d to %d" i
-          t.last_goodput.(i) g;
-      t.last_goodput.(i) <- g)
-    flows
+          t.last_goodput.(i) v;
+      t.last_goodput.(i) <- v)
+    t.goodputs
 
 let sweep t =
   let now = Engine.now t.engine in
@@ -109,7 +108,7 @@ let sweep t =
     fail t ~check:"clock-monotone" "clock moved backwards: %.9f after %.9f" now
       t.last_time;
   Array.iter (check_link t) t.links;
-  (match t.path with Some p -> check_path t p | None -> ());
+  check_goodputs t;
   t.last_time <- now;
   t.checks_run <- t.checks_run + 1
 
@@ -124,7 +123,7 @@ let rec tick t =
     sweep t
   end
 
-let start engine ?(interval = 0.05) ?on_violation ~links ~path () =
+let start engine ?(interval = 0.05) ?on_violation ~links ~goodputs () =
   if interval <= 0. then
     invalid_arg "Invariant.attach: interval must be positive";
   let on_violation =
@@ -138,11 +137,8 @@ let start engine ?(interval = 0.05) ?on_violation ~links ~path () =
       interval;
       on_violation;
       links;
-      path;
-      last_goodput =
-        (match path with
-        | Some p -> Array.map Path.goodput_bytes (Path.flows p)
-        | None -> [||]);
+      goodputs;
+      last_goodput = Array.map (fun g -> g ()) goodputs;
       last_time = Engine.now engine;
       checks_run = 0;
       stopped = false;
@@ -154,20 +150,42 @@ let start engine ?(interval = 0.05) ?on_violation ~links ~path () =
 let attach_link engine ?interval ?on_violation ?(name = "link") link =
   start engine ?interval ?on_violation
     ~links:[| watch_of_link link name |]
-    ~path:None ()
+    ~goodputs:[||] ()
+
+let attach_topology ?interval ?on_violation topo =
+  start (Topology.engine topo) ?interval ?on_violation
+    ~links:
+      (Array.mapi
+         (fun i l -> watch_of_link l (Topology.link_name topo i))
+         (Topology.links topo))
+    ~goodputs:
+      (Array.map
+         (fun f () -> Topology.goodput_bytes f)
+         (Topology.flows topo))
+    ()
 
 let attach_path ?interval ?on_violation path =
-  start (Path.engine path) ?interval ?on_violation
-    ~links:[| watch_of_link (Path.bottleneck path) "bottleneck" |]
-    ~path:(Some path) ()
+  let topo = Path.topology path in
+  start (Topology.engine topo) ?interval ?on_violation
+    ~links:[| watch_of_link (Topology.link_at topo 0) "bottleneck" |]
+    ~goodputs:
+      (Array.map
+         (fun f () -> Topology.goodput_bytes f)
+         (Topology.flows topo))
+    ()
 
 let attach_multihop ?interval ?on_violation mh =
-  start (Multihop.engine mh) ?interval ?on_violation
+  let topo = Multihop.topology mh in
+  start (Topology.engine topo) ?interval ?on_violation
     ~links:
       (Array.mapi
          (fun i l -> watch_of_link l (Printf.sprintf "hop%d" i))
-         (Multihop.links mh))
-    ~path:None ()
+         (Topology.links topo))
+    ~goodputs:
+      (Array.map
+         (fun f () -> Topology.goodput_bytes f)
+         (Topology.flows topo))
+    ()
 
 let stop t = t.stopped <- true
 let checks_run t = t.checks_run

@@ -16,7 +16,7 @@
       capacity × time follows, since goodput counts a subset of delivered
       bytes), with two packets of slack for serialization granularity;
     - {b goodput monotonicity} — per-flow receiver goodput never
-      decreases (path targets only).
+      decreases (topology, path and multihop targets).
 
     A violation raises {!Violation} by default (inside an engine callback,
     so under the engine's [Raise] policy it surfaces as
@@ -39,6 +39,11 @@ val attach_link :
   t
 (** Watch a single link. [interval] defaults to 50 ms of simulated time.
     @raise Invalid_argument if [interval <= 0]. *)
+
+val attach_topology :
+  ?interval:float -> ?on_violation:(violation -> unit) -> Topology.t -> t
+(** Watch every link of a graph topology (named per
+    {!Topology.link_name}) plus per-flow goodput monotonicity. *)
 
 val attach_path :
   ?interval:float -> ?on_violation:(violation -> unit) -> Path.t -> t

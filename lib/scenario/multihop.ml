@@ -1,6 +1,13 @@
 open Pcc_sim
 open Pcc_net
 
+(* Thin wrapper over Topology: hop [i] becomes the link [i -> i+1] of a
+   chain graph, and a flow entering at [a] and exiting at [b] walks the
+   node path [a; a+1; ...; b]. Reverse lines are ideal and carry no RNG
+   (rev_lossy = false), matching the pre-graph builder's streams so
+   seeded parking-lot runs reproduce bit-for-bit. Validation of
+   enter/exit lives in Topology's route checks. *)
+
 type hop_spec = {
   bandwidth : float;
   delay : float;
@@ -39,82 +46,48 @@ type built_flow = {
 }
 
 type t = {
-  engine : Engine.t;
-  links : Link.t array;
+  topo : Topology.t;
   built : built_flow array;
 }
 
 let build engine ~rng ~hops ~flows:defs () =
-  let n = List.length hops in
-  if n = 0 then invalid_arg "Multihop.build: need at least one hop";
-  List.iter
-    (fun d ->
-      if d.enter < 0 || d.exit > n || d.enter >= d.exit then
-        invalid_arg
-          (Printf.sprintf "Multihop.build: flow %s enters %d exits %d on a %d-hop chain"
-             d.label d.enter d.exit n))
-    defs;
   let links =
-    Array.of_list
-      (List.map
-         (fun h ->
-           Link.create engine ~loss:h.loss ~rng:(Rng.split rng)
-             ~bandwidth:h.bandwidth ~delay:h.delay
-             ~queue:(Queue_disc.droptail_bytes ~capacity:h.buffer ())
-             ())
-         hops)
+    List.mapi
+      (fun i (h : hop_spec) ->
+        Topology.link ~delay:h.delay ~buffer:h.buffer ~loss:h.loss ~src:i
+          ~dst:(i + 1) ~bandwidth:h.bandwidth ())
+      hops
   in
-  (* exits.(flow_id) = node index where the flow leaves the chain. *)
-  let exits : (int, int * (Packet.t -> unit)) Hashtbl.t = Hashtbl.create 16 in
-  let route_at node (pkt : Packet.t) =
-    match Hashtbl.find_opt exits pkt.Packet.flow with
-    | None -> ()
-    | Some (exit, deliver) ->
-      if node >= exit then deliver pkt else Link.send links.(node) pkt
-  in
-  Array.iteri
-    (fun i link -> Link.set_receiver link (fun pkt -> route_at (i + 1) pkt))
-    links;
-  let hop_delays = Array.of_list (List.map (fun h -> h.delay) hops) in
-  let built =
+  let tflows =
     List.map
-      (fun def ->
-        let fwd_prop = ref 0. in
-        for i = def.enter to def.exit - 1 do
-          fwd_prop := !fwd_prop +. hop_delays.(i)
-        done;
-        let rev = Delay_line.create engine ~delay:!fwd_prop () in
-        let receiver = Receiver.create engine ~ack_out:(Delay_line.send rev) in
-        let bf = ref None in
-        let on_complete at =
-          match !bf with
-          | Some b -> b.fct <- Some (at -. b.def.start_at)
-          | None -> ()
-        in
-        let sender =
-          Transport.build engine ~rng:(Rng.split rng) ?size:def.size
-            ~on_complete
-            ~rtt_hint:(2. *. !fwd_prop)
-            def.transport
-            ~out:(Link.send links.(def.enter))
-        in
-        Hashtbl.replace exits sender.Sender.flow
-          (def.exit, Receiver.on_packet receiver);
-        Delay_line.set_receiver rev (fun pkt ->
-            match pkt.Packet.kind with
-            | Packet.Ack a -> sender.Sender.handle_ack a
-            | Packet.Data _ -> ());
-        let b = { def; sender; receiver; fct = None } in
-        bf := Some b;
-        ignore
-          (Engine.schedule engine ~at:def.start_at (fun () ->
-               sender.Sender.start ()));
-        b)
+      (fun d ->
+        (* A backwards enter/exit yields a one-node route here and is
+           rejected by Topology's route validation. *)
+        let route = List.init (max 0 (d.exit - d.enter) + 1) (fun k -> d.enter + k) in
+        Topology.flow ~start_at:d.start_at ?size:d.size ~label:d.label
+          ~rev_lossy:false ~route d.transport)
       defs
   in
-  { engine; links; built = Array.of_list built }
+  let topo = Topology.build engine ~rng ~links ~flows:tflows () in
+  let defs_a = Array.of_list defs in
+  let built =
+    Array.mapi
+      (fun i (tb : Topology.built_flow) ->
+        {
+          def = defs_a.(i);
+          sender = tb.Topology.sender;
+          receiver = tb.Topology.receiver;
+          fct = None;
+        })
+      (Topology.flows topo)
+  in
+  Array.iteri
+    (fun i b -> Topology.on_complete topo ~flow:i (fun fct -> b.fct <- Some fct))
+    built;
+  { topo; built }
 
 let flows t = t.built
-let links t = t.links
-let engine t = t.engine
+let links t = Topology.links t.topo
+let engine t = Topology.engine t.topo
+let topology t = t.topo
 let goodput_bytes b = Receiver.goodput_bytes b.receiver

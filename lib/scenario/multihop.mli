@@ -9,7 +9,12 @@
 
     Hop [i] connects node [i] to node [i+1]. A flow with [enter = a] and
     [exit = b] (0 ≤ a < b ≤ hops) traverses hops [a .. b-1]. Acks return
-    over an uncongested reverse path of matching propagation delay. *)
+    over an uncongested reverse path of matching propagation delay.
+
+    This module is a thin wrapper over {!Topology} — hop [i] is the graph
+    link [i -> i+1] — and shares its flow lifecycle and validation. Use
+    {!topology} to reach the graph directly (asymmetric shapes, dynamic
+    per-hop knobs). *)
 
 type hop_spec = {
   bandwidth : float;  (** bits/s *)
@@ -57,12 +62,19 @@ val build :
   unit ->
   t
 (** @raise Invalid_argument on an empty hop list or a flow whose
-    [enter]/[exit] fall outside the chain. *)
+    [enter]/[exit] fall outside the chain — rejections come from
+    {!Topology.build}'s shared validation. *)
 
 val flows : t -> built_flow array
+
 val links : t -> Pcc_net.Link.t array
+(** The hop links in chain order (a fresh array). *)
 
 val engine : t -> Pcc_sim.Engine.t
 (** The engine the topology was built on. *)
+
+val topology : t -> Topology.t
+(** The underlying graph: link [i] is hop [i]; flow indices match
+    {!flows}. *)
 
 val goodput_bytes : built_flow -> int

@@ -1,7 +1,12 @@
-open Pcc_sim
 open Pcc_net
 
-type queue_kind =
+(* Thin wrapper over Topology: a two-node dumbbell with one forward link
+   named "bottleneck" and per-flow ideal (lossy-capable) reverse lines.
+   All wiring, validation, FCT recording and dynamic knobs live in
+   Topology; this module only translates the flat single-bottleneck
+   vocabulary into graph terms and mirrors FCTs into its own records. *)
+
+type queue_kind = Topology.queue_kind =
   | Droptail
   | Droptail_pkts of int
   | Codel
@@ -32,118 +37,50 @@ type built_flow = {
 }
 
 type t = {
-  engine : Engine.t;
-  link : Link.t;
+  topo : Topology.t;
   built : built_flow array;
-  routes : (int, Packet.t -> unit) Hashtbl.t;
-  rev_lines : Delay_line.t array;  (* per built flow *)
-  mutable rev_loss : float;  (* current ack-path loss, mirrored on rev_lines *)
 }
 
-let rec make_queue kind ~capacity =
-  match kind with
-  | Droptail -> Queue_disc.droptail_bytes ~capacity ()
-  | Droptail_pkts n -> Queue_disc.droptail_pkts ~capacity:n ()
-  | Codel -> Queue_disc.codel ~capacity ()
-  | Red -> Queue_disc.red ~capacity ()
-  | Infinite -> Queue_disc.infinite ()
-  | Fq inner ->
-    Queue_disc.fq ~per_flow:(fun () -> make_queue inner ~capacity) ()
-
 let build engine ~rng ~bandwidth ~rtt ~buffer ?(queue = Droptail) ?(loss = 0.)
-    ?(rev_loss = 0.) ?(jitter = 0.) ~flows () =
-  let q = make_queue queue ~capacity:buffer in
-  let link =
-    Link.create engine ~name:"bottleneck" ~loss ~jitter ~rng:(Rng.split rng)
-      ~bandwidth ~delay:(rtt /. 2.) ~queue:q ()
+    ?(rev_loss = 0.) ?(jitter = 0.) ~flows:defs () =
+  let links =
+    [
+      Topology.link ~name:"bottleneck" ~delay:(rtt /. 2.) ~buffer ~queue ~loss
+        ~jitter ~src:0 ~dst:1 ~bandwidth ();
+    ]
   in
-  let routes = Hashtbl.create 32 in
-  Link.set_receiver link (fun pkt ->
-      match Hashtbl.find_opt routes pkt.Packet.flow with
-      | Some deliver -> deliver pkt
-      | None -> ());
-  let n = List.length flows in
-  let built = Array.make n None in
-  let rev_lines = Array.make n None in
-  List.iteri
-    (fun i def ->
-      (* Reverse path: uncongested, possibly lossy, carries half the base
-         RTT plus this flow's extra share. *)
-      let rev =
-        Delay_line.create engine ~loss:rev_loss ~rng:(Rng.split rng)
-          ~delay:((rtt /. 2.) +. (def.extra_rtt /. 2.))
-          ()
-      in
-      rev_lines.(i) <- Some rev;
-      let receiver = Receiver.create engine ~ack_out:(Delay_line.send rev) in
-      let fwd : (Packet.t -> unit) ref = ref (fun _ -> ()) in
-      let bf = ref None in
-      let on_complete at =
-        match !bf with
-        | Some b -> b.fct <- Some (at -. b.def.start_at)
-        | None -> ()
-      in
-      let sender =
-        Transport.build engine ~rng:(Rng.split rng) ?size:def.size
-          ~on_complete
-          ~rtt_hint:(rtt +. def.extra_rtt)
-          def.transport
-          ~out:(fun pkt -> !fwd pkt)
-      in
-      (* Forward path: optional per-flow extra delay, then the shared
-         bottleneck. *)
-      (if def.extra_rtt > 0. then begin
-         let access =
-           Delay_line.create engine ~delay:(def.extra_rtt /. 2.) ()
-         in
-         Delay_line.set_receiver access (Link.send link);
-         fwd := Delay_line.send access
-       end
-       else fwd := Link.send link);
-      Hashtbl.replace routes sender.Sender.flow (Receiver.on_packet receiver);
-      Delay_line.set_receiver rev (fun pkt ->
-          match pkt.Packet.kind with
-          | Packet.Ack a -> sender.Sender.handle_ack a
-          | Packet.Data _ -> ());
-      let b = { def; sender; receiver; fct = None } in
-      bf := Some b;
-      built.(i) <- Some b;
-      ignore
-        (Engine.schedule engine ~at:def.start_at (fun () ->
-             sender.Sender.start ()));
-      match def.stop_at with
-      | Some at ->
-        ignore (Engine.schedule engine ~at (fun () -> sender.Sender.stop ()))
-      | None -> ())
-    flows;
-  let strip = function Some x -> x | None -> assert false in
-  {
-    engine;
-    link;
-    built = Array.map strip built;
-    routes;
-    rev_lines = Array.map strip rev_lines;
-    rev_loss;
-  }
+  let tflows =
+    List.map
+      (fun d ->
+        Topology.flow ~start_at:d.start_at ?stop_at:d.stop_at ?size:d.size
+          ~extra_rtt:d.extra_rtt ~label:d.label ~route:[ 0; 1 ] d.transport)
+      defs
+  in
+  let topo = Topology.build engine ~rng ~links ~rev_loss ~flows:tflows () in
+  let defs_a = Array.of_list defs in
+  let built =
+    Array.mapi
+      (fun i (tb : Topology.built_flow) ->
+        {
+          def = defs_a.(i);
+          sender = tb.Topology.sender;
+          receiver = tb.Topology.receiver;
+          fct = None;
+        })
+      (Topology.flows topo)
+  in
+  Array.iteri
+    (fun i b -> Topology.on_complete topo ~flow:i (fun fct -> b.fct <- Some fct))
+    built;
+  { topo; built }
 
 let flows t = t.built
-let bottleneck t = t.link
-let engine t = t.engine
-let rev_loss t = t.rev_loss
-
-let set_rev_loss t l =
-  t.rev_loss <- Float.max 0. (Float.min 1. l);
-  Array.iter (fun line -> Delay_line.set_loss line t.rev_loss) t.rev_lines
-
+let bottleneck t = Topology.link_at t.topo 0
+let engine t = Topology.engine t.topo
+let topology t = t.topo
+let rev_loss t = Topology.rev_loss t.topo
+let set_rev_loss t l = Topology.set_rev_loss t.topo l
 let goodput_bytes b = Receiver.goodput_bytes b.receiver
-
-let set_base_rtt t rtt =
-  Link.set_delay t.link (rtt /. 2.);
-  Array.iteri
-    (fun i line ->
-      let extra = t.built.(i).def.extra_rtt in
-      Delay_line.set_delay line ((rtt /. 2.) +. (extra /. 2.)))
-    t.rev_lines
-
-let inject t ~flow deliver = Hashtbl.replace t.routes flow deliver
-let send_bottleneck t pkt = Link.send t.link pkt
+let set_base_rtt t rtt = Topology.set_base_rtt t.topo rtt
+let inject t ~flow deliver = Topology.deliver_at t.topo ~node:1 ~flow deliver
+let send_bottleneck t pkt = Topology.send_link t.topo 0 pkt

@@ -6,9 +6,15 @@
     (FCT, incast) and start/stop on schedule. The forward direction
     carries data through the bottleneck's queue discipline; the reverse
     direction is an uncongested (optionally lossy) delay line, since none
-    of the paper's experiments congest the ack path. *)
+    of the paper's experiments congest the ack path.
 
-type queue_kind =
+    This module is a thin wrapper over {!Topology} — a two-node dumbbell
+    with one link named ["bottleneck"] — and shares its flow lifecycle,
+    validation and dynamic knobs. Use {!topology} to reach the graph
+    directly (e.g. for congested reverse paths, which this flat API
+    cannot express). *)
+
+type queue_kind = Topology.queue_kind =
   | Droptail  (** FIFO, byte capacity = [buffer]. *)
   | Droptail_pkts of int  (** FIFO limited to a packet count. *)
   | Codel  (** CoDel over a [buffer]-byte FIFO. *)
@@ -60,13 +66,19 @@ val build :
 (** [build engine ~rng ~bandwidth ~rtt ~buffer ~flows ()] wires the
     topology and schedules every flow's start/stop. [loss] is the forward
     channel loss of the bottleneck, [rev_loss] the ack-path loss,
-    [jitter] uniform extra forward delay (what breaks PCP). *)
+    [jitter] uniform extra forward delay (what breaks PCP).
+    @raise Invalid_argument on invalid link or flow parameters — see
+    {!Topology.build}, which performs all validation. *)
 
 val flows : t -> built_flow array
 val bottleneck : t -> Pcc_net.Link.t
 
 val engine : t -> Pcc_sim.Engine.t
 (** The engine the topology was built on. *)
+
+val topology : t -> Topology.t
+(** The underlying graph: link 0 is the bottleneck (node [0 -> 1]); flow
+    indices match {!flows}. *)
 
 val rev_loss : t -> float
 (** Current ack-path Bernoulli loss probability. *)

@@ -92,7 +92,8 @@ let test_dynamics_driver_changes_link () =
       ()
   in
   let dyn =
-    Dynamics.start engine ~rng:(Rng.create 7) ~path ~period:1. ()
+    Dynamics.start engine ~rng:(Rng.create 7) ~topo:(Path.topology path)
+      ~period:1. ()
   in
   Engine.run ~until:10.5 engine;
   Dynamics.stop dyn;
