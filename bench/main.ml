@@ -211,6 +211,7 @@ let () =
   let only = ref [] in
   let jobs = ref 1 in
   let out = ref "BENCH_pcc.json" in
+  let trace_dir = ref None in
   let run_micro = ref false in
   let list_only = ref false in
   let rec parse = function
@@ -230,6 +231,9 @@ let () =
     | "--out" :: v :: rest ->
       out := v;
       parse rest
+    | "--trace" :: v :: rest ->
+      trace_dir := Some v;
+      parse rest
     | "--micro" :: rest ->
       run_micro := true;
       parse rest
@@ -240,7 +244,7 @@ let () =
       Printf.eprintf
         "unknown argument %s\n\
          usage: main.exe [--scale S] [--seed N] [--only a,b] [--jobs N] \
-         [--out FILE] [--micro] [--list]\n"
+         [--out FILE] [--trace DIR] [--micro] [--list]\n"
         arg;
       exit 2
   in
@@ -257,6 +261,21 @@ let () =
       Printf.eprintf "--jobs must be >= 1\n";
       exit 2
     end;
+    (* Trace records live in domain-local state: a traced bench must keep
+       every simulation in this domain. *)
+    (match !trace_dir with
+    | Some _ when !jobs > 1 ->
+      Printf.eprintf "--trace forces --jobs 1 (was %d)\n%!" !jobs;
+      jobs := 1
+    | _ -> ());
+    let collector =
+      Option.map
+        (fun _ ->
+          let c = Pcc_trace.Collector.create () in
+          Pcc_trace.Collector.install c;
+          c)
+        !trace_dir
+    in
     let dump_dir = Sys.getenv_opt "PCC_DUMP_DIR" in
     Printf.printf
       "PCC reproduction benchmarks (scale %.2f of paper durations, seed %d, \
@@ -330,6 +349,26 @@ let () =
     write_bench_json ~path:!out ~scale:!scale ~seed:!seed ~jobs:!jobs
       ~total_wall records;
     Printf.printf "\n[bench results written to %s]\n%!" !out;
+    (match (collector, !trace_dir) with
+    | Some c, Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      Pcc_trace.Export.write_chrome_json
+        ~path:(Filename.concat dir "trace.json")
+        c;
+      Pcc_trace.Export.write_decision_log
+        ~path:(Filename.concat dir "decisions.log")
+        c;
+      Pcc_metrics.Series_io.write_multi_series
+        ~path:(Filename.concat dir "trace.csv")
+        (Pcc_trace.Export.csv_series c);
+      Printf.printf
+        "[trace: %d events held (%d emitted, %d overwritten) -> %s]\n%!"
+        (Pcc_trace.Collector.length c)
+        (Pcc_trace.Collector.emitted c)
+        (Pcc_trace.Collector.dropped c)
+        dir;
+      Pcc_trace.Collector.uninstall ()
+    | _ -> ());
     if !mismatches <> [] then begin
       Printf.eprintf "determinism violation in: %s\n"
         (String.concat ", " (List.rev !mismatches));

@@ -279,6 +279,79 @@ let topo_cmd transports shape bw_mbps rtt_ms duration seed interval describe
       `Ok ()
     end
 
+(* ------------------------------------------------------------------ *)
+(* Tracing *)
+
+let mask_of_categories s =
+  let parts =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+  in
+  let folded =
+    List.fold_left
+      (fun acc name ->
+        match acc with
+        | Error _ -> acc
+        | Ok m -> (
+          match Pcc_trace.Event.cat_of_string name with
+          | Some c -> Ok (m lor c)
+          | None ->
+            Error
+              (Printf.sprintf
+                 "unknown trace category %s (engine, link, pcc, tcp, flow, \
+                  all, default)"
+                 name)))
+      (Ok 0) parts
+  in
+  match folded with
+  | Ok 0 -> Error "no trace category selected"
+  | r -> r
+
+let write_trace_artifacts ~dir c =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let p name = Filename.concat dir name in
+  Pcc_trace.Export.write_chrome_json ~path:(p "trace.json") c;
+  Pcc_trace.Export.write_decision_log ~path:(p "decisions.log") c;
+  Pcc_metrics.Series_io.write_multi_series ~path:(p "trace.csv")
+    (Pcc_trace.Export.csv_series c);
+  Printf.printf
+    "trace: %d events held (%d emitted, %d overwritten) -> \
+     %s/{trace.json,trace.csv,decisions.log}\n"
+    (Pcc_trace.Collector.length c)
+    (Pcc_trace.Collector.emitted c)
+    (Pcc_trace.Collector.dropped c)
+    dir
+
+let trace_cmd transports shape bw_mbps rtt_ms duration seed out_dir capacity
+    categories probe_ms =
+  match mask_of_categories categories with
+  | Error msg -> `Error (false, msg)
+  | Ok mask ->
+    if capacity <= 0 then `Error (false, "--buffer-events must be positive")
+    else if probe_ms <= 0. then
+      `Error (false, "--probe-interval must be positive")
+    else begin
+      let bandwidth = Units.mbps bw_mbps in
+      let rtt = rtt_ms /. 1000. in
+      let collector =
+        Pcc_trace.Collector.create ~capacity ~mask
+          ~probe_interval:(probe_ms /. 1000.) ()
+      in
+      Pcc_trace.Collector.install collector;
+      let engine = Engine.create () in
+      let rng = Rng.create seed in
+      match topo_shape ~engine ~rng ~bandwidth ~rtt transports shape with
+      | Error msg ->
+        Pcc_trace.Collector.uninstall ();
+        `Error (false, msg)
+      | Ok _topo ->
+        Engine.run ~until:duration engine;
+        write_trace_artifacts ~dir:out_dir collector;
+        Pcc_trace.Collector.uninstall ();
+        `Ok ()
+    end
+
 let game_cmd senders capacity steps =
   let x0 =
     Array.init senders (fun i -> capacity /. float_of_int (i + 2))
@@ -296,7 +369,7 @@ let game_cmd senders capacity steps =
   done;
   `Ok ()
 
-let exp_cmd names scale seed jobs dump_dir list_exps =
+let exp_cmd names scale seed jobs dump_dir trace_out list_exps =
   let open Pcc_experiments in
   if list_exps then begin
     List.iter
@@ -307,6 +380,23 @@ let exp_cmd names scale seed jobs dump_dir list_exps =
   end
   else if jobs < 1 then `Error (false, "--jobs must be >= 1")
   else begin
+    (* Tracing records into domain-local state, so a traced run must stay
+       in this domain: force the fan-out to be sequential. *)
+    let jobs =
+      match trace_out with
+      | Some _ when jobs > 1 ->
+        Printf.eprintf "exp: --trace-out forces --jobs 1 (was %d)\n%!" jobs;
+        1
+      | _ -> jobs
+    in
+    let collector =
+      Option.map
+        (fun _ ->
+          let c = Pcc_trace.Collector.create () in
+          Pcc_trace.Collector.install c;
+          c)
+        trace_out
+    in
     let entries =
       match names with
       | [] -> Ok Exp_registry.all
@@ -335,6 +425,11 @@ let exp_cmd names scale seed jobs dump_dir list_exps =
               print_string (e.render ~pool ?dump_dir ~scale ~seed ());
               flush stdout)
             entries);
+      (match (collector, trace_out) with
+      | Some c, Some dir ->
+        write_trace_artifacts ~dir c;
+        Pcc_trace.Collector.uninstall ()
+      | _ -> ());
       `Ok ()
   end
 
@@ -497,10 +592,70 @@ let exp_term =
   let list_arg =
     Arg.(value & flag & info [ "list" ] ~doc:"List experiments and exit.")
   in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"DIR"
+          ~doc:
+            "Record a structured event trace of the whole run and write \
+             $(docv)/{trace.json,trace.csv,decisions.log}. Forces \
+             $(b,--jobs) 1.")
+  in
   Term.(
     ret
       (const exp_cmd $ names_arg $ scale_arg $ seed_arg $ jobs_arg $ dump_arg
-     $ list_arg))
+     $ trace_out_arg $ list_arg))
+
+let trace_term =
+  let shape_arg =
+    Arg.(
+      value & opt string "dumbbell"
+      & info [ "shape" ] ~docv:"SHAPE"
+          ~doc:
+            "Topology shape, as in $(b,pcc_sim topo): $(b,dumbbell), \
+             $(b,parking), or $(b,revpath).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "trace-out"
+      & info [ "out"; "o" ] ~docv:"DIR"
+          ~doc:"Directory for trace.json, trace.csv and decisions.log.")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 262144
+      & info [ "buffer-events" ] ~docv:"N"
+          ~doc:
+            "Ring-buffer capacity in events; once full the oldest events \
+             are overwritten.")
+  in
+  let categories_arg =
+    Arg.(
+      value & opt string "default"
+      & info [ "categories" ] ~docv:"CATS"
+          ~doc:
+            "Comma-separated event categories to record: $(b,link), \
+             $(b,pcc), $(b,tcp), $(b,flow), $(b,engine) (per-dispatch \
+             records, voluminous), $(b,all), or $(b,default) (all but \
+             engine).")
+  in
+  let probe_arg =
+    Arg.(
+      value & opt float 10.
+      & info [ "probe-interval" ] ~docv:"MS"
+          ~doc:"Link-queue occupancy sampling period.")
+  in
+  let trace_duration_arg =
+    Arg.(
+      value & opt float 10.
+      & info [ "duration" ] ~docv:"S" ~doc:"Simulated seconds.")
+  in
+  Term.(
+    ret
+      (const trace_cmd $ transports_arg $ shape_arg $ bw_arg $ rtt_arg
+     $ trace_duration_arg $ seed_arg $ out_arg $ capacity_arg
+     $ categories_arg $ probe_arg))
 
 let cmds =
   [
@@ -519,6 +674,12 @@ let cmds =
            "Simulate flows on a graph topology (multi-hop chains, congested \
             reverse paths)")
       topo_term;
+    Cmd.v
+      (Cmd.info "trace"
+         ~doc:
+           "Run a scenario with the structured tracer on and export \
+            Perfetto-loadable JSON, CSV series and a decision log")
+      trace_term;
     Cmd.v
       (Cmd.info "chaos"
          ~doc:

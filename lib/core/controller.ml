@@ -43,6 +43,8 @@ type t = {
   mutable tag : int;  (* phase epoch *)
   plan : (int, int * role) Hashtbl.t;  (* mi id -> (tag, role) *)
   mutable notify : float -> unit;
+  mutable trace_id : int;  (* flow id for trace records *)
+  mutable trace_now : unit -> float;  (* clock for trace timestamps *)
   mutable eps : float;
   mutable decisions : int;
   (* Starting state *)
@@ -71,6 +73,8 @@ let create ?(config = default_config) ~rng () =
     tag = 0;
     plan = Hashtbl.create 64;
     notify = (fun _ -> ());
+    trace_id = -1;
+    trace_now = (fun () -> 0.);
     eps = config.eps_min;
     decisions = 0;
     start_prev_u = None;
@@ -93,12 +97,26 @@ let eps t = t.eps
 let decisions t = t.decisions
 let on_rate_change t f = t.notify <- f
 
+let set_trace t ~id ~now =
+  t.trace_id <- id;
+  t.trace_now <- now
+
 let clamp t r = Float.max t.cfg.min_rate (Float.min t.cfg.max_rate r)
 
 let set_base t r =
   let r = clamp t r in
   if r <> t.base then begin
+    let prev = t.base in
     t.base <- r;
+    if Pcc_trace.Collector.enabled () then begin
+      let phase =
+        match t.ph with Starting -> 0 | Decision -> 1 | Adjusting -> 2
+      in
+      let step = match t.ph with Adjusting -> t.adj_step | _ -> 0 in
+      Pcc_trace.Collector.emit Pcc_trace.Event.Rate_change
+        ~time:(t.trace_now ()) ~id:t.trace_id ~a:r ~b:prev
+        ~i:(Pcc_trace.Event.pack_rate_info ~phase ~step)
+    end;
     t.notify r
   end
 

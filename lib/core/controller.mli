@@ -53,6 +53,12 @@ val on_rate_change : t -> (float -> unit) -> unit
     per-MI plan (phase transitions and reversions) — the sender uses it to
     retune its pacer and re-align the monitor. *)
 
+val set_trace : t -> id:int -> now:(unit -> float) -> unit
+(** Identify this controller's trace records: [id] is the flow id stamped
+    on [Rate_change] events, [now] the clock used for their timestamps
+    (defaults: [-1] and a constant-zero clock). The PCC sender wires both
+    right after construction. *)
+
 val phase : t -> phase
 val eps : t -> float
 (** Current trial granularity. *)

@@ -58,6 +58,7 @@ type t = {
   on_result : result -> unit;
   on_mi_losses : int list -> unit;
   seq_to_mi : (int, mi) Hashtbl.t;
+  mutable trace_id : int;  (* flow id, for the trace layer *)
   mutable current : mi option;
   mutable next_id : int;
   mutable rtt_est : float;
@@ -81,6 +82,7 @@ let create engine cfg ~rng ~utility ~rate_for_mi ~on_result ~on_mi_losses =
     on_result;
     on_mi_losses;
     seq_to_mi = Hashtbl.create 4096;
+    trace_id = -1;
     current = None;
     next_id = 0;
     rtt_est = cfg.initial_rtt;
@@ -95,6 +97,7 @@ let create engine cfg ~rng ~utility ~rate_for_mi ~on_result ~on_mi_losses =
 
 let rtt_estimate t = t.rtt_est
 let current_mi_id t = match t.current with Some mi -> mi.mi_id | None -> -1
+let set_trace_id t id = t.trace_id <- id
 
 let current_rate t = match t.current with Some mi -> mi.mi_rate | None -> 0.
 
@@ -206,6 +209,10 @@ let evaluate t (mi : mi) =
       utility = t.utility.Utility.eval metrics;
     }
   in
+  if Pcc_trace.Collector.enabled () then
+    Pcc_trace.Collector.emit Pcc_trace.Event.Mi_end
+      ~time:(Engine.now t.engine) ~id:t.trace_id ~a:result.utility ~b:loss
+      ~i:mi.mi_id;
   if losses <> [] then t.on_mi_losses (List.sort compare losses);
   Hashtbl.replace t.ready result.id result;
   release_ready t
@@ -273,6 +280,9 @@ let rec open_mi t =
     in
     let duration = mi_duration t rate in
     mi.planned_dur <- duration;
+    if Pcc_trace.Collector.enabled () then
+      Pcc_trace.Collector.emit Pcc_trace.Event.Mi_start ~time:now
+        ~id:t.trace_id ~a:rate ~b:duration ~i:id;
     mi.rollover <-
       Some
         (Engine.schedule_in t.engine ~after:duration (fun () ->
@@ -320,6 +330,9 @@ let discard_mi t (mi : mi) =
     mi.seqs;
   Hashtbl.reset mi.seqs;
   Hashtbl.replace t.discarded mi.mi_id ();
+  if Pcc_trace.Collector.enabled () then
+    Pcc_trace.Collector.emit Pcc_trace.Event.Mi_discard
+      ~time:(Engine.now t.engine) ~id:t.trace_id ~a:0. ~b:0. ~i:mi.mi_id;
   release_ready t
 
 let realign t =

@@ -85,3 +85,8 @@ val rtt_estimate : t -> float
 (** EWMA of RTT samples, used for MI sizing and evaluation deadlines. *)
 
 val current_mi_id : t -> int
+
+val set_trace_id : t -> int -> unit
+(** Set the flow id the monitor stamps on its trace records (MI open /
+    result / discard, see [Pcc_trace]); default [-1]. The PCC sender
+    sets it to its packet flow id right after wiring. *)

@@ -169,6 +169,9 @@ let create engine ?(config = default_config) ?size ?on_complete ~rng ~out () =
       ~on_mi_losses
   in
   t.mon <- Some mon;
+  Monitor.set_trace_id mon flow;
+  Controller.set_trace ctl ~id:flow ~now:(fun () -> Engine.now engine);
+  Pcc_trace.Collector.register Pcc_trace.Event.Flow_scope ~id:flow "pcc";
   Controller.on_rate_change ctl (fun _new_rate ->
       (* Re-align the monitor interval with the rate change (§3.1); the
          fresh MI's rate_for_mi call retunes the pacer. *)

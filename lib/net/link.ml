@@ -3,6 +3,7 @@ open Pcc_sim
 type t = {
   engine : Engine.t;
   name : string;
+  trace_id : int;
   rng : Rng.t;
   mutable bandwidth : float;
   mutable delay : float;
@@ -29,9 +30,12 @@ let create engine ?(name = "link") ?(loss = 0.) ?(jitter = 0.) ~rng ~bandwidth
     ~delay ~queue () =
   if bandwidth <= 0. then invalid_arg "Link.create: bandwidth must be positive";
   if delay < 0. then invalid_arg "Link.create: delay must be non-negative";
+  let trace_id = Pcc_trace.Collector.fresh_link_id () in
+  Pcc_trace.Collector.register Pcc_trace.Event.Link_scope ~id:trace_id name;
   {
     engine;
     name;
+    trace_id;
     rng;
     bandwidth;
     delay;
@@ -100,6 +104,12 @@ let send t p =
   t.offered_pkts <- t.offered_pkts + 1;
   let now = Engine.now t.engine in
   let accepted = t.q.Queue_disc.enqueue ~now p in
+  if Pcc_trace.Collector.enabled () then
+    Pcc_trace.Collector.emit
+      (if accepted then Pcc_trace.Event.Enqueue else Pcc_trace.Event.Drop)
+      ~time:now ~id:t.trace_id
+      ~a:(float_of_int (t.q.Queue_disc.len_bytes ()))
+      ~b:0. ~i:p.Packet.flow;
   if accepted && not t.busy then start_transmission t
 
 let set_bandwidth t bw =
@@ -137,3 +147,5 @@ let duplicated_pkts t = t.duplicated_pkts
 let duplicated_bytes t = t.duplicated_bytes
 let reordered_pkts t = t.reordered_pkts
 let busy_time t = t.busy_time
+let name t = t.name
+let trace_id t = t.trace_id

@@ -124,3 +124,10 @@ val reordered_pkts : t -> int
 val busy_time : t -> float
 (** Cumulative time the transmitter spent serializing packets — divided by
     elapsed time this is the link utilization. *)
+
+val name : t -> string
+(** The diagnostics label given at {!create}. *)
+
+val trace_id : t -> int
+(** The link's identity in the trace layer's link id space (see
+    [Pcc_trace]); assigned at {!create} from a process-global counter. *)

@@ -234,9 +234,9 @@ let build engine ~rng ?nodes ~links:specs ?(rev_loss = 0.) ~flows:defs () =
   in
   let links =
     Array.of_list
-      (List.map
-         (fun (s : link_spec) ->
-           Link.create engine ?name:s.name ~loss:s.loss ~jitter:s.jitter
+      (List.mapi
+         (fun i (s : link_spec) ->
+           Link.create engine ~name:names.(i) ~loss:s.loss ~jitter:s.jitter
              ~rng:(Rng.split rng) ~bandwidth:s.bandwidth ~delay:s.delay
              ~queue:(make_queue s.queue ~capacity:s.buffer)
              ())
@@ -296,6 +296,9 @@ let build engine ~rng ?nodes ~links:specs ?(rev_loss = 0.) ~flows:defs () =
         | Some b ->
           let fct = at -. b.def.start_at in
           b.fct <- Some fct;
+          if Pcc_trace.Collector.enabled () then
+            Pcc_trace.Collector.emit Pcc_trace.Event.Flow_complete ~time:at
+              ~id:b.sender.Sender.flow ~a:fct ~b:0. ~i:0;
           List.iter (fun f -> f fct) !(hooks.(i))
         | None -> ()
       in
@@ -316,6 +319,10 @@ let build engine ~rng ?nodes ~links:specs ?(rev_loss = 0.) ~flows:defs () =
        end
        else fwd := Link.send first_link);
       let fid = sender.Sender.flow in
+      (* The scenario label ("pcc #2", "cubic-competitor", ...) is more
+         telling than the transport's own registration; overwrite it. *)
+      Pcc_trace.Collector.register Pcc_trace.Event.Flow_scope ~id:fid
+        def.label;
       let route_a = Array.of_list def.route in
       for k = 1 to Array.length route_a - 1 do
         if k = Array.length route_a - 1 then
@@ -355,12 +362,41 @@ let build engine ~rng ?nodes ~links:specs ?(rev_loss = 0.) ~flows:defs () =
       built.(i) <- Some { def; sender; receiver; fct = None };
       ignore
         (Engine.schedule engine ~at:def.start_at (fun () ->
+             if Pcc_trace.Collector.enabled () then
+               Pcc_trace.Collector.emit Pcc_trace.Event.Flow_start
+                 ~time:(Engine.now engine) ~id:fid ~a:0. ~b:0. ~i:0;
              sender.Sender.start ()));
       match def.stop_at with
       | Some at ->
-        ignore (Engine.schedule engine ~at (fun () -> sender.Sender.stop ()))
+        ignore
+          (Engine.schedule engine ~at (fun () ->
+               if Pcc_trace.Collector.enabled () then
+                 Pcc_trace.Collector.emit Pcc_trace.Event.Flow_stop
+                   ~time:(Engine.now engine) ~id:fid ~a:0. ~b:0. ~i:0;
+               sender.Sender.stop ()))
       | None -> ())
     (List.combine defs flow_routes);
+  (* Periodic link-queue occupancy samples. The probe reschedules itself
+     without end, so it is armed only while a collector is installed in
+     this domain — traced runs are always time-bounded ([run ~until]). *)
+  (match Pcc_trace.Collector.current () with
+  | Some c when Pcc_trace.Collector.wants c Pcc_trace.Event.cat_link ->
+    let dt = Pcc_trace.Collector.probe_interval c in
+    let rec probe () =
+      let now = Engine.now engine in
+      Array.iter
+        (fun l ->
+          let q = Link.queue l in
+          Pcc_trace.Collector.emit Pcc_trace.Event.Queue_sample ~time:now
+            ~id:(Link.trace_id l)
+            ~a:(float_of_int (q.Queue_disc.len_bytes ()))
+            ~b:0.
+            ~i:(q.Queue_disc.len_pkts ()))
+        links;
+      ignore (Engine.schedule_in engine ~after:dt probe)
+    in
+    ignore (Engine.schedule_in engine ~after:dt probe)
+  | Some _ | None -> ());
   let strip = function Some x -> x | None -> assert false in
   {
     engine;

@@ -101,6 +101,13 @@ let execute t time f =
       raise (Livelock { time; events = t.stall_count; kind = Stall })
   end;
   t.executed <- t.executed + 1;
+  (* Dispatch span for the trace layer. The [enabled] test is the only
+     cost an untraced run pays on this hottest of paths, and the record
+     itself is mask-gated (engine category, off by default). *)
+  if Pcc_trace.Collector.enabled () then
+    Pcc_trace.Collector.emit Pcc_trace.Event.Dispatch ~time ~id:0
+      ~a:(float_of_int (Event_heap.size t.q))
+      ~b:0. ~i:t.executed;
   try f () with
   | Livelock _ as watchdog -> raise watchdog
   | exn -> (

@@ -82,11 +82,14 @@ let make_ctx engine cfg est =
 
 let create engine cfg ?size ?on_complete ~out () =
   let est = Rtt_estimator.create ~min_rto:cfg.min_rto () in
+  let flow = Packet.fresh_flow_id () in
+  Pcc_trace.Collector.register Pcc_trace.Event.Flow_scope ~id:flow
+    cfg.variant.Variant.name;
   {
     engine;
     cfg;
     out;
-    flow = Packet.fresh_flow_id ();
+    flow;
     total_pkts = Option.map Units.packets_of_bytes size;
     est;
     ctx = make_ctx engine cfg est;
@@ -124,6 +127,14 @@ let effective_cwnd t =
   int_of_float (Float.min t.ctx.Variant.cwnd t.cfg.max_cwnd)
 
 let already_delivered t seq = seq <= t.high_ack || Int_set.mem seq t.sacked
+
+(* Trace: congestion-window change. [cause] 0 = ack-clocked growth,
+   1 = fast-recovery entry, 2 = retransmission timeout. *)
+let trace_cwnd t ~cause =
+  if Pcc_trace.Collector.enabled () then
+    Pcc_trace.Collector.emit Pcc_trace.Event.Cwnd
+      ~time:(Engine.now t.engine) ~id:t.flow ~a:t.ctx.Variant.cwnd
+      ~b:t.ctx.Variant.ssthresh ~i:cause
 
 (* Next sequence to put on the wire: pending retransmissions first, then
    fresh data (bounded by the transfer size). *)
@@ -175,6 +186,7 @@ and on_timeout t =
       Float.max (float_of_int flight_at_timeout /. 2.) Variant.min_cwnd;
     t.ctx.Variant.cwnd <- Variant.min_cwnd;
     t.cfg.variant.Variant.on_timeout t.ctx;
+    trace_cwnd t ~cause:2;
     Rtt_estimator.backoff t.est;
     try_send t
   end
@@ -314,7 +326,8 @@ let handle_ack t (a : Packet.ack) =
       if not t.in_recovery then begin
         t.cfg.variant.Variant.on_ack t.ctx ~newly_acked:!newly;
         if t.ctx.Variant.cwnd > t.cfg.max_cwnd then
-          t.ctx.Variant.cwnd <- t.cfg.max_cwnd
+          t.ctx.Variant.cwnd <- t.cfg.max_cwnd;
+        trace_cwnd t ~cause:0
       end
     end;
     let lost = detect_losses t in
@@ -322,7 +335,8 @@ let handle_ack t (a : Packet.ack) =
       t.in_recovery <- true;
       t.recover_seq <- t.next_seq;
       t.fast_retransmits <- t.fast_retransmits + 1;
-      t.cfg.variant.Variant.on_loss t.ctx
+      t.cfg.variant.Variant.on_loss t.ctx;
+      trace_cwnd t ~cause:1
     end;
     if t.in_recovery && t.high_ack >= t.recover_seq then
       t.in_recovery <- false;

@@ -1,0 +1,100 @@
+type t = {
+  cap : int;
+  mask : int;
+  probe_dt : float;
+  mutable total : int;  (* events accepted over the collector's lifetime *)
+  times : float array;
+  kinds : int array;
+  ids : int array;
+  a : float array;
+  b : float array;
+  i : int array;
+  names : (Event.scope * int, string) Hashtbl.t;
+}
+
+(* [hint] is the cross-domain fast-path gate: it only ever goes false ->
+   true (when the first collector anywhere is installed), so a stale
+   read in another domain merely skips the domain-local lookup a little
+   longer. The authoritative state is the domain-local slot. *)
+let hint = Atomic.make false
+let key = Domain.DLS.new_key (fun () : t option ref -> ref None)
+
+let create ?(capacity = 65536) ?(mask = Event.cat_default)
+    ?(probe_interval = 0.01) () =
+  if capacity <= 0 then
+    invalid_arg "Collector.create: capacity must be positive";
+  if probe_interval <= 0. then
+    invalid_arg "Collector.create: probe_interval must be positive";
+  if mask land Event.cat_all = 0 then
+    invalid_arg "Collector.create: mask selects no category";
+  {
+    cap = capacity;
+    mask;
+    probe_dt = probe_interval;
+    total = 0;
+    times = Array.make capacity 0.;
+    kinds = Array.make capacity 0;
+    ids = Array.make capacity 0;
+    a = Array.make capacity 0.;
+    b = Array.make capacity 0.;
+    i = Array.make capacity 0;
+    names = Hashtbl.create 32;
+  }
+
+let slot () = Domain.DLS.get key
+
+let install c =
+  slot () := Some c;
+  Atomic.set hint true
+
+let uninstall () = slot () := None
+let current () = !(slot ())
+let enabled () = Atomic.get hint && !(slot ()) <> None
+let wants c cat = c.mask land cat <> 0
+let probe_interval c = c.probe_dt
+
+let emit kind ~time ~id ~a ~b ~i =
+  if Atomic.get hint then
+    match !(slot ()) with
+    | Some c when c.mask land Event.cat_of_kind kind <> 0 ->
+      let pos = c.total mod c.cap in
+      c.times.(pos) <- time;
+      c.kinds.(pos) <- Event.int_of_kind kind;
+      c.ids.(pos) <- id;
+      c.a.(pos) <- a;
+      c.b.(pos) <- b;
+      c.i.(pos) <- i;
+      c.total <- c.total + 1
+    | Some _ | None -> ()
+
+let register scope ~id name =
+  if Atomic.get hint then
+    match !(slot ()) with
+    | Some c -> Hashtbl.replace c.names (scope, id) name
+    | None -> ()
+
+let name c scope id = Hashtbl.find_opt c.names (scope, id)
+let capacity c = c.cap
+let length c = min c.total c.cap
+let emitted c = c.total
+let dropped c = max 0 (c.total - c.cap)
+
+let events c =
+  let len = length c in
+  let start = if c.total <= c.cap then 0 else c.total mod c.cap in
+  Array.init len (fun k ->
+      let pos = (start + k) mod c.cap in
+      Event.
+        {
+          time = c.times.(pos);
+          kind = Event.kind_of_int c.kinds.(pos);
+          id = c.ids.(pos);
+          a = c.a.(pos);
+          b = c.b.(pos);
+          i = c.i.(pos);
+        })
+
+let clear c = c.total <- 0
+
+let link_ids = Atomic.make 0
+let fresh_link_id () = Atomic.fetch_and_add link_ids 1

@@ -1,0 +1,99 @@
+(** Preallocated ring-buffer trace collector.
+
+    A collector owns a fixed-capacity ring of typed event cells
+    (structure-of-arrays, allocated once at {!create}) plus a small
+    side table of human-readable names for flow and link ids. Emitting
+    an event writes one cell — no allocation — and once the ring is
+    full the oldest cells are overwritten, with the overwritten count
+    reported by {!dropped}.
+
+    {b Installation and the off fast path.} Instrumentation sites all
+    over the simulator call {!emit} (or test {!enabled} first when
+    computing the payload costs something). The collector those calls
+    reach is per-domain state set by {!install}: the hot loops of
+    engines running in other domains — the parallel experiment runner —
+    see no collector and record nothing. When no collector was ever
+    installed anywhere, {!enabled} is a single atomic load and branch;
+    that is the whole cost tracing adds to an untraced run.
+
+    {b Determinism.} Emission order is event-callback execution order
+    and timestamps come from the engine clock, so for a fixed seed the
+    cell stream is identical run to run. Raw flow and link ids come
+    from process-global counters and are {e not} stable across runs in
+    one process; exporters renumber them by first appearance, which
+    restores byte-identical output (see [Export]). *)
+
+type t
+
+val create :
+  ?capacity:int -> ?mask:int -> ?probe_interval:float -> unit -> t
+(** [create ()] preallocates a ring of [capacity] cells (default
+    65536). [mask] is the accepted-category bitmask (default
+    [Event.cat_default]). [probe_interval] (default 0.01 s) is how
+    often scenario layers should sample link-queue occupancy while this
+    collector is installed.
+    @raise Invalid_argument if [capacity <= 0], [probe_interval <= 0],
+    or [mask] selects no category. *)
+
+val install : t -> unit
+(** Make [t] the current domain's collector. *)
+
+val uninstall : unit -> unit
+(** Clear the current domain's collector; {!emit} becomes a no-op
+    again. *)
+
+val current : unit -> t option
+(** The collector installed in this domain, if any. *)
+
+val enabled : unit -> bool
+(** Cheap hint for instrumentation sites: [false] means no collector is
+    installed in this domain and any payload computation can be
+    skipped. A single atomic load plus (when some domain ever installed
+    a collector) a domain-local lookup. *)
+
+val wants : t -> int -> bool
+(** [wants t cat] is whether the collector's mask accepts category
+    [cat]. *)
+
+val probe_interval : t -> float
+
+val emit :
+  Event.kind -> time:float -> id:int -> a:float -> b:float -> i:int -> unit
+(** Record one event in the current domain's collector, if one is
+    installed and its mask accepts the kind's category; otherwise do
+    nothing. Never raises, never allocates on the accept path. *)
+
+val register : Event.scope -> id:int -> string -> unit
+(** Attach a human-readable name to an id (in the current domain's
+    collector); exporters print it alongside the renumbered id. Safe to
+    call when no collector is installed (no-op). Re-registration
+    replaces. *)
+
+val name : t -> Event.scope -> int -> string option
+
+(** {1 Reading the ring} *)
+
+val capacity : t -> int
+
+val length : t -> int
+(** Cells currently held (≤ capacity). *)
+
+val emitted : t -> int
+(** Total events accepted over the collector's lifetime. *)
+
+val dropped : t -> int
+(** Events overwritten after the ring wrapped:
+    [emitted - length]. *)
+
+val events : t -> Event.record array
+(** The held cells, oldest first. Allocates fresh records. *)
+
+val clear : t -> unit
+(** Empty the ring and reset {!emitted}/{!dropped}; names are kept. *)
+
+(** {1 Link trace ids}
+
+    Links get their trace identity from a process-global counter so
+    instrumented components need no plumbing; exporters renumber. *)
+
+val fresh_link_id : unit -> int

@@ -1,0 +1,110 @@
+type kind =
+  | Dispatch
+  | Enqueue
+  | Drop
+  | Queue_sample
+  | Mi_start
+  | Mi_end
+  | Mi_discard
+  | Rate_change
+  | Cwnd
+  | Flow_start
+  | Flow_stop
+  | Flow_complete
+
+type scope = Engine_scope | Link_scope | Flow_scope
+
+let scope_of_kind = function
+  | Dispatch -> Engine_scope
+  | Enqueue | Drop | Queue_sample -> Link_scope
+  | Mi_start | Mi_end | Mi_discard | Rate_change | Cwnd | Flow_start
+  | Flow_stop | Flow_complete ->
+    Flow_scope
+
+let cat_engine = 1
+let cat_link = 2
+let cat_pcc = 4
+let cat_tcp = 8
+let cat_flow = 16
+let cat_all = cat_engine lor cat_link lor cat_pcc lor cat_tcp lor cat_flow
+let cat_default = cat_all land lnot cat_engine
+
+let cat_of_kind = function
+  | Dispatch -> cat_engine
+  | Enqueue | Drop | Queue_sample -> cat_link
+  | Mi_start | Mi_end | Mi_discard | Rate_change -> cat_pcc
+  | Cwnd -> cat_tcp
+  | Flow_start | Flow_stop | Flow_complete -> cat_flow
+
+let cat_of_string = function
+  | "engine" -> Some cat_engine
+  | "link" -> Some cat_link
+  | "pcc" -> Some cat_pcc
+  | "tcp" -> Some cat_tcp
+  | "flow" -> Some cat_flow
+  | "all" -> Some cat_all
+  | "default" -> Some cat_default
+  | _ -> None
+
+let kind_name = function
+  | Dispatch -> "dispatch"
+  | Enqueue -> "enqueue"
+  | Drop -> "drop"
+  | Queue_sample -> "queue"
+  | Mi_start -> "mi-start"
+  | Mi_end -> "mi-end"
+  | Mi_discard -> "mi-discard"
+  | Rate_change -> "rate"
+  | Cwnd -> "cwnd"
+  | Flow_start -> "flow-start"
+  | Flow_stop -> "flow-stop"
+  | Flow_complete -> "flow-complete"
+
+let all_kinds =
+  [|
+    Dispatch;
+    Enqueue;
+    Drop;
+    Queue_sample;
+    Mi_start;
+    Mi_end;
+    Mi_discard;
+    Rate_change;
+    Cwnd;
+    Flow_start;
+    Flow_stop;
+    Flow_complete;
+  |]
+
+let int_of_kind = function
+  | Dispatch -> 0
+  | Enqueue -> 1
+  | Drop -> 2
+  | Queue_sample -> 3
+  | Mi_start -> 4
+  | Mi_end -> 5
+  | Mi_discard -> 6
+  | Rate_change -> 7
+  | Cwnd -> 8
+  | Flow_start -> 9
+  | Flow_stop -> 10
+  | Flow_complete -> 11
+
+let kind_of_int n =
+  if n < 0 || n >= Array.length all_kinds then
+    invalid_arg (Printf.sprintf "Event.kind_of_int: %d" n);
+  all_kinds.(n)
+
+(* phase in the low 2 bits, step above. *)
+let pack_rate_info ~phase ~step = (step lsl 2) lor (phase land 3)
+let rate_phase packed = packed land 3
+let rate_step packed = packed lsr 2
+
+type record = {
+  time : float;
+  kind : kind;
+  id : int;
+  a : float;
+  b : float;
+  i : int;
+}

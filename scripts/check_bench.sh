@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Bench regression gate: compare a fresh BENCH_pcc.json against the
+# committed baseline and fail if aggregate event throughput regressed
+# beyond the budget.
+#
+#   check_bench.sh BASELINE.json FRESH.json [MAX_REGRESSION]
+#
+# MAX_REGRESSION is a fraction (default 0.30 = fail when the fresh run
+# sustains < 70% of the baseline's events/sec). Experiments are joined
+# by name, so a baseline regenerated with a different --only set still
+# gates on whatever overlaps; the aggregate pools events and wall time
+# across the joined set so one tiny, noisy experiment cannot fail the
+# gate on its own. A markdown table goes to $GITHUB_STEP_SUMMARY when
+# that is set.
+set -euo pipefail
+
+usage="usage: check_bench.sh BASELINE.json FRESH.json [MAX_REGRESSION]"
+baseline=${1:?$usage}
+fresh=${2:?$usage}
+max_reg=${3:-0.30}
+
+for f in "$baseline" "$fresh"; do
+  if [ ! -f "$f" ]; then
+    echo "check_bench: $f not found" >&2
+    exit 1
+  fi
+done
+
+rows=$(jq -r --slurpfile b "$baseline" '
+  ($b[0].experiments | map({(.name): .}) | add) as $base
+  | [ .experiments[] | select($base[.name] != null) ][]
+  | [ .name,
+      $base[.name].events_per_sec,
+      .events_per_sec,
+      (if $base[.name].events_per_sec > 0
+       then .events_per_sec / $base[.name].events_per_sec
+       else 1 end) ]
+  | @tsv' "$fresh")
+
+if [ -z "$rows" ]; then
+  echo "check_bench: no common experiments between $baseline and $fresh" >&2
+  exit 1
+fi
+
+agg=$(jq -r --slurpfile b "$baseline" '
+  ($b[0].experiments | map({(.name): .}) | add) as $base
+  | [ .experiments[] | select($base[.name] != null) ] as $common
+  | (([ $common[] | $base[.name].events ] | add)
+     / ([ $common[] | $base[.name].wall_s ] | add)) as $be
+  | (([ $common[] | .events ] | add)
+     / ([ $common[] | .wall_s ] | add)) as $fe
+  | "\($be) \($fe) \($fe / $be)"' "$fresh")
+read -r base_eps fresh_eps ratio <<<"$agg"
+
+threshold=$(awk -v m="$max_reg" 'BEGIN { printf "%.4f", 1 - m }')
+ok=$(awk -v r="$ratio" -v t="$threshold" 'BEGIN { print (r >= t) ? "yes" : "no" }')
+
+{
+  echo "## Bench regression gate"
+  echo ""
+  echo "| experiment | baseline ev/s | fresh ev/s | ratio |"
+  echo "|---|---:|---:|---:|"
+  while IFS=$'\t' read -r name beps feps r; do
+    printf '| %s | %.0f | %.0f | %.2f |\n' "$name" "$beps" "$feps" "$r"
+  done <<<"$rows"
+  printf '| **aggregate** | %.0f | %.0f | **%.2f** |\n' \
+    "$base_eps" "$fresh_eps" "$ratio"
+  echo ""
+  if [ "$ok" = yes ]; then
+    echo "Aggregate events/sec ratio $ratio ≥ $threshold: within budget."
+  else
+    echo "**Aggregate events/sec ratio $ratio < $threshold: regression beyond the ${max_reg} budget.**"
+  fi
+} | tee -a "${GITHUB_STEP_SUMMARY:-/dev/null}"
+
+[ "$ok" = yes ]

@@ -7,4 +7,4 @@ let () =
    @ Test_game.suites @ Test_metrics.suites @ Test_scenario.suites
    @ Test_multihop.suites @ Test_topology.suites @ Test_robustness.suites
    @ Test_fault.suites
-   @ Test_experiments.suites @ Test_runner.suites)
+   @ Test_experiments.suites @ Test_runner.suites @ Test_trace.suites)

@@ -1,0 +1,396 @@
+(* The structured tracing layer: ring-buffer accounting, category masks,
+   exporter validity (the Chrome JSON actually parses and its timestamps
+   are monotone), run-to-run byte-identity, and a golden decision log.
+
+   Regenerate the golden file after an intentional format change with
+     PCC_WRITE_GOLDEN=test/golden/decisions.log dune exec test/test_main.exe
+   from the repository root, then inspect the diff. *)
+
+open Pcc_sim
+open Pcc_scenario
+module Event = Pcc_trace.Event
+module Collector = Pcc_trace.Collector
+module Export = Pcc_trace.Export
+
+let with_collector c f =
+  Collector.install c;
+  Fun.protect ~finally:Collector.uninstall (fun () -> f c)
+
+(* A small dumbbell with one unbounded PCC flow and one sized CUBIC flow:
+   exercises every event category (pcc, tcp, link, flow — and engine when
+   the mask asks for it). *)
+let run_scenario ?(mask = Event.cat_all) ?(capacity = 1_000_000) ~seed
+    ~duration () =
+  let c = Collector.create ~capacity ~mask () in
+  with_collector c (fun c ->
+      let engine = Engine.create () in
+      let rng = Rng.create seed in
+      let bandwidth = Units.mbps 20. in
+      let links =
+        [
+          Topology.link ~name:"bottleneck" ~delay:0.015
+            ~buffer:(Units.bdp_bytes ~rate:bandwidth ~rtt:0.03)
+            ~src:0 ~dst:1 ~bandwidth ();
+        ]
+      in
+      let flows =
+        [
+          Topology.flow ~route:[ 0; 1 ] (Transport.pcc ());
+          Topology.flow ~route:[ 0; 1 ] ~size:200_000 ~label:"cubic-sized"
+            (Transport.tcp "cubic");
+        ]
+      in
+      let _topo = Topology.build engine ~rng ~links ~flows () in
+      Engine.run ~until:duration engine;
+      c)
+
+(* ------------------------------------------------------------------ *)
+(* Ring accounting *)
+
+let test_wraparound () =
+  let c = Collector.create ~capacity:8 ~mask:Event.cat_all () in
+  with_collector c (fun c ->
+      for k = 0 to 10 do
+        Collector.emit Event.Mi_start ~time:(float_of_int k) ~id:1 ~a:0.
+          ~b:0. ~i:k
+      done;
+      Alcotest.(check int) "length" 8 (Collector.length c);
+      Alcotest.(check int) "emitted" 11 (Collector.emitted c);
+      Alcotest.(check int) "dropped" 3 (Collector.dropped c);
+      let evs = Collector.events c in
+      Alcotest.(check (float 0.)) "oldest survivor" 3. evs.(0).Event.time;
+      Alcotest.(check int) "newest survivor" 10
+        evs.(Array.length evs - 1).Event.i;
+      Collector.clear c;
+      Alcotest.(check int) "cleared" 0 (Collector.length c);
+      Alcotest.(check int) "cleared emitted" 0 (Collector.emitted c))
+
+let test_no_wrap () =
+  let c = Collector.create ~capacity:8 ~mask:Event.cat_all () in
+  with_collector c (fun c ->
+      for k = 0 to 4 do
+        Collector.emit Event.Enqueue ~time:(float_of_int k) ~id:0 ~a:0. ~b:0.
+          ~i:k
+      done;
+      Alcotest.(check int) "length" 5 (Collector.length c);
+      Alcotest.(check int) "dropped" 0 (Collector.dropped c);
+      Alcotest.(check (float 0.)) "first" 0. (Collector.events c).(0).Event.time)
+
+let test_mask () =
+  let c = Collector.create ~mask:Event.cat_link () in
+  with_collector c (fun c ->
+      Collector.emit Event.Mi_start ~time:0. ~id:1 ~a:0. ~b:0. ~i:0;
+      Collector.emit Event.Cwnd ~time:0. ~id:1 ~a:1. ~b:1. ~i:0;
+      Collector.emit Event.Enqueue ~time:0. ~id:0 ~a:0. ~b:0. ~i:1;
+      Alcotest.(check int) "only link events pass" 1 (Collector.length c);
+      Alcotest.(check bool) "wants link" true
+        (Collector.wants c Event.cat_link);
+      Alcotest.(check bool) "not pcc" false (Collector.wants c Event.cat_pcc))
+
+let test_disabled () =
+  Alcotest.(check bool) "disabled" false (Collector.enabled ());
+  (* Must be a silent no-op, not an error. *)
+  Collector.emit Event.Drop ~time:0. ~id:0 ~a:0. ~b:0. ~i:0;
+  let c = Collector.create () in
+  with_collector c (fun _ ->
+      Alcotest.(check bool) "enabled" true (Collector.enabled ()));
+  Alcotest.(check bool) "disabled again" false (Collector.enabled ())
+
+let test_pack_rate_info () =
+  List.iter
+    (fun (phase, step) ->
+      let packed = Event.pack_rate_info ~phase ~step in
+      Alcotest.(check int) "phase" phase (Event.rate_phase packed);
+      Alcotest.(check int) "step" step (Event.rate_step packed))
+    [ (0, 0); (1, 0); (2, 1); (2, 17); (1, 3) ]
+
+let test_create_validation () =
+  Alcotest.check_raises "capacity" (Invalid_argument
+    "Collector.create: capacity must be positive") (fun () ->
+      ignore (Collector.create ~capacity:0 ()));
+  Alcotest.check_raises "mask" (Invalid_argument
+    "Collector.create: mask selects no category") (fun () ->
+      ignore (Collector.create ~mask:0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* A minimal JSON reader — just enough to prove the Chrome export is
+   well-formed without adding a JSON dependency. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance ()
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let string_lit () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some 'u' ->
+          (* Keep the escape verbatim; content is irrelevant here. *)
+          advance ();
+          for _ = 1 to 4 do
+            advance ()
+          done
+        | Some c ->
+          Buffer.add_char buf c;
+          advance ()
+        | None -> fail "dangling escape");
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    let numchar = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> numchar c | None -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = string_lit () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | _ -> fail "expected , or }"
+        in
+        Obj (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected , or ]"
+        in
+        Arr (elements [])
+      end
+    | Some '"' -> Str (string_lit ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (number ())
+    | None -> fail "unexpected end"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member k = function
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let test_chrome_json_valid () =
+  let c = run_scenario ~seed:3 ~duration:2. () in
+  Alcotest.(check bool) "captured something" true (Collector.length c > 0);
+  let doc = parse_json (Export.chrome_json c) in
+  let events =
+    match member "traceEvents" doc with
+    | Some (Arr evs) -> evs
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  Alcotest.(check bool) "nonempty" true (events <> []);
+  let last_ts = ref neg_infinity in
+  List.iter
+    (fun ev ->
+      (match member "ph" ev with
+      | Some (Str ("M" | "B" | "E" | "C" | "i")) -> ()
+      | _ -> Alcotest.fail "bad or missing ph");
+      (match member "pid" ev with
+      | Some (Num _) -> ()
+      | _ -> Alcotest.fail "missing pid");
+      (match member "name" ev with
+      | Some (Str _) -> ()
+      | _ -> Alcotest.fail "missing name");
+      match member "ts" ev with
+      | Some (Num ts) ->
+        if ts < 0. then Alcotest.fail "negative ts";
+        if ts < !last_ts then Alcotest.fail "ts not monotone";
+        last_ts := ts
+      | Some _ -> Alcotest.fail "non-numeric ts"
+      | None -> (
+        (* Only metadata records may omit ts. *)
+        match member "ph" ev with
+        | Some (Str "M") -> ()
+        | _ -> Alcotest.fail "payload record without ts"))
+    events
+
+let test_engine_category () =
+  let c =
+    run_scenario ~mask:(Event.cat_engine lor Event.cat_flow) ~seed:3
+      ~duration:0.5 ()
+  in
+  let evs = Collector.events c in
+  let dispatches =
+    Array.to_list evs
+    |> List.filter (fun e -> e.Event.kind = Event.Dispatch)
+  in
+  Alcotest.(check bool) "dispatch recorded" true (dispatches <> []);
+  (* The executed counter must be strictly increasing. *)
+  let rec mono = function
+    | (a : Event.record) :: (b :: _ as rest) ->
+      a.Event.i < b.Event.i && mono rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "executed counter increases" true (mono dispatches)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism and the golden log *)
+
+let test_deterministic_exports () =
+  let c1 = run_scenario ~seed:9 ~duration:2. () in
+  let json1 = Export.chrome_json c1
+  and log1 = Export.decision_log c1
+  and csv1 = Export.csv_series c1 in
+  let c2 = run_scenario ~seed:9 ~duration:2. () in
+  (* Raw flow/link ids differ between the two runs (process-global
+     counters); the exporters' dense renumbering must hide that. *)
+  Alcotest.(check string) "chrome json byte-identical" json1
+    (Export.chrome_json c2);
+  Alcotest.(check string) "decision log byte-identical" log1
+    (Export.decision_log c2);
+  Alcotest.(check int) "same series" (List.length csv1)
+    (List.length (Export.csv_series c2))
+
+let test_seed_sensitivity () =
+  let c1 = run_scenario ~seed:9 ~duration:2. () in
+  let log1 = Export.decision_log c1 in
+  let c2 = run_scenario ~seed:10 ~duration:2. () in
+  Alcotest.(check bool) "different seeds, different logs" true
+    (log1 <> Export.decision_log c2)
+
+(* Under `dune runtest` the cwd is the staged test directory; when the
+   binary is run by hand from the repo root, fall back to the source
+   path. *)
+let golden_path =
+  if Sys.file_exists "golden/decisions.log" then "golden/decisions.log"
+  else "test/golden/decisions.log"
+
+let test_golden_decision_log () =
+  let c =
+    run_scenario ~mask:(Event.cat_pcc lor Event.cat_flow) ~seed:5
+      ~duration:1.5 ()
+  in
+  let log = Export.decision_log c in
+  match Sys.getenv_opt "PCC_WRITE_GOLDEN" with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc log;
+    close_out oc;
+    Printf.printf "golden log written to %s\n" path
+  | None ->
+    let ic = open_in golden_path in
+    let len = in_channel_length ic in
+    let expected = really_input_string ic len in
+    close_in ic;
+    Alcotest.(check string) "matches committed golden log" expected log
+
+let suites =
+  [
+    ( "trace.collector",
+      [
+        Alcotest.test_case "ring wraparound accounting" `Quick
+          test_wraparound;
+        Alcotest.test_case "no wrap below capacity" `Quick test_no_wrap;
+        Alcotest.test_case "category mask filters" `Quick test_mask;
+        Alcotest.test_case "disabled emit is a no-op" `Quick test_disabled;
+        Alcotest.test_case "rate info packing roundtrips" `Quick
+          test_pack_rate_info;
+        Alcotest.test_case "create validates arguments" `Quick
+          test_create_validation;
+      ] );
+    ( "trace.export",
+      [
+        Alcotest.test_case "chrome json parses, ts monotone" `Quick
+          test_chrome_json_valid;
+        Alcotest.test_case "engine category opt-in" `Quick
+          test_engine_category;
+        Alcotest.test_case "exports byte-identical across runs" `Quick
+          test_deterministic_exports;
+        Alcotest.test_case "seed changes the trace" `Quick
+          test_seed_sensitivity;
+        Alcotest.test_case "golden decision log" `Quick
+          test_golden_decision_log;
+      ] );
+  ]
