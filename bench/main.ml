@@ -155,6 +155,8 @@ type bench_record = {
   (* Present only when --jobs > 1: the sequential re-run. *)
   b_seq_wall : float option;
   b_identical : bool option;
+  (* Set when the experiment raised instead of rendering. *)
+  b_error : string option;
 }
 
 let json_escape s =
@@ -189,6 +191,9 @@ let write_bench_json ~path ~scale ~seed ~jobs ~total_wall records =
       p "      \"events\": %d,\n" r.b_events;
       p "      \"events_per_sec\": %.1f"
         (if r.b_wall > 0. then float_of_int r.b_events /. r.b_wall else 0.);
+      (match r.b_error with
+      | Some msg -> p ",\n      \"error\": \"%s\"" (json_escape msg)
+      | None -> ());
       (match r.b_seq_wall with
       | Some sw ->
         p ",\n      \"seq_wall_s\": %.6f,\n" sw;
@@ -257,10 +262,19 @@ let () =
   end;
   if !run_micro then micro ()
   else begin
-    if !jobs < 1 then begin
-      Printf.eprintf "--jobs must be >= 1\n";
-      exit 2
-    end;
+    (match
+       Cli_validate.(
+         all
+           [
+             positive_f "--scale" !scale;
+             at_least "--jobs" 1 !jobs;
+             non_negative_i "--seed" !seed;
+           ])
+     with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "bench: %s\n" msg;
+      exit 2);
     (* Trace records live in domain-local state: a traced bench must keep
        every simulation in this domain. *)
     (match !trace_dir with
@@ -294,6 +308,7 @@ let () =
       exit 2);
     let pool = if !jobs > 1 then Some (Runner.create ~jobs:!jobs ()) else None in
     let mismatches = ref [] in
+    let crashed = ref [] in
     let t_start = now_s () in
     let records =
       List.filter_map
@@ -304,43 +319,62 @@ let () =
             Printf.printf "\n### %s — %s\n%!" e.name e.descr;
             let e0 = Pcc_sim.Engine.total_executed () in
             let t0 = now_s () in
-            let rendered = e.render ?pool ?dump_dir ~scale:!scale ~seed:!seed () in
-            let wall = now_s () -. t0 in
-            let events = Pcc_sim.Engine.total_executed () - e0 in
-            print_string rendered;
-            Printf.printf "[%s took %.1fs wall, %d events]\n%!" e.name wall
-              events;
-            let seq_wall, identical =
-              match pool with
-              | None -> (None, None)
-              | Some _ ->
-                (* Sequential re-run: measures speedup and proves the
-                   parallel output is byte-identical. *)
-                let t0 = now_s () in
-                let seq = e.render ~scale:!scale ~seed:!seed () in
-                let sw = now_s () -. t0 in
-                let same = String.equal seq rendered in
-                if not same then begin
-                  mismatches := e.name :: !mismatches;
-                  Printf.printf
-                    "[%s MISMATCH: parallel output differs from sequential]\n%!"
-                    e.name
-                end
-                else
-                  Printf.printf "[%s sequential re-run %.1fs, speedup %.2fx, \
-                                 outputs identical]\n%!"
-                    e.name sw
-                    (if wall > 0. then sw /. wall else 0.);
-                (Some sw, Some same)
-            in
-            Some
-              {
-                b_name = e.name;
-                b_wall = wall;
-                b_events = events;
-                b_seq_wall = seq_wall;
-                b_identical = identical;
-              }
+            (* A raising experiment must not take the rest of the sweep
+               down: record it, keep going, fail the run at the end. *)
+            match e.render ?pool ?dump_dir ~scale:!scale ~seed:!seed () with
+            | exception exn ->
+              let wall = now_s () -. t0 in
+              let events = Pcc_sim.Engine.total_executed () - e0 in
+              let msg = Printexc.to_string exn in
+              crashed := e.name :: !crashed;
+              Printf.printf "[%s FAILED after %.1fs: %s]\n%!" e.name wall msg;
+              Some
+                {
+                  b_name = e.name;
+                  b_wall = wall;
+                  b_events = events;
+                  b_seq_wall = None;
+                  b_identical = None;
+                  b_error = Some msg;
+                }
+            | rendered ->
+              let wall = now_s () -. t0 in
+              let events = Pcc_sim.Engine.total_executed () - e0 in
+              print_string rendered;
+              Printf.printf "[%s took %.1fs wall, %d events]\n%!" e.name wall
+                events;
+              let seq_wall, identical =
+                match pool with
+                | None -> (None, None)
+                | Some _ ->
+                  (* Sequential re-run: measures speedup and proves the
+                     parallel output is byte-identical. *)
+                  let t0 = now_s () in
+                  let seq = e.render ~scale:!scale ~seed:!seed () in
+                  let sw = now_s () -. t0 in
+                  let same = String.equal seq rendered in
+                  if not same then begin
+                    mismatches := e.name :: !mismatches;
+                    Printf.printf
+                      "[%s MISMATCH: parallel output differs from sequential]\n%!"
+                      e.name
+                  end
+                  else
+                    Printf.printf "[%s sequential re-run %.1fs, speedup %.2fx, \
+                                   outputs identical]\n%!"
+                      e.name sw
+                      (if wall > 0. then sw /. wall else 0.);
+                  (Some sw, Some same)
+              in
+              Some
+                {
+                  b_name = e.name;
+                  b_wall = wall;
+                  b_events = events;
+                  b_seq_wall = seq_wall;
+                  b_identical = identical;
+                  b_error = None;
+                }
           end)
         Exp_registry.all
     in
@@ -369,9 +403,12 @@ let () =
         dir;
       Pcc_trace.Collector.uninstall ()
     | _ -> ());
-    if !mismatches <> [] then begin
+    if !mismatches <> [] then
       Printf.eprintf "determinism violation in: %s\n"
         (String.concat ", " (List.rev !mismatches));
-      exit 1
-    end
+    if !crashed <> [] then
+      Printf.eprintf "bench: %d experiment(s) crashed: %s\n"
+        (List.length !crashed)
+        (String.concat ", " (List.rev !crashed));
+    if !mismatches <> [] || !crashed <> [] then exit 1
   end

@@ -53,8 +53,36 @@ let transport_conv =
 
 (* ------------------------------------------------------------------ *)
 
+let queue_of_string = function
+  | "droptail" -> Some Path.Droptail
+  | "codel" -> Some Path.Codel
+  | "red" -> Some Path.Red
+  | "infinite" -> Some Path.Infinite
+  | "fq" -> Some (Path.Fq Path.Droptail)
+  | "fq-codel" -> Some (Path.Fq Path.Codel)
+  | _ -> None
+
 let run_cmd transports bw_mbps rtt_ms loss rev_loss jitter_ms buffer_kb queue
     duration seed interval check_invariants =
+  Pcc_experiments.Cli_validate.(
+    guarded
+      [
+        positive_f "--bw" bw_mbps;
+        positive_f "--rtt" rtt_ms;
+        probability "--loss" loss;
+        probability "--rev-loss" rev_loss;
+        non_negative_f "--jitter" jitter_ms;
+        opt positive_i "--buffer" buffer_kb;
+        (match queue_of_string queue with
+        | Some _ -> Ok ()
+        | None ->
+          Error
+            (Printf.sprintf "error: unknown queue discipline %s (see pcc_sim list)"
+               queue));
+        positive_f "--duration" duration;
+        positive_f "--interval" interval;
+      ])
+  @@ fun () ->
   let bandwidth = Units.mbps bw_mbps in
   let rtt = rtt_ms /. 1000. in
   let buffer =
@@ -62,16 +90,7 @@ let run_cmd transports bw_mbps rtt_ms loss rev_loss jitter_ms buffer_kb queue
     | Some kb -> kb * 1000
     | None -> Units.bdp_bytes ~rate:bandwidth ~rtt
   in
-  let queue_kind =
-    match queue with
-    | "droptail" -> Path.Droptail
-    | "codel" -> Path.Codel
-    | "red" -> Path.Red
-    | "infinite" -> Path.Infinite
-    | "fq" -> Path.Fq Path.Droptail
-    | "fq-codel" -> Path.Fq Path.Codel
-    | other -> failwith ("unknown queue discipline " ^ other)
-  in
+  let queue_kind = Option.get (queue_of_string queue) in
   let engine = Engine.create () in
   let rng = Rng.create seed in
   let path =
@@ -115,8 +134,16 @@ let run_cmd transports bw_mbps rtt_ms loss rev_loss jitter_ms buffer_kb queue
   `Ok ()
 
 let chaos_cmd transport bw_mbps rtt_ms duration seed rate check_invariants =
-  if rate <= 0. then `Error (false, "--rate must be positive")
-  else begin
+  Pcc_experiments.Cli_validate.(
+    guarded
+      [
+        positive_f "--bw" bw_mbps;
+        positive_f "--rtt" rtt_ms;
+        positive_f "--duration" duration;
+        positive_f "--rate" rate;
+      ])
+  @@ fun () ->
+  try
   let bandwidth = Units.mbps bw_mbps in
   let rtt = rtt_ms /. 1000. in
   let engine = Engine.create () in
@@ -158,7 +185,14 @@ let chaos_cmd transport bw_mbps rtt_ms duration seed rate check_invariants =
     (float_of_int (Path.goodput_bytes f * 8) /. duration /. 1e6)
     recovered (List.length reports);
   `Ok ()
-  end
+  with exn ->
+    (* A chaos gauntlet that dies mid-run (engine livelock guard, event
+       error, invariant violation) must report and exit nonzero, not
+       dump a backtrace. *)
+    `Error
+      ( false,
+        Printf.sprintf "error: chaos run failed: %s" (Printexc.to_string exn)
+      )
 
 (* Demo shapes for the graph topology layer. "dumbbell" is what `run`
    builds; "parking" and "revpath" are shapes the flat builders cannot
@@ -228,6 +262,15 @@ let topo_shape ~engine ~rng ~bandwidth ~rtt transports shape =
 
 let topo_cmd transports shape bw_mbps rtt_ms duration seed interval describe
     check_invariants =
+  Pcc_experiments.Cli_validate.(
+    guarded
+      [
+        positive_f "--bw" bw_mbps;
+        positive_f "--rtt" rtt_ms;
+        positive_f "--duration" duration;
+        positive_f "--interval" interval;
+      ])
+  @@ fun () ->
   let bandwidth = Units.mbps bw_mbps in
   let rtt = rtt_ms /. 1000. in
   let engine = Engine.create () in
@@ -326,12 +369,19 @@ let write_trace_artifacts ~dir c =
 let trace_cmd transports shape bw_mbps rtt_ms duration seed out_dir capacity
     categories probe_ms =
   match mask_of_categories categories with
-  | Error msg -> `Error (false, msg)
+  | Error msg -> `Error (false, "error: " ^ msg)
   | Ok mask ->
-    if capacity <= 0 then `Error (false, "--buffer-events must be positive")
-    else if probe_ms <= 0. then
-      `Error (false, "--probe-interval must be positive")
-    else begin
+    Pcc_experiments.Cli_validate.(
+      guarded
+        [
+          positive_f "--bw" bw_mbps;
+          positive_f "--rtt" rtt_ms;
+          positive_f "--duration" duration;
+          positive_i "--buffer-events" capacity;
+          positive_f "--probe-interval" probe_ms;
+        ])
+    @@ fun () ->
+    begin
       let bandwidth = Units.mbps bw_mbps in
       let rtt = rtt_ms /. 1000. in
       let collector =
@@ -353,6 +403,14 @@ let trace_cmd transports shape bw_mbps rtt_ms duration seed out_dir capacity
     end
 
 let game_cmd senders capacity steps =
+  Pcc_experiments.Cli_validate.(
+    guarded
+      [
+        at_least "--senders" 1 senders;
+        positive_f "--capacity" capacity;
+        non_negative_i "--steps" steps;
+      ])
+  @@ fun () ->
   let x0 =
     Array.init senders (fun i -> capacity /. float_of_int (i + 2))
   in
@@ -369,7 +427,58 @@ let game_cmd senders capacity steps =
   done;
   `Ok ()
 
-let exp_cmd names scale seed jobs dump_dir trace_out list_exps =
+(* Hidden supervision self-test: a sweep with a deliberate hang and a
+   deliberate crash, enabled by PCC_TEST_HANG so CI can assert that a
+   supervised sweep survives both, names them in the report, and exits
+   nonzero. *)
+let selftest_entry : Pcc_experiments.Exp_registry.entry =
+  let open Pcc_experiments in
+  {
+    Exp_registry.name = "selftest";
+    descr = "supervision self-test: ok / hang / crash / ok (PCC_TEST_HANG)";
+    render =
+      (fun ?pool ?policy ?dump_dir:_ ~scale:_ ~seed:_ () ->
+        let hang () =
+          (* An engine that reschedules itself forever: only a Task_guard
+             deadline or event ceiling gets us out. *)
+          let engine = Engine.create () in
+          let rec tick () =
+            ignore (Engine.schedule_in engine ~after:1e-3 tick)
+          in
+          tick ();
+          Engine.run engine;
+          0.
+        in
+        let tasks =
+          [
+            Exp_common.task ~label:"selftest/ok-before" (fun () -> 1.);
+            Exp_common.task ~label:"selftest/hang" hang;
+            Exp_common.task ~label:"selftest/crash" (fun () ->
+                failwith "selftest: injected crash");
+            Exp_common.task ~label:"selftest/ok-after" (fun () -> 2.);
+          ]
+        in
+        let results = Exp_common.run_tasks_opt ?pool ?policy tasks in
+        Exp_common.render_table
+          {
+            Exp_common.title = "supervision self-test";
+            header = [ "task"; "result" ];
+            rows =
+              List.map2
+                (fun t r ->
+                  [
+                    Exp_common.task_label t;
+                    (match r with
+                    | Some v -> Printf.sprintf "%.0f" v
+                    | None -> "n/a");
+                  ])
+                tasks results;
+            note = None;
+          });
+  }
+
+let exp_cmd names scale seed jobs dump_dir trace_out list_exps deadline
+    max_events retries backoff forensics forensic_trace checkpoint resume =
   let open Pcc_experiments in
   if list_exps then begin
     List.iter
@@ -378,8 +487,18 @@ let exp_cmd names scale seed jobs dump_dir trace_out list_exps =
       Exp_registry.all;
     `Ok ()
   end
-  else if jobs < 1 then `Error (false, "--jobs must be >= 1")
-  else begin
+  else
+    Pcc_experiments.Cli_validate.(
+      guarded
+        [
+          positive_f "--scale" scale;
+          at_least "--jobs" 1 jobs;
+          opt positive_f "--deadline" deadline;
+          opt positive_i "--max-task-events" max_events;
+          non_negative_i "--retries" retries;
+          non_negative_f "--backoff" backoff;
+        ])
+    @@ fun () ->
     (* Tracing records into domain-local state, so a traced run must stay
        in this domain: force the fan-out to be sequential. *)
     let jobs =
@@ -397,41 +516,164 @@ let exp_cmd names scale seed jobs dump_dir trace_out list_exps =
           c)
         trace_out
     in
+    let registry =
+      if Sys.getenv_opt "PCC_TEST_HANG" <> None then
+        Exp_registry.all @ [ selftest_entry ]
+      else Exp_registry.all
+    in
     let entries =
       match names with
       | [] -> Ok Exp_registry.all
       | names ->
-        let unknown =
-          List.filter (fun n -> Exp_registry.find n = None) names
+        let find n =
+          List.find_opt (fun e -> e.Exp_registry.name = n) registry
         in
+        let unknown = List.filter (fun n -> find n = None) names in
         if unknown <> [] then
           Error
-            (Printf.sprintf "unknown experiment(s): %s (try --list)"
+            (Printf.sprintf "error: unknown experiment(s): %s (try --list)"
                (String.concat ", " unknown))
-        else
-          Ok
-            (List.filter
-               (fun e -> List.mem e.Exp_registry.name names)
-               Exp_registry.all)
+        else Ok (List.filter_map find names)
     in
     match entries with
     | Error msg -> `Error (false, msg)
-    | Ok entries ->
-      Runner.with_pool ~jobs (fun pool ->
-          List.iter
-            (fun e ->
-              let open Exp_registry in
-              Printf.printf "\n### %s — %s\n%!" e.name e.descr;
-              print_string (e.render ~pool ?dump_dir ~scale ~seed ());
-              flush stdout)
-            entries);
-      (match (collector, trace_out) with
-      | Some c, Some dir ->
-        write_trace_artifacts ~dir c;
-        Pcc_trace.Collector.uninstall ()
-      | _ -> ());
-      `Ok ()
-  end
+    | Ok entries -> (
+      let names_list = List.map (fun e -> e.Exp_registry.name) entries in
+      (* A resumed run must be the same sweep: same seed, scale and
+         experiment selection, or byte-identity is meaningless. *)
+      let resume_loaded =
+        match resume with
+        | None -> Ok []
+        | Some path -> (
+          try
+            let meta, records = Checkpoint.load ~path in
+            if Checkpoint.matches meta ~seed ~scale ~names:names_list then
+              Ok records
+            else
+              Error
+                (Printf.sprintf
+                   "error: checkpoint %s was taken with --seed %d --scale %g \
+                    over %d experiment(s); rerun with the same parameters \
+                    and selection"
+                   path meta.Checkpoint.seed meta.Checkpoint.scale
+                   (List.length meta.Checkpoint.names))
+          with
+          | Pcc_sim.Persist.Corrupt m ->
+            Error (Printf.sprintf "error: corrupt checkpoint %s: %s" path m)
+          | Sys_error m ->
+            Error (Printf.sprintf "error: cannot read checkpoint: %s" m))
+      in
+      match resume_loaded with
+      | Error msg -> `Error (false, msg)
+      | Ok stored ->
+        if stored <> [] then
+          Printf.eprintf
+            "exp: resuming: %d/%d experiment(s) restored from checkpoint\n%!"
+            (List.length stored) (List.length entries);
+        (* --resume without --checkpoint keeps checkpointing into the
+           same file, so a resumed run can itself be killed and resumed. *)
+        let ckpt_path =
+          match (checkpoint, resume) with
+          | Some p, _ -> Some p
+          | None, p -> p
+        in
+        let ckpt =
+          Option.map
+            (fun path ->
+              let t =
+                Checkpoint.create ~path
+                  { Checkpoint.seed; scale; names = names_list }
+              in
+              List.iter
+                (fun (name, output) -> Checkpoint.append t ~name ~output)
+                stored;
+              t)
+            ckpt_path
+        in
+        Supervisor.reset_failures ();
+        let policy =
+          {
+            Supervisor.default_policy with
+            Supervisor.jobs;
+            deadline;
+            max_events;
+            retries;
+            backoff;
+            transient = (fun _ -> retries > 0);
+            forensics_dir = Some forensics;
+            forensic_trace;
+          }
+        in
+        let exit_after =
+          Option.bind (Sys.getenv_opt "PCC_TEST_EXIT_AFTER") int_of_string_opt
+        in
+        let completed = ref 0 in
+        List.iter
+          (fun e ->
+            let open Exp_registry in
+            Printf.printf "\n### %s — %s\n%!" e.name e.descr;
+            let out =
+              match List.assoc_opt e.name stored with
+              | Some out ->
+                Printf.eprintf "exp: %s restored from checkpoint\n%!" e.name;
+                out
+              | None ->
+                let policy =
+                  {
+                    policy with
+                    Supervisor.repro_context =
+                      Some
+                        (Printf.sprintf "pcc_sim exp %s --scale %g --seed %d"
+                           e.name scale seed);
+                  }
+                in
+                let out = e.render ~policy ?dump_dir ~scale ~seed () in
+                Option.iter
+                  (fun t -> Checkpoint.append t ~name:e.name ~output:out)
+                  ckpt;
+                out
+            in
+            print_string out;
+            flush stdout;
+            incr completed;
+            match exit_after with
+            | Some n when !completed >= n && !completed < List.length entries
+              ->
+              (* Checkpoint-resume smoke hook: die mid-sweep, cleanly. *)
+              Printf.eprintf "exp: PCC_TEST_EXIT_AFTER=%d, exiting early\n%!"
+                n;
+              Option.iter Checkpoint.close ckpt;
+              exit 3
+            | _ -> ())
+          entries;
+        Option.iter Checkpoint.close ckpt;
+        (match (collector, trace_out) with
+        | Some c, Some dir ->
+          write_trace_artifacts ~dir c;
+          Pcc_trace.Collector.uninstall ()
+        | _ -> ());
+        (* Partial results were printed above; now make the failure
+           visible in the exit status with a one-line summary. *)
+        (match Supervisor.failures () with
+        | [] -> `Ok ()
+        | failures ->
+          let shown = List.filteri (fun i _ -> i < 6) failures in
+          let names =
+            List.map
+              (fun (o : Supervisor.outcome) ->
+                Printf.sprintf "%s (%s)" o.Supervisor.label
+                  (Supervisor.status_name o.Supervisor.status))
+              shown
+          in
+          let suffix =
+            if List.length failures > List.length shown then ", ..." else ""
+          in
+          `Error
+            ( false,
+              Printf.sprintf "error: %d task(s) failed: %s%s (forensics in %s/)"
+                (List.length failures)
+                (String.concat ", " names)
+                suffix forensics )))
 
 let list_cmd () =
   Printf.printf "transports:\n";
@@ -602,10 +844,85 @@ let exp_term =
              $(docv)/{trace.json,trace.csv,decisions.log}. Forces \
              $(b,--jobs) 1.")
   in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"S"
+          ~doc:
+            "Per-task wall-clock budget in seconds. A task past it is timed \
+             out in place (inside the engine) or abandoned by the watchdog \
+             (stuck outside it); the sweep continues with partial results.")
+  in
+  let max_events_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-task-events" ] ~docv:"N"
+          ~doc:
+            "Per-task engine event ceiling — a deterministic budget, unlike \
+             $(b,--deadline).")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Re-run a failing task up to $(docv) times with bounded \
+             exponential backoff; a task that exhausts them is quarantined. \
+             Timeouts are never retried.")
+  in
+  let backoff_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "backoff" ] ~docv:"S"
+          ~doc:"Initial retry delay; doubles per attempt, capped at 2 s.")
+  in
+  let forensics_arg =
+    Arg.(
+      value & opt string "forensics"
+      & info [ "forensics" ] ~docv:"DIR"
+          ~doc:
+            "Directory for per-task failure bundles: exception, backtrace, \
+             seed and exact repro command line, plus the task's trace ring \
+             when one is recording.")
+  in
+  let forensic_trace_arg =
+    Arg.(
+      value & flag
+      & info [ "forensic-trace" ]
+          ~doc:
+            "Record every task into a private trace ring so a failure dumps \
+             its recent event history into the forensics bundle even in an \
+             otherwise untraced run.")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Write each completed experiment's output to $(docv) (flushed \
+             per experiment) so a killed run can continue with \
+             $(b,--resume).")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Continue a killed run: completed experiments are re-printed \
+             from $(docv) byte-identically, only the rest re-run, and \
+             checkpointing continues into the same file. Requires the same \
+             --seed, --scale and experiment selection.")
+  in
   Term.(
     ret
       (const exp_cmd $ names_arg $ scale_arg $ seed_arg $ jobs_arg $ dump_arg
-     $ trace_out_arg $ list_arg))
+     $ trace_out_arg $ list_arg $ deadline_arg $ max_events_arg $ retries_arg
+     $ backoff_arg $ forensics_arg $ forensic_trace_arg $ checkpoint_arg
+     $ resume_arg))
 
 let trace_term =
   let shape_arg =

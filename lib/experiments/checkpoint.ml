@@ -1,0 +1,104 @@
+(* Deterministic checkpoint/resume for experiment sweeps.
+
+   Granularity is one *completed experiment*: after each registry entry
+   renders, its output string is appended to the checkpoint and the
+   file is flushed, so a killed run loses at most the experiment in
+   flight. We deliberately do not checkpoint mid-experiment — the event
+   heap holds closures, which the no-Marshal rule (see Pcc_sim.Persist)
+   forbids serializing, and determinism makes re-running the
+   interrupted experiment from its derived seed equivalent anyway.
+
+   File layout: a sequence of frames, each a 4-byte little-endian
+   length followed by a Persist blob. Frame 0 is the header (seed,
+   scale, experiment names — resume refuses a checkpoint taken with
+   different parameters); each subsequent frame is one completed
+   experiment's (name, rendered output). Loading tolerates a truncated
+   trailing frame (the run was killed mid-append) but rejects corrupt
+   complete frames. *)
+
+let header_magic = "PCC-CKPT"
+let record_magic = "PCC-CKPT-REC"
+let version = 1
+
+type meta = { seed : int; scale : float; names : string list }
+
+type t = { oc : out_channel }
+
+let write_frame oc blob =
+  let n = String.length blob in
+  let len = Bytes.create 4 in
+  Bytes.set_uint8 len 0 (n land 0xff);
+  Bytes.set_uint8 len 1 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 len 2 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 len 3 ((n lsr 24) land 0xff);
+  output_bytes oc len;
+  output_string oc blob;
+  flush oc
+
+let create ~path meta =
+  let oc = open_out_bin path in
+  let w = Pcc_sim.Persist.Writer.create ~magic:header_magic ~version in
+  Pcc_sim.Persist.Writer.int w meta.seed;
+  Pcc_sim.Persist.Writer.float w meta.scale;
+  Pcc_sim.Persist.Writer.list w Pcc_sim.Persist.Writer.string meta.names;
+  write_frame oc (Pcc_sim.Persist.Writer.contents w);
+  { oc }
+
+let append t ~name ~output =
+  let w = Pcc_sim.Persist.Writer.create ~magic:record_magic ~version in
+  Pcc_sim.Persist.Writer.string w name;
+  Pcc_sim.Persist.Writer.string w output;
+  write_frame t.oc (Pcc_sim.Persist.Writer.contents w)
+
+let close t = close_out t.oc
+
+(* Splits [data] into complete frames, silently dropping a truncated
+   trailing one. *)
+let frames data =
+  let len = String.length data in
+  let rec go pos acc =
+    if pos + 4 > len then List.rev acc
+    else begin
+      let n =
+        Char.code data.[pos]
+        lor (Char.code data.[pos + 1] lsl 8)
+        lor (Char.code data.[pos + 2] lsl 16)
+        lor (Char.code data.[pos + 3] lsl 24)
+      in
+      if pos + 4 + n > len then List.rev acc
+      else go (pos + 4 + n) (String.sub data (pos + 4) n :: acc)
+    end
+  in
+  go 0 []
+
+let load ~path =
+  let ic = open_in_bin path in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match frames data with
+  | [] -> raise (Pcc_sim.Persist.Corrupt "checkpoint has no complete header")
+  | header :: records ->
+    let r = Pcc_sim.Persist.Reader.of_string ~magic:header_magic header in
+    if Pcc_sim.Persist.Reader.version r <> version then
+      raise
+        (Pcc_sim.Persist.Corrupt
+           (Printf.sprintf "unsupported checkpoint version %d"
+              (Pcc_sim.Persist.Reader.version r)));
+    let seed = Pcc_sim.Persist.Reader.int r in
+    let scale = Pcc_sim.Persist.Reader.float r in
+    let names =
+      Pcc_sim.Persist.Reader.list r Pcc_sim.Persist.Reader.string
+    in
+    let read_record blob =
+      let r = Pcc_sim.Persist.Reader.of_string ~magic:record_magic blob in
+      let name = Pcc_sim.Persist.Reader.string r in
+      let output = Pcc_sim.Persist.Reader.string r in
+      (name, output)
+    in
+    ({ seed; scale; names }, List.map read_record records)
+
+let matches m ~seed ~scale ~names =
+  m.seed = seed && m.scale = scale && m.names = names

@@ -1,0 +1,37 @@
+(** Deterministic checkpoint/resume for experiment sweeps.
+
+    One frame per {e completed} experiment: after a registry entry
+    renders, {!append} writes its output string and flushes, so a
+    killed run loses at most the experiment in flight. State is
+    serialized field by field through {!Pcc_sim.Persist} — versioned,
+    explicit, never [Marshal] — and because experiments are
+    deterministic in [(seed, scale)], a resumed run re-prints the
+    stored outputs and recomputes only the rest, byte-identical to an
+    uninterrupted run. *)
+
+type meta = { seed : int; scale : float; names : string list }
+(** Sweep identity. Resume must refuse a checkpoint whose [meta] does
+    not {!matches} the current invocation, or determinism is lost. *)
+
+type t
+(** An open checkpoint being written. *)
+
+val create : path:string -> meta -> t
+(** Create (truncating) [path] and write the header frame. *)
+
+val append : t -> name:string -> output:string -> unit
+(** Record one completed experiment's rendered output; flushed
+    immediately. *)
+
+val close : t -> unit
+
+val load : path:string -> meta * (string * string) list
+(** Read a checkpoint back: its meta and the [(name, output)] pairs of
+    completed experiments, in completion order. A truncated trailing
+    frame (killed mid-append) is silently dropped.
+    @raise Pcc_sim.Persist.Corrupt on bad magic, an unsupported
+    version, or a corrupt complete frame.
+    @raise Sys_error if [path] cannot be read. *)
+
+val matches : meta -> seed:int -> scale:float -> names:string list -> bool
+(** Whether a loaded checkpoint belongs to this exact sweep. *)

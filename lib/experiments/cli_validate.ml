@@ -1,0 +1,47 @@
+(* Centralized validation of pcc_sim's numeric CLI arguments.
+
+   Every subcommand funnels its parameters through these checks before
+   building a scenario, so a nonsensical value (zero duration, negative
+   rate, --jobs 0) produces one clear `pcc_sim: error: ...` line and a
+   nonzero exit instead of an Invalid_argument backtrace from deep
+   inside the simulator. *)
+
+let error fmt = Printf.ksprintf (fun m -> Error ("error: " ^ m)) fmt
+
+type check = (unit, string) result
+
+let positive_f name v : check =
+  if Float.is_finite v && v > 0. then Ok ()
+  else error "%s must be positive (got %g)" name v
+
+let non_negative_f name v : check =
+  if Float.is_finite v && v >= 0. then Ok ()
+  else error "%s must be >= 0 (got %g)" name v
+
+let probability name v : check =
+  if Float.is_finite v && v >= 0. && v <= 1. then Ok ()
+  else error "%s must be a probability in [0,1] (got %g)" name v
+
+let positive_i name v : check =
+  if v > 0 then Ok () else error "%s must be positive (got %d)" name v
+
+let at_least name lo v : check =
+  if v >= lo then Ok () else error "%s must be >= %d (got %d)" name lo v
+
+let non_negative_i name v : check =
+  if v >= 0 then Ok () else error "%s must be >= 0 (got %d)" name v
+
+let opt check name = function None -> Ok () | Some v -> check name v
+
+(* First failure wins; checks are listed in flag order so the message
+   points at the first bad flag on the command line. *)
+let all (checks : check list) : check =
+  List.fold_left
+    (fun acc c -> match acc with Error _ -> acc | Ok () -> c)
+    (Ok ()) checks
+
+(* Adapter for cmdliner's [Term.ret]: [guarded checks k] is [k ()] when
+   every check passes, otherwise the error (no usage dump — the message
+   already names the flag). *)
+let guarded checks k =
+  match all checks with Ok () -> k () | Error msg -> `Error (false, msg)

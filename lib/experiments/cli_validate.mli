@@ -1,0 +1,38 @@
+(** Centralized validation of CLI numeric arguments.
+
+    Front-ends ([pcc_sim], the bench driver) funnel their parameters
+    through these checks before building a scenario, so a nonsensical
+    value (zero duration, negative rate, [--jobs 0]) produces one clear
+    [error: ...] message and a nonzero exit instead of an
+    [Invalid_argument] backtrace from deep inside the simulator.
+
+    Each check takes the flag name (as it should appear in the message)
+    and the value; errors are ["error: <flag> must ..."] so cmdliner's
+    [`Error (false, msg)] renders as [pcc_sim: error: ...]. *)
+
+type check = (unit, string) result
+
+val positive_f : string -> float -> check
+(** Finite and [> 0]. *)
+
+val non_negative_f : string -> float -> check
+(** Finite and [>= 0]. *)
+
+val probability : string -> float -> check
+(** Finite and in [\[0, 1\]]. *)
+
+val positive_i : string -> int -> check
+val at_least : string -> int -> int -> check
+val non_negative_i : string -> int -> check
+
+val opt : (string -> 'a -> check) -> string -> 'a option -> check
+(** Lift a check over an optional argument; [None] passes. *)
+
+val all : check list -> check
+(** First failure wins; list checks in flag order so the message points
+    at the first bad flag on the command line. *)
+
+val guarded : check list -> (unit -> ([> `Error of bool * string ] as 'a)) -> 'a
+(** Adapter for cmdliner's [Term.ret]: run the continuation when every
+    check passes, otherwise [`Error (false, msg)] without a usage
+    dump. *)

@@ -33,7 +33,7 @@ let tasks ?(scale = 1.) ?(seed = 42) () =
     (fun loss ->
       List.map
         (fun (label, spec) ->
-          Exp_common.task
+          Exp_common.task ~seed
             ~label:(Printf.sprintf "ablation/%s/loss=%g" label loss)
             (fun () ->
               {
@@ -46,10 +46,10 @@ let tasks ?(scale = 1.) ?(seed = 42) () =
         (variants ()))
     [ 0.0; 0.01 ]
 
-let collect results = results
+let collect results = Exp_common.present results
 
-let run ?pool ?scale ?seed () =
-  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ()))
+let run ?pool ?policy ?scale ?seed () =
+  collect (Exp_common.run_tasks_opt ?pool ?policy (tasks ?scale ?seed ()))
 
 let table rows =
   Exp_common.

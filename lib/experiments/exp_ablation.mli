@@ -19,9 +19,9 @@ type row = {
 val tasks : ?scale:float -> ?seed:int -> unit -> row Exp_common.task list
 (** One simulation per (variant, loss); each task yields its row. *)
 
-val collect : row list -> row list
+val collect : row option list -> row list
 (** Identity — each task already yields a finished row. *)
 
-val run : ?pool:Runner.t -> ?scale:float -> ?seed:int -> unit -> row list
+val run : ?pool:Runner.t -> ?policy:Supervisor.policy -> ?scale:float -> ?seed:int -> unit -> row list
 val table : row list -> Exp_common.table
 val print : ?pool:Runner.t -> ?scale:float -> ?seed:int -> unit -> unit

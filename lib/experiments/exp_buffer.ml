@@ -20,7 +20,7 @@ let tasks ?(scale = 1.) ?(seed = 42) ?(buffers = default_buffers) () =
     (fun buffer ->
       List.map
         (fun (name, spec) ->
-          Exp_common.task
+          Exp_common.task ~seed
             ~label:(Printf.sprintf "fig9/%s/buf=%d" name buffer)
             (fun () ->
               ( buffer,
@@ -29,16 +29,22 @@ let tasks ?(scale = 1.) ?(seed = 42) ?(buffers = default_buffers) () =
         (specs ()))
     buffers
 
+(* Partial inputs: a failed measurement leaves NaN in its cell; a buffer
+   point where every protocol failed is dropped (its size is unknown). *)
 let collect results =
-  List.map
+  let v = function Some (_, x) -> x | None -> Float.nan in
+  List.filter_map
     (function
-      | [ (buffer, pcc); (_, cubic); (_, paced_reno) ] ->
-        { buffer; pcc; cubic; paced_reno }
+      | [ p; c; pr ] as group -> (
+        match Exp_common.present group with
+        | [] -> None
+        | (buffer, _) :: _ ->
+          Some { buffer; pcc = v p; cubic = v c; paced_reno = v pr })
       | _ -> invalid_arg "Exp_buffer.collect: 3 measurements per buffer")
     (Exp_common.chunk (List.length (specs ())) results)
 
-let run ?pool ?scale ?seed ?buffers () =
-  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ?buffers ()))
+let run ?pool ?policy ?scale ?seed ?buffers () =
+  collect (Exp_common.run_tasks_opt ?pool ?policy (tasks ?scale ?seed ?buffers ()))
 
 let table rows =
   Exp_common.

@@ -22,10 +22,11 @@ val tasks :
 (** One simulation per (buffer, protocol), yielding
     [(buffer, throughput)]. *)
 
-val collect : (int * float) list -> row list
+val collect : (int * float) option list -> row list
 
 val run :
   ?pool:Runner.t ->
+  ?policy:Supervisor.policy ->
   ?scale:float ->
   ?seed:int ->
   ?buffers:int list ->

@@ -59,12 +59,17 @@ let print_table t =
    functions may rely on position. *)
 
 module Task = struct
-  type 'a t = { label : string; run : unit -> 'a }
+  type 'a t = 'a Supervisor.task = {
+    label : string;
+    seed : int option;
+    repro : string option;
+    run : unit -> 'a;
+  }
 end
 
 type 'a task = 'a Task.t
 
-let task ?(label = "") run = { Task.label; run }
+let task ?(label = "") ?seed ?repro run = { Task.label; seed; repro; run }
 
 let task_label (t : _ task) = t.Task.label
 
@@ -73,6 +78,17 @@ let run_tasks ?pool tasks =
   | Some p when Runner.jobs p > 1 ->
     Runner.map_list p (fun t -> t.Task.run ()) tasks
   | _ -> List.map (fun t -> t.Task.run ()) tasks
+
+(* Supervised variant: with a policy, failures yield [None] slots (and
+   land in the supervisor's report/tally) instead of tearing down the
+   sweep; without one, behaves exactly like [run_tasks]. *)
+let run_tasks_opt ?pool ?policy tasks =
+  match policy with
+  | Some policy -> fst (Supervisor.run ~policy tasks)
+  | None -> List.map Option.some (run_tasks ?pool tasks)
+
+let value_or_nan = function Some v -> v | None -> Float.nan
+let present l = List.filter_map Fun.id l
 
 let chunk n l =
   if n <= 0 then invalid_arg "Exp_common.chunk";
@@ -97,12 +113,18 @@ let group_by key l =
     [] l
   |> List.map (fun (k, xs) -> (k, List.rev xs))
 
-let f1 v = Printf.sprintf "%.1f" v
-let f2 v = Printf.sprintf "%.2f" v
-let f3 v = Printf.sprintf "%.3f" v
-let mbps v = Printf.sprintf "%.2f" (v /. 1e6)
+(* Formatters render NaN as "n/a": under supervised execution a failed
+   task leaves NaN in its row's cells, and the table must still print. *)
+let fmt_or_na f v = if Float.is_nan v then "n/a" else f v
+let f1 = fmt_or_na (Printf.sprintf "%.1f")
+let f2 = fmt_or_na (Printf.sprintf "%.2f")
+let f3 = fmt_or_na (Printf.sprintf "%.3f")
+let mbps = fmt_or_na (fun v -> Printf.sprintf "%.2f" (v /. 1e6))
 
-let ratio a b = if Float.abs b < 1e-9 then infinity else a /. b
+let ratio a b =
+  if Float.is_nan a || Float.is_nan b then Float.nan
+  else if Float.abs b < 1e-9 then infinity
+  else a /. b
 
 let goodput_between engine flow ~t0 ~t1 =
   Engine.run ~until:t0 engine;

@@ -30,21 +30,43 @@ val print_table : table -> unit
     the Runner's determinism contract both give identical results. *)
 
 module Task : sig
-  type 'a t = { label : string; run : unit -> 'a }
+  type 'a t = 'a Supervisor.task = {
+    label : string;
+    seed : int option;
+    repro : string option;
+    run : unit -> 'a;
+  }
 end
 
 type 'a task = 'a Task.t
-(** One independent simulation run. The [label] identifies it in logs.
-    (The record lives in {!Task} so its fields don't shadow experiment
-    row fields under local opens of this module.) *)
+(** One independent simulation run. The [label] identifies it in logs
+    and forensics; [seed]/[repro] feed crash bundles. (The record lives
+    in {!Task} so its fields don't shadow experiment row fields under
+    local opens of this module; it is equal to {!Supervisor.task} so
+    experiments run unchanged under supervision.) *)
 
-val task : ?label:string -> (unit -> 'a) -> 'a task
+val task : ?label:string -> ?seed:int -> ?repro:string -> (unit -> 'a) -> 'a task
 val task_label : 'a task -> string
 
 val run_tasks : ?pool:Runner.t -> 'a task list -> 'a list
 (** Execute the tasks and return their results in task order. With no
     [pool] (or a 1-worker pool) runs sequentially in the calling
-    domain. *)
+    domain. Strict: the first task exception propagates. *)
+
+val run_tasks_opt :
+  ?pool:Runner.t -> ?policy:Supervisor.policy -> 'a task list -> 'a option list
+(** Like {!run_tasks}, but positional-with-holes. With a [policy], tasks
+    run under {!Supervisor.run}: a failing task yields [None] in its
+    slot (its outcome lands in the supervisor report and process-wide
+    tally) and the rest of the sweep completes. Without a [policy],
+    identical to [run_tasks] with every result wrapped in [Some]. *)
+
+val value_or_nan : float option -> float
+(** [None] becomes [nan] — pair with the NaN-aware formatters below so a
+    failed measurement renders as ["n/a"]. *)
+
+val present : 'a option list -> 'a list
+(** Drop the holes, keeping order. *)
 
 val chunk : int -> 'a list -> 'a list list
 (** [chunk n l] splits [l] into consecutive groups of [n] (last group
@@ -55,7 +77,8 @@ val group_by : ('a -> 'k) -> 'a list -> ('k * 'a list) list
     order and within-group element order. *)
 
 val f1 : float -> string
-(** Format with 1 decimal. *)
+(** Format with 1 decimal; NaN (a measurement missing under supervised
+    execution) renders as ["n/a"], as in all formatters here. *)
 
 val f2 : float -> string
 val f3 : float -> string
@@ -64,7 +87,8 @@ val mbps : float -> string
 (** Format a bits/s value as Mbps with 2 decimals. *)
 
 val ratio : float -> float -> float
-(** [ratio a b] is [a/b], guarding division by ~0 (returns [inf]). *)
+(** [ratio a b] is [a/b], guarding division by ~0 (returns [inf]) and
+    propagating NaN from either operand. *)
 
 val solo_throughput :
   ?seed:int ->

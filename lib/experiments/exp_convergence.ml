@@ -71,15 +71,15 @@ let tasks ?(scale = 1.) ?(seed = 42) ?(flows = 4) () =
   let stagger = Float.max 120. (500. *. scale) in
   List.map
     (fun (name, spec) ->
-      Exp_common.task
+      Exp_common.task ~seed
         ~label:(Printf.sprintf "convergence/%s" name)
         (fun () -> measure ~seed ~stagger ~flows spec name))
     (specs ())
 
-let collect results = results
+let collect results = Exp_common.present results
 
-let run ?pool ?scale ?seed ?flows () =
-  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ?flows ()))
+let run ?pool ?policy ?scale ?seed ?flows () =
+  collect (Exp_common.run_tasks_opt ?pool ?policy (tasks ?scale ?seed ?flows ()))
 
 let table results =
   let header =

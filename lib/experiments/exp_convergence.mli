@@ -24,11 +24,12 @@ val tasks :
   protocol_result Exp_common.task list
 (** One simulation per protocol; each task yields its result. *)
 
-val collect : protocol_result list -> protocol_result list
+val collect : protocol_result option list -> protocol_result list
 (** Identity — each task already yields a finished result. *)
 
 val run :
   ?pool:Runner.t ->
+  ?policy:Supervisor.policy ->
   ?scale:float ->
   ?seed:int ->
   ?flows:int ->

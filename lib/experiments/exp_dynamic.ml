@@ -55,7 +55,7 @@ let tasks ?(scale = 1.) ?(seed = 42) () =
   let duration = Float.max 50. (500. *. scale) in
   List.map
     (fun (name, spec) ->
-      Exp_common.task
+      Exp_common.task ~seed
         ~label:(Printf.sprintf "dynamic/%s" name)
         (fun () ->
           let throughput, optimal, series = measure ~seed ~duration spec in
@@ -68,10 +68,12 @@ let tasks ?(scale = 1.) ?(seed = 42) () =
             (name, series) )))
     (specs ())
 
-let collect results = (List.map fst results, List.map snd results)
+let collect results =
+  let present = Exp_common.present results in
+  (List.map fst present, List.map snd present)
 
-let run ?pool ?scale ?seed () =
-  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ()))
+let run ?pool ?policy ?scale ?seed () =
+  collect (Exp_common.run_tasks_opt ?pool ?policy (tasks ?scale ?seed ()))
 
 let table rows =
   Exp_common.

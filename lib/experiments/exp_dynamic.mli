@@ -25,11 +25,12 @@ val tasks :
     sampled series together. *)
 
 val collect :
-  (row * (string * series_point list)) list ->
+  (row * (string * series_point list)) option list ->
   row list * (string * series_point list) list
 
 val run :
   ?pool:Runner.t ->
+  ?policy:Supervisor.policy ->
   ?scale:float ->
   ?seed:int ->
   unit ->

@@ -60,16 +60,16 @@ let tasks ?(scale = 1.) ?(seed = 42) ?(loads = [ 0.05; 0.25; 0.5; 0.75 ]) () =
     (fun load ->
       List.map
         (fun (name, spec) ->
-          Exp_common.task
+          Exp_common.task ~seed
             ~label:(Printf.sprintf "fct/%s/load=%g" name load)
             (fun () -> measure ~seed ~horizon ~load spec name))
         (specs ()))
     loads
 
-let collect results = results
+let collect results = Exp_common.present results
 
-let run ?pool ?scale ?seed ?loads () =
-  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ?loads ()))
+let run ?pool ?policy ?scale ?seed ?loads () =
+  collect (Exp_common.run_tasks_opt ?pool ?policy (tasks ?scale ?seed ?loads ()))
 
 let table rows =
   Exp_common.

@@ -23,11 +23,12 @@ val tasks :
   row Exp_common.task list
 (** One simulation per (load, protocol); each task yields its row. *)
 
-val collect : row list -> row list
+val collect : row option list -> row list
 (** Identity — each task already yields a finished row. *)
 
 val run :
   ?pool:Runner.t ->
+  ?policy:Supervisor.policy ->
   ?scale:float ->
   ?seed:int ->
   ?loads:float list ->

@@ -50,10 +50,10 @@ let tasks ?(scale = 1.) ?(seed = 42) ?(selfish_counts = [ 1; 2; 4; 8 ]) () =
               n
           in
           [
-            Exp_common.task ~label:(label "vs-pcc") (fun () ->
+            Exp_common.task ~seed ~label:(label "vs-pcc") (fun () ->
                 normal_tcp_throughput ~seed ~duration ~bandwidth ~rtt
                   (List.init n (fun _ -> Path.flow (Transport.pcc ()))));
-            Exp_common.task ~label:(label "vs-bundle") (fun () ->
+            Exp_common.task ~seed ~label:(label "vs-bundle") (fun () ->
                 normal_tcp_throughput ~seed ~duration ~bandwidth ~rtt
                   (List.init (n * 10) (fun _ ->
                        Path.flow (Transport.tcp "newreno"))));
@@ -68,6 +68,7 @@ let collect ?(selfish_counts = [ 1; 2; 4; 8 ]) results =
         List.map (fun n -> (bandwidth, rtt, n)) selfish_counts)
       configs
   in
+  let v = Exp_common.value_or_nan in
   List.map2
     (fun (bandwidth, rtt, n) -> function
       | [ vs_pcc; vs_bundle ] ->
@@ -75,19 +76,19 @@ let collect ?(selfish_counts = [ 1; 2; 4; 8 ]) results =
           bandwidth;
           rtt;
           selfish = n;
-          tcp_vs_pcc = vs_pcc;
-          tcp_vs_bundle = vs_bundle;
+          tcp_vs_pcc = v vs_pcc;
+          tcp_vs_bundle = v vs_bundle;
           (* >1: the normal flow does better against PCC than against
              the parallel-TCP bundle, i.e. PCC is friendlier. *)
-          unfriendliness = Exp_common.ratio vs_pcc vs_bundle;
+          unfriendliness = Exp_common.ratio (v vs_pcc) (v vs_bundle);
         }
       | _ -> invalid_arg "Exp_friendliness.collect: 2 measurements per cell")
     cells
     (Exp_common.chunk 2 results)
 
-let run ?pool ?scale ?seed ?selfish_counts () =
+let run ?pool ?policy ?scale ?seed ?selfish_counts () =
   collect ?selfish_counts
-    (Exp_common.run_tasks ?pool (tasks ?scale ?seed ?selfish_counts ()))
+    (Exp_common.run_tasks_opt ?pool ?policy (tasks ?scale ?seed ?selfish_counts ()))
 
 let table rows =
   Exp_common.

@@ -26,12 +26,13 @@ val tasks :
 (** Two simulations per (link, N) cell: the normal flow against N PCC
     flows, then against N bundles of 10 TCPs. *)
 
-val collect : ?selfish_counts:int list -> float list -> row list
+val collect : ?selfish_counts:int list -> float option list -> row list
 (** Pairs up the per-cell measurements; pass the same [selfish_counts]
     given to {!tasks}. *)
 
 val run :
   ?pool:Runner.t ->
+  ?policy:Supervisor.policy ->
   ?scale:float ->
   ?seed:int ->
   ?selfish_counts:int list ->

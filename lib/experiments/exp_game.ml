@@ -25,7 +25,7 @@ let tasks ?(seed = 42) ?(ns = [ 2; 3; 5; 10; 20 ]) () =
   in
   List.map
     (fun (n, x0) ->
-      Exp_common.task ~label:(Printf.sprintf "game/n=%d" n) (fun () ->
+      Exp_common.task ~seed ~label:(Printf.sprintf "game/n=%d" n) (fun () ->
       let eps = 0.01 in
       let x_hat = Game.equilibrium_rate ~n ~c () in
       (* Theorem 2's claim: every sender enters (and stays in) the band
@@ -64,10 +64,10 @@ let tasks ?(seed = 42) ?(ns = [ 2; 3; 5; 10; 20 ]) () =
       }))
     starts
 
-let collect results = results
+let collect results = Exp_common.present results
 
-let run ?pool ?seed ?ns () =
-  collect (Exp_common.run_tasks ?pool (tasks ?seed ?ns ()))
+let run ?pool ?policy ?seed ?ns () =
+  collect (Exp_common.run_tasks_opt ?pool ?policy (tasks ?seed ?ns ()))
 
 let table rows =
   Exp_common.

@@ -35,7 +35,7 @@ let tasks ?(scale = 1.) ?(seed = 42) ?(losses = [ 0.1; 0.2; 0.3; 0.4; 0.5 ])
     (fun loss ->
       List.map
         (fun (name, spec) ->
-          Exp_common.task
+          Exp_common.task ~seed
             ~label:(Printf.sprintf "highloss/%s/loss=%g" name loss)
             (fun () ->
               ( loss,
@@ -46,21 +46,26 @@ let tasks ?(scale = 1.) ?(seed = 42) ?(losses = [ 0.1; 0.2; 0.3; 0.4; 0.5 ])
     losses
 
 let collect results =
-  List.map
+  let v = function Some (_, x) -> x | None -> Float.nan in
+  List.filter_map
     (function
-      | [ (loss, pcc_resilient); (_, pcc_safe); (_, cubic) ] ->
-        {
-          loss;
-          achievable = bandwidth *. (1. -. loss);
-          pcc_resilient;
-          pcc_safe;
-          cubic;
-        }
+      | [ r; s; c ] as group -> (
+        match Exp_common.present group with
+        | [] -> None
+        | (loss, _) :: _ ->
+          Some
+            {
+              loss;
+              achievable = bandwidth *. (1. -. loss);
+              pcc_resilient = v r;
+              pcc_safe = v s;
+              cubic = v c;
+            })
       | _ -> invalid_arg "Exp_high_loss.collect: 3 measurements per loss")
     (Exp_common.chunk (List.length (specs ())) results)
 
-let run ?pool ?scale ?seed ?losses () =
-  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ?losses ()))
+let run ?pool ?policy ?scale ?seed ?losses () =
+  collect (Exp_common.run_tasks_opt ?pool ?policy (tasks ?scale ?seed ?losses ()))
 
 let table rows =
   Exp_common.

@@ -21,10 +21,11 @@ val tasks :
   unit ->
   (float * float) Exp_common.task list
 
-val collect : (float * float) list -> row list
+val collect : (float * float) option list -> row list
 
 val run :
   ?pool:Runner.t ->
+  ?policy:Supervisor.policy ->
   ?scale:float ->
   ?seed:int ->
   ?losses:float list ->

@@ -65,7 +65,7 @@ let tasks ?(scale = 1.) ?(seed = 42) ?(senders = default_senders)
             (fun (proto, spec) ->
               List.init rounds (fun i ->
                   let round_seed = seed + (i * 7919) in
-                  Exp_common.task
+                  Exp_common.task ~seed:round_seed
                     ~label:
                       (Printf.sprintf "incast/%s/block=%d/n=%d/round=%d" proto
                          block n i)
@@ -85,15 +85,17 @@ let collect samples =
     | [] -> nan
     | vs -> List.fold_left ( +. ) 0. vs /. float_of_int (List.length vs)
   in
-  Exp_common.group_by (fun s -> (s.s_block, s.s_senders)) samples
+  Exp_common.group_by (fun s -> (s.s_block, s.s_senders)) (Exp_common.present samples)
   |> List.map (fun ((block, n), cell) ->
          let of_proto p =
            mean (List.filter_map (fun s -> if s.s_proto = p then Some s.v else None) cell)
          in
          { senders = n; block; pcc = of_proto "pcc"; tcp = of_proto "tcp" })
 
-let run ?pool ?scale ?seed ?senders ?blocks () =
-  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ?senders ?blocks ()))
+let run ?pool ?policy ?scale ?seed ?senders ?blocks () =
+  collect
+    (Exp_common.run_tasks_opt ?pool ?policy
+       (tasks ?scale ?seed ?senders ?blocks ()))
 
 let table rows =
   Exp_common.

@@ -34,12 +34,13 @@ val tasks :
 (** One simulation per (block, senders, protocol, round). Round seeds
     are a pure function of [seed] and the round index. *)
 
-val collect : sample list -> row list
+val collect : sample option list -> row list
 (** Averages rounds per (block, senders) cell, preserving first-seen
     cell order. *)
 
 val run :
   ?pool:Runner.t ->
+  ?policy:Supervisor.policy ->
   ?scale:float ->
   ?seed:int ->
   ?senders:int list ->

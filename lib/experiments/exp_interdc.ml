@@ -41,7 +41,7 @@ let tasks ?(scale = 1.) ?(seed = 42) () =
     (fun (name, rtt) ->
       List.map
         (fun (proto, spec) ->
-          Exp_common.task
+          Exp_common.task ~seed
             ~label:(Printf.sprintf "table1/%s/%s" proto name)
             (fun () ->
               Exp_common.solo_throughput ~seed ~bandwidth ~rtt ~buffer
@@ -50,16 +50,24 @@ let tasks ?(scale = 1.) ?(seed = 42) () =
     pairs
 
 let collect results =
+  let v = Exp_common.value_or_nan in
   List.map2
     (fun (name, rtt) -> function
       | [ pcc; sabul; cubic; illinois ] ->
-        { name; rtt; pcc; sabul; cubic; illinois }
+        {
+          name;
+          rtt;
+          pcc = v pcc;
+          sabul = v sabul;
+          cubic = v cubic;
+          illinois = v illinois;
+        }
       | _ -> invalid_arg "Exp_interdc.collect: 4 measurements per pair")
     pairs
     (Exp_common.chunk (List.length (specs ())) results)
 
-let run ?pool ?scale ?seed () =
-  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ()))
+let run ?pool ?policy ?scale ?seed () =
+  collect (Exp_common.run_tasks_opt ?pool ?policy (tasks ?scale ?seed ()))
 
 let table rows =
   let avg f =

@@ -23,9 +23,9 @@ val tasks :
   ?scale:float -> ?seed:int -> unit -> float Exp_common.task list
 (** One simulation per (pair, protocol), yielding a throughput. *)
 
-val collect : float list -> row list
+val collect : float option list -> row list
 
-val run : ?pool:Runner.t -> ?scale:float -> ?seed:int -> unit -> row list
+val run : ?pool:Runner.t -> ?policy:Supervisor.policy -> ?scale:float -> ?seed:int -> unit -> row list
 (** Base duration 100 s per pair and protocol. *)
 
 val table : row list -> Exp_common.table

@@ -40,7 +40,7 @@ let tasks ?(scale = 1.) ?(seed = 42) ?(pairs = 40) () =
     (fun (i, params, run_seed) ->
       List.map
         (fun (name, spec) ->
-          Exp_common.task
+          Exp_common.task ~seed:run_seed
             ~label:(Printf.sprintf "internet/pair%02d/%s" i name)
             (fun () ->
               ( params,
@@ -49,15 +49,19 @@ let tasks ?(scale = 1.) ?(seed = 42) ?(pairs = 40) () =
     drawn
 
 let collect results =
-  List.map
+  let v = function Some (_, x) -> x | None -> Float.nan in
+  List.filter_map
     (function
-      | [ (params, pcc); (_, cubic); (_, sabul); (_, pcp) ] ->
-        { params; pcc; cubic; sabul; pcp }
+      | [ p; c; s; q ] as group -> (
+        match Exp_common.present group with
+        | [] -> None
+        | (params, _) :: _ ->
+          Some { params; pcc = v p; cubic = v c; sabul = v s; pcp = v q })
       | _ -> invalid_arg "Exp_internet.collect: 4 measurements per pair")
     (Exp_common.chunk (List.length (specs ())) results)
 
-let run ?pool ?scale ?seed ?pairs () =
-  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ?pairs ()))
+let run ?pool ?policy ?scale ?seed ?pairs () =
+  collect (Exp_common.run_tasks_opt ?pool ?policy (tasks ?scale ?seed ?pairs ()))
 
 let summarize results =
   let mk baseline extract =

@@ -35,10 +35,11 @@ val tasks :
     — is a pure function of [seed] and [pairs]. *)
 
 val collect :
-  (Pcc_scenario.Internet_model.params * float) list -> pair_result list
+  (Pcc_scenario.Internet_model.params * float) option list -> pair_result list
 
 val run :
   ?pool:Runner.t ->
+  ?policy:Supervisor.policy ->
   ?scale:float ->
   ?seed:int ->
   ?pairs:int ->

@@ -29,7 +29,7 @@ let tasks ?(scale = 1.) ?(seed = 42) ?(losses = default_losses) () =
     (fun loss ->
       List.map
         (fun (name, spec) ->
-          Exp_common.task
+          Exp_common.task ~seed
             ~label:(Printf.sprintf "fig7/%s/loss=%g" name loss)
             (fun () ->
               ( loss,
@@ -38,16 +38,22 @@ let tasks ?(scale = 1.) ?(seed = 42) ?(losses = default_losses) () =
         (specs ()))
     losses
 
+(* Partial inputs: a failed measurement leaves NaN in its cell (rendered
+   "n/a"); a loss point where every protocol failed is dropped. *)
 let collect results =
-  List.map
+  let v = function Some (_, x) -> x | None -> Float.nan in
+  List.filter_map
     (function
-      | [ (loss, pcc); (_, cubic); (_, illinois); (_, newreno) ] ->
-        { loss; pcc; cubic; illinois; newreno }
+      | [ p; c; i; n ] as group -> (
+        match Exp_common.present group with
+        | [] -> None
+        | (loss, _) :: _ ->
+          Some { loss; pcc = v p; cubic = v c; illinois = v i; newreno = v n })
       | _ -> invalid_arg "Exp_loss.collect: 4 measurements per loss point")
     (Exp_common.chunk (List.length (specs ())) results)
 
-let run ?pool ?scale ?seed ?losses () =
-  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ?losses ()))
+let run ?pool ?policy ?scale ?seed ?losses () =
+  collect (Exp_common.run_tasks_opt ?pool ?policy (tasks ?scale ?seed ?losses ()))
 
 let table rows =
   Exp_common.

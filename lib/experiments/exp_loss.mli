@@ -25,11 +25,12 @@ val tasks :
 (** One independent simulation per (loss, protocol); each yields
     [(loss, throughput)]. *)
 
-val collect : (float * float) list -> row list
+val collect : (float * float) option list -> row list
 (** Reassemble task results (in task order) into rows. *)
 
 val run :
   ?pool:Runner.t ->
+  ?policy:Supervisor.policy ->
   ?scale:float ->
   ?seed:int ->
   ?losses:float list ->

@@ -62,15 +62,15 @@ let tasks ?(scale = 1.) ?(seed = 42) () =
   let duration = 60. *. scale in
   List.map
     (fun (name, queue, spec) ->
-      Exp_common.task
+      Exp_common.task ~seed
         ~label:(Printf.sprintf "power/%s" name)
         (fun () -> measure ~seed ~duration ~queue spec name))
     (combos ())
 
-let collect results = results
+let collect results = Exp_common.present results
 
-let run ?pool ?scale ?seed () =
-  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ()))
+let run ?pool ?policy ?scale ?seed () =
+  collect (Exp_common.run_tasks_opt ?pool ?policy (tasks ?scale ?seed ()))
 
 let table rows =
   let find name =

@@ -13,6 +13,7 @@ type entry = {
   descr : string;
   render :
     ?pool:Runner.t ->
+    ?policy:Supervisor.policy ->
     ?dump_dir:string ->
     scale:float ->
     seed:int ->
@@ -21,7 +22,10 @@ type entry = {
       (** Runs the experiment and returns the rendered tables. The
           result is a pure function of [scale] and [seed] (plus
           [dump_dir] note lines) — never of the pool's job count or
-          scheduling. *)
+          scheduling. With a [policy], simulations run under
+          {!Supervisor.run}: failed measurements render as ["n/a"] (or
+          drop their row) and the failures land in the supervisor's
+          process-wide tally instead of raising. *)
 }
 
 val all : entry list

@@ -43,7 +43,7 @@ let tasks ?(scale = 1.) ?(seed = 42) ?(rtts = default_rtts) () =
     (fun long_rtt ->
       List.map
         (fun (name, spec) ->
-          Exp_common.task
+          Exp_common.task ~seed
             ~label:(Printf.sprintf "rtt_fairness/%s/rtt=%g" name long_rtt)
             (fun () ->
               (long_rtt, measure_ratio ~seed ~duration ~long_rtt spec)))
@@ -51,15 +51,19 @@ let tasks ?(scale = 1.) ?(seed = 42) ?(rtts = default_rtts) () =
     rtts
 
 let collect results =
-  List.map
+  let v = function Some (_, x) -> x | None -> Float.nan in
+  List.filter_map
     (function
-      | [ (long_rtt, pcc); (_, cubic); (_, newreno) ] ->
-        { long_rtt; pcc; cubic; newreno }
+      | [ p; c; n ] as group -> (
+        match Exp_common.present group with
+        | [] -> None
+        | (long_rtt, _) :: _ ->
+          Some { long_rtt; pcc = v p; cubic = v c; newreno = v n })
       | _ -> invalid_arg "Exp_rtt_fairness.collect: 3 measurements per RTT")
     (Exp_common.chunk (List.length (specs ())) results)
 
-let run ?pool ?scale ?seed ?rtts () =
-  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ?rtts ()))
+let run ?pool ?policy ?scale ?seed ?rtts () =
+  collect (Exp_common.run_tasks_opt ?pool ?policy (tasks ?scale ?seed ?rtts ()))
 
 let table rows =
   Exp_common.

@@ -23,10 +23,11 @@ val tasks :
   (float * float) Exp_common.task list
 (** One simulation per (RTT, protocol), yielding (long_rtt, ratio). *)
 
-val collect : (float * float) list -> row list
+val collect : (float * float) option list -> row list
 
 val run :
   ?pool:Runner.t ->
+  ?policy:Supervisor.policy ->
   ?scale:float ->
   ?seed:int ->
   ?rtts:float list ->

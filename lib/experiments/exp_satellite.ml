@@ -33,7 +33,7 @@ let tasks ?(scale = 1.) ?(seed = 42) ?(buffers = default_buffers) () =
     (fun buffer ->
       List.map
         (fun (name, spec) ->
-          Exp_common.task
+          Exp_common.task ~seed
             ~label:(Printf.sprintf "fig6/%s/buf=%d" name buffer)
             (fun () ->
               ( buffer,
@@ -43,16 +43,27 @@ let tasks ?(scale = 1.) ?(seed = 42) ?(buffers = default_buffers) () =
     buffers
 
 let collect results =
-  List.map
+  let v = function Some (_, x) -> x | None -> Float.nan in
+  List.filter_map
     (function
-      | [ (buffer, pcc); (_, hybla); (_, illinois); (_, cubic); (_, newreno) ]
-        ->
-        { buffer; pcc; hybla; illinois; cubic; newreno }
+      | [ p; h; i; c; n ] as group -> (
+        match Exp_common.present group with
+        | [] -> None
+        | (buffer, _) :: _ ->
+          Some
+            {
+              buffer;
+              pcc = v p;
+              hybla = v h;
+              illinois = v i;
+              cubic = v c;
+              newreno = v n;
+            })
       | _ -> invalid_arg "Exp_satellite.collect: 5 measurements per buffer")
     (Exp_common.chunk (List.length (specs ())) results)
 
-let run ?pool ?scale ?seed ?buffers () =
-  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ?buffers ()))
+let run ?pool ?policy ?scale ?seed ?buffers () =
+  collect (Exp_common.run_tasks_opt ?pool ?policy (tasks ?scale ?seed ?buffers ()))
 
 let table rows =
   Exp_common.

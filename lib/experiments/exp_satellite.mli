@@ -22,10 +22,11 @@ val tasks :
   unit ->
   (int * float) Exp_common.task list
 
-val collect : (int * float) list -> row list
+val collect : (int * float) option list -> row list
 
 val run :
   ?pool:Runner.t ->
+  ?policy:Supervisor.policy ->
   ?scale:float ->
   ?seed:int ->
   ?buffers:int list ->

@@ -75,7 +75,7 @@ let tasks ?(scale = 1.) ?(seed = 42) ?trials () =
     (fun (label, spec) ->
       List.init trials (fun i ->
           let trial_seed = seed + (101 * i) in
-          Exp_common.task
+          Exp_common.task ~seed:trial_seed
             ~label:(Printf.sprintf "tradeoff/%s/trial=%d" label i)
             (fun () ->
               let ct, sd = single ~seed:trial_seed ~horizon spec in
@@ -83,7 +83,7 @@ let tasks ?(scale = 1.) ?(seed = 42) ?trials () =
     (configs ())
 
 let collect samples =
-  Exp_common.group_by (fun s -> s.s_label) samples
+  Exp_common.group_by (fun s -> s.s_label) (Exp_common.present samples)
   |> List.map (fun (label, cell) ->
          let cts = List.filter_map (fun s -> s.s_ct) cell in
          {
@@ -94,8 +94,8 @@ let collect samples =
            stddev = Stats.mean (Array.of_list (List.map (fun s -> s.s_sd) cell));
          })
 
-let run ?pool ?scale ?seed ?trials () =
-  collect (Exp_common.run_tasks ?pool (tasks ?scale ?seed ?trials ()))
+let run ?pool ?policy ?scale ?seed ?trials () =
+  collect (Exp_common.run_tasks_opt ?pool ?policy (tasks ?scale ?seed ?trials ()))
 
 let table points =
   Exp_common.

@@ -28,11 +28,12 @@ val tasks :
 (** One simulation per (configuration, trial). Trial seeds are a pure
     function of [seed] and the trial index. *)
 
-val collect : sample list -> point list
+val collect : sample option list -> point list
 (** Averages trials per configuration, preserving configuration order. *)
 
 val run :
   ?pool:Runner.t ->
+  ?policy:Supervisor.policy ->
   ?scale:float ->
   ?seed:int ->
   ?trials:int ->

@@ -101,6 +101,11 @@ let execute t time f =
       raise (Livelock { time; events = t.stall_count; kind = Stall })
   end;
   t.executed <- t.executed + 1;
+  (* Supervision guard (deadline / event ceiling / heartbeat). Placed
+     before the callback so a limit raises out of [run] naked rather
+     than wrapped in [Event_error]; like the trace test below, inactive
+     guards cost one atomic load and a branch. *)
+  if Task_guard.active () then Task_guard.on_event ();
   (* Dispatch span for the trace layer. The [enabled] test is the only
      cost an untraced run pays on this hottest of paths, and the record
      itself is mask-gated (engine category, off by default). *)

@@ -20,7 +20,12 @@
       advancing the clock. A watchdog counts events executed without the
       clock moving and raises {!Livelock} once the stall budget is
       exceeded, turning a hang into a diagnosable error. [run ~max_events]
-      additionally bounds the total number of events one call may execute. *)
+      additionally bounds the total number of events one call may execute.
+
+    When a {!Task_guard} is installed in the running domain, dispatch
+    additionally reports each event to it, so supervised tasks get
+    wall-clock deadlines and cross-engine event ceilings delivered as
+    exceptions from inside {!run} (see {!Task_guard}). *)
 
 type t
 (** A simulation engine. *)

@@ -20,6 +20,11 @@ let split t =
 
 let copy t = { state = t.state }
 
+(* Explicit state capture for checkpointing: the full generator state
+   is one int64, serialized field-by-field by Persist (never Marshal). *)
+let state t = t.state
+let of_state s = { state = s }
+
 let int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Keep 62 bits so the value fits OCaml's 63-bit native int and stays

@@ -21,6 +21,15 @@ val copy : t -> t
 (** [copy t] duplicates the current state; the copy replays the same
     stream. *)
 
+val state : t -> int64
+(** The complete generator state, for explicit checkpointing (see
+    {!Persist}). [of_state (state t)] replays [t]'s future stream
+    exactly. *)
+
+val of_state : int64 -> t
+(** Rebuild a generator from a {!state} capture. Unlike {!create}, the
+    value is used verbatim (no seeding mix). *)
+
 val bits64 : t -> int64
 (** [bits64 t] is the next raw 64-bit output. *)
 

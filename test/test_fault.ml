@@ -74,6 +74,32 @@ let test_chaos_kind_pool () =
       | _ -> Alcotest.fail "kind outside the pool")
     sched
 
+(* A pinned chaos(seed=42) schedule: the generator feeds reproduction
+   commands and CI chaos runs, so a drift in its draw order silently
+   changes every "same seed" rerun. Regenerate the strings below only on
+   a deliberate, versioned change to the generator. *)
+let chaos_42_golden =
+  [
+    "jitter-burst 7ms 1.10s 9.5332 10.6292";
+    "blackout 0.92s 34.3971 35.3161";
+    "bw-flap x0.20 4x1.26s 40.1458 45.2035";
+    "jitter-burst 6ms 2.71s 60.7154 63.4233";
+    "jitter-burst 6ms 2.33s 67.7742 70.1032";
+    "reordering p=0.11 +32ms 1.93s 76.1779 78.1084";
+    "bw-flap x0.36 3x1.45s 97.3668 101.7216";
+    "bw-flap x0.18 3x0.87s 106.0829 108.6892";
+  ]
+
+let test_chaos_seed_stability_golden () =
+  let sched = Fault.chaos ~rng:(Rng.create 42) ~rate:0.2 ~duration:120. () in
+  let got =
+    List.map
+      (fun (label, t0, t1) -> Printf.sprintf "%s %.4f %.4f" label t0 t1)
+      (Fault.windows sched)
+  in
+  Alcotest.(check (list string))
+    "chaos(seed=42, rate=0.2, 120s) schedule is frozen" chaos_42_golden got
+
 (* ------------------------------------------------------------------ *)
 (* Injection and restoration *)
 
@@ -106,6 +132,56 @@ let test_reverse_blackhole_restores_baseline () =
   Engine.run ~until:2. engine;
   Alcotest.(check (float 1e-9)) "baseline ack loss restored" 0.1
     (Path.rev_loss path)
+
+let test_zero_duration_fault_is_a_net_noop () =
+  (* Onset and restoration land on the same timestamp; FIFO tie-break
+     runs them in that order, so a zero-duration fault must leave every
+     knob at its baseline and never wedge the link. *)
+  let engine, path = build_path () in
+  let link = Path.bottleneck path in
+  Alcotest.(check (pair (float 1e-9) (float 1e-9)))
+    "zero-duration window is a point" (1., 1.)
+    (Fault.window (Fault.at 1. (Fault.Blackout { duration = 0. })));
+  Fault.inject_path path
+    [
+      Fault.at 1. (Fault.Blackout { duration = 0. });
+      Fault.at 2. (Fault.Jitter_burst { duration = 0.; jitter = 0.01 });
+      Fault.at 3. (Fault.Loss_burst { duration = 0.; loss = 0.9 });
+    ];
+  Engine.run ~until:6. engine;
+  Alcotest.(check (float 1e-9)) "loss back at baseline" 0.
+    (Pcc_net.Link.loss link);
+  Alcotest.(check (float 1e-9)) "jitter back at baseline" 0.
+    (Pcc_net.Link.jitter link);
+  Alcotest.(check bool) "flow kept moving" true
+    (Path.goodput_bytes (Path.flows path).(0) > 0)
+
+let test_overlapping_bursts_on_same_link () =
+  (* Two loss bursts overlapping on one link: the documented semantics
+     are last-restorer-wins. Burst B snapshots the knob mid-burst-A, so
+     after both windows close the link is left at A's loss — pin that,
+     and the intermediate states, so a change to the snapshot discipline
+     cannot slip in silently. *)
+  let engine, path = build_path () in
+  let link = Path.bottleneck path in
+  Pcc_net.Link.set_loss link 0.01;
+  Fault.inject_path path
+    [
+      Fault.at 1. (Fault.Loss_burst { duration = 2.; loss = 0.3 });
+      Fault.at 2. (Fault.Loss_burst { duration = 2.; loss = 0.5 });
+    ];
+  Engine.run ~until:1.5 engine;
+  Alcotest.(check (float 1e-9)) "burst A active" 0.3 (Pcc_net.Link.loss link);
+  Engine.run ~until:2.5 engine;
+  Alcotest.(check (float 1e-9)) "burst B overrides" 0.5
+    (Pcc_net.Link.loss link);
+  Engine.run ~until:3.5 engine;
+  Alcotest.(check (float 1e-9)) "A's restore resets to its snapshot" 0.01
+    (Pcc_net.Link.loss link);
+  Engine.run ~until:4.5 engine;
+  Alcotest.(check (float 1e-9))
+    "B's restore wins last, leaving A's mid-burst loss" 0.3
+    (Pcc_net.Link.loss link)
 
 let test_partition_targets_one_hop () =
   let engine = Engine.create () in
@@ -306,6 +382,12 @@ let suites =
         Alcotest.test_case "schedule helpers" `Quick test_schedule_helpers;
         Alcotest.test_case "chaos determinism" `Quick test_chaos_deterministic;
         Alcotest.test_case "chaos kind pool" `Quick test_chaos_kind_pool;
+        Alcotest.test_case "chaos seed-stability golden" `Quick
+          test_chaos_seed_stability_golden;
+        Alcotest.test_case "zero-duration fault is a net no-op" `Quick
+          test_zero_duration_fault_is_a_net_noop;
+        Alcotest.test_case "overlapping bursts on one link" `Quick
+          test_overlapping_bursts_on_same_link;
         Alcotest.test_case "episode restoration" `Quick
           test_inject_restores_episodes;
         Alcotest.test_case "reverse blackhole restoration" `Quick

@@ -209,6 +209,322 @@ let test_tables_byte_identical_across_jobs () =
             (rendered_game ~pool ())))
     [ 1; 2; 8 ]
 
+(* ------------------------------------------------------------------ *)
+(* Supervisor: sweeps survive hangs and crashes with partial results. *)
+
+let temp_dir prefix =
+  let f = Filename.temp_file prefix "" in
+  Sys.remove f;
+  Sys.mkdir f 0o755;
+  f
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* An engine that reschedules itself forever: only the in-band Task_guard
+   (deadline or event ceiling) gets out of [Engine.run]. *)
+let engine_hang () =
+  let engine = Pcc_sim.Engine.create () in
+  let rec tick () = ignore (Pcc_sim.Engine.schedule_in engine ~after:1e-3 tick) in
+  tick ();
+  Pcc_sim.Engine.run engine;
+  -1
+
+let status_at (r : Supervisor.report) i = r.Supervisor.outcomes.(i).status
+
+let test_gauntlet_partial_results () =
+  let dir = temp_dir "pcc-gauntlet" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let tasks =
+    [
+      Exp_common.task ~label:"ok-before" (fun () -> 10);
+      Exp_common.task ~label:"hang" engine_hang;
+      Exp_common.task ~label:"crash" ~repro:"pcc_sim exp crash" (fun () ->
+          failwith "gauntlet: injected crash");
+      Exp_common.task ~label:"ok-after" (fun () -> 20);
+    ]
+  in
+  let policy =
+    {
+      Supervisor.default_policy with
+      jobs = 2;
+      deadline = Some 0.3;
+      forensics_dir = Some dir;
+      forensic_trace = true;
+    }
+  in
+  let results, report = Supervisor.run ~policy tasks in
+  Alcotest.(check (list (option int)))
+    "healthy tasks complete around the failures"
+    [ Some 10; None; None; Some 20 ]
+    results;
+  Alcotest.(check (list int))
+    "counts: total/ok/timed_out/crashed"
+    [ 4; 2; 1; 1 ]
+    [ report.total; report.ok; report.timed_out; report.crashed ];
+  (match status_at report 1 with
+  | Supervisor.Timed_out { attempts = 1 } -> ()
+  | s -> Alcotest.failf "hang should time out, got %s" (Supervisor.status_name s));
+  (match status_at report 2 with
+  | Supervisor.Crashed f ->
+    Alcotest.(check bool) "crash text recorded" true
+      (contains f.Supervisor.exn_text "injected crash")
+  | s -> Alcotest.failf "crash should crash, got %s" (Supervisor.status_name s));
+  Alcotest.(check bool) "report failed" true (Supervisor.failed report);
+  let line = Supervisor.summary_line report in
+  Alcotest.(check bool) "summary names the hang" true (contains line "hang");
+  Alcotest.(check bool) "summary names the crash" true (contains line "crash");
+  (* Both failures leave forensics bundles with a report and a trace. *)
+  Array.iter
+    (fun (o : Supervisor.outcome) ->
+      if Supervisor.is_failure o.status then
+        match o.forensics with
+        | None -> Alcotest.failf "no forensics bundle for %s" o.label
+        | Some d ->
+          List.iter
+            (fun f ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s has %s" o.label f)
+                true
+                (Sys.file_exists (Filename.concat d f)))
+            [ "report.txt"; "trace.json"; "decisions.log" ])
+    report.outcomes;
+  Supervisor.reset_failures ()
+
+let test_watchdog_abandons_non_engine_hang () =
+  (* A spin loop never dispatches engine events, so the in-band guard is
+     silent and only the out-of-band watchdog can classify the hang. *)
+  let release = Atomic.make false in
+  let spinner () =
+    while not (Atomic.get release) do
+      Domain.cpu_relax ()
+    done;
+    -1
+  in
+  let tasks =
+    [
+      Exp_common.task ~label:"ok-a" (fun () -> 1);
+      Exp_common.task ~label:"spin" spinner;
+      Exp_common.task ~label:"ok-b" (fun () -> 2);
+    ]
+  in
+  let policy =
+    {
+      Supervisor.default_policy with
+      jobs = 2;
+      deadline = Some 0.2;
+      grace = 0.2;
+      poll = 0.05;
+    }
+  in
+  let results, report = Supervisor.run ~policy tasks in
+  (* Unwedge the abandoned domain so the process can exit cleanly. *)
+  Atomic.set release true;
+  Alcotest.(check (list (option int)))
+    "spin abandoned, neighbours complete"
+    [ Some 1; None; Some 2 ]
+    results;
+  (match status_at report 1 with
+  | Supervisor.Timed_out _ -> ()
+  | s ->
+    Alcotest.failf "watchdog should time the spinner out, got %s"
+      (Supervisor.status_name s));
+  Supervisor.reset_failures ()
+
+let test_retry_then_success () =
+  let attempts = Atomic.make 0 in
+  let flaky () =
+    if Atomic.fetch_and_add attempts 1 < 2 then failwith "flaky" else 42
+  in
+  let policy =
+    {
+      Supervisor.default_policy with
+      retries = 3;
+      backoff = 0.;
+      transient = (fun _ -> true);
+    }
+  in
+  let results, report =
+    Supervisor.run ~policy [ Exp_common.task ~label:"flaky" flaky ]
+  in
+  Alcotest.(check (list (option int))) "succeeds eventually" [ Some 42 ] results;
+  Alcotest.(check int) "counted as retried, not ok" 1 report.Supervisor.retried;
+  Alcotest.(check int) "three attempts ran" 3 (Atomic.get attempts);
+  (match status_at report 0 with
+  | Supervisor.Completed { retries = 2 } -> ()
+  | s -> Alcotest.failf "expected 2 retries, got %s" (Supervisor.status_name s));
+  Alcotest.(check int) "both failures kept" 2
+    (List.length report.Supervisor.outcomes.(0).Supervisor.failures);
+  Alcotest.(check bool) "retried-to-success is not a failure" false
+    (Supervisor.failed report)
+
+let test_quarantine_after_retry_exhaustion () =
+  let attempts = Atomic.make 0 in
+  let doomed () =
+    ignore (Atomic.fetch_and_add attempts 1);
+    failwith "always down"
+  in
+  let policy =
+    {
+      Supervisor.default_policy with
+      retries = 2;
+      backoff = 0.;
+      transient = (fun _ -> true);
+    }
+  in
+  let results, report =
+    Supervisor.run ~policy [ Exp_common.task ~label:"doomed" doomed ]
+  in
+  Alcotest.(check (list (option int))) "no result" [ None ] results;
+  Alcotest.(check int) "1 + 2 retries" 3 (Atomic.get attempts);
+  (match status_at report 0 with
+  | Supervisor.Quarantined { attempts = 3; _ } -> ()
+  | s -> Alcotest.failf "expected quarantine, got %s" (Supervisor.status_name s));
+  Supervisor.reset_failures ()
+
+let test_timeouts_never_retried () =
+  (* Even a policy that declares everything transient must not re-run a
+     task that blew its event ceiling: timeouts are deterministic. *)
+  let policy =
+    {
+      Supervisor.default_policy with
+      retries = 3;
+      backoff = 0.;
+      transient = (fun _ -> true);
+      max_events = Some 1_000;
+    }
+  in
+  let _, report =
+    Supervisor.run ~policy [ Exp_common.task ~label:"hog" engine_hang ]
+  in
+  (match status_at report 0 with
+  | Supervisor.Timed_out { attempts = 1 } -> ()
+  | s ->
+    Alcotest.failf "ceiling should give one timed-out attempt, got %s"
+      (Supervisor.status_name s));
+  Supervisor.reset_failures ()
+
+let test_non_transient_crash_not_retried () =
+  let attempts = Atomic.make 0 in
+  let policy = { Supervisor.default_policy with retries = 3; backoff = 0. } in
+  let _, report =
+    Supervisor.run ~policy
+      [
+        Exp_common.task ~label:"fatal" (fun () ->
+            ignore (Atomic.fetch_and_add attempts 1);
+            failwith "fatal");
+      ]
+  in
+  Alcotest.(check int) "default transient retries nothing" 1
+    (Atomic.get attempts);
+  (match status_at report 0 with
+  | Supervisor.Crashed _ -> ()
+  | s -> Alcotest.failf "expected crashed, got %s" (Supervisor.status_name s));
+  Supervisor.reset_failures ()
+
+let test_empty_sweep () =
+  let results, report = Supervisor.run [] in
+  Alcotest.(check int) "no results" 0 (List.length results);
+  Alcotest.(check int) "empty report" 0 report.Supervisor.total;
+  Alcotest.(check bool) "not failed" false (Supervisor.failed report)
+
+(* Rendered tables are byte-identical whether the sweep runs inline or
+   across supervised worker domains. *)
+let test_supervised_tables_byte_identical () =
+  let render jobs =
+    let policy = { Supervisor.default_policy with jobs } in
+    Exp_common.render_table
+      (Exp_loss.table
+         (Exp_loss.run ~policy ~scale:0.02 ~seed:11 ~losses:[ 0.0; 0.02 ] ()))
+  in
+  let seq = rendered_loss () in
+  Alcotest.(check string) "supervised jobs=1 = plain sequential" seq (render 1);
+  Alcotest.(check string) "supervised jobs=4 = plain sequential" seq (render 4)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint: versioned frames, truncation tolerance, identity. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let with_ckpt f =
+  let path = Filename.temp_file "pcc-ckpt" ".bin" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () -> f path
+
+let test_checkpoint_roundtrip () =
+  with_ckpt @@ fun path ->
+  let meta =
+    { Checkpoint.seed = 7; scale = 0.25; names = [ "fig7"; "fig9" ] }
+  in
+  let t = Checkpoint.create ~path meta in
+  Checkpoint.append t ~name:"fig7" ~output:"table one\nrow \xff\x00 bytes\n";
+  Checkpoint.append t ~name:"fig9" ~output:"";
+  Checkpoint.close t;
+  let m, recs = Checkpoint.load ~path in
+  Alcotest.(check bool) "meta matches the sweep" true
+    (Checkpoint.matches m ~seed:7 ~scale:0.25 ~names:[ "fig7"; "fig9" ]);
+  Alcotest.(check bool) "different seed refused" false
+    (Checkpoint.matches m ~seed:8 ~scale:0.25 ~names:[ "fig7"; "fig9" ]);
+  Alcotest.(check bool) "different selection refused" false
+    (Checkpoint.matches m ~seed:7 ~scale:0.25 ~names:[ "fig7" ]);
+  Alcotest.(check (list (pair string string)))
+    "records round-trip byte-exactly"
+    [ ("fig7", "table one\nrow \xff\x00 bytes\n"); ("fig9", "") ]
+    recs
+
+let test_checkpoint_truncation_drops_only_tail () =
+  with_ckpt @@ fun path ->
+  let meta = { Checkpoint.seed = 1; scale = 1.; names = [ "a"; "b" ] } in
+  let t = Checkpoint.create ~path meta in
+  Checkpoint.append t ~name:"a" ~output:"first output";
+  let after_first = String.length (read_file path) in
+  Checkpoint.append t ~name:"b" ~output:"second output";
+  Checkpoint.close t;
+  let full = read_file path in
+  (* Kill the writer anywhere inside the second frame: the first record
+     must still load, without an exception. *)
+  List.iter
+    (fun len ->
+      write_file path (String.sub full 0 len);
+      let _, recs = Checkpoint.load ~path in
+      Alcotest.(check (list (pair string string)))
+        (Printf.sprintf "truncated to %d bytes keeps first record" len)
+        [ ("a", "first output") ]
+        recs)
+    [ String.length full - 1; after_first + 3; after_first ];
+  (* Truncating into the header frame is corruption, not a clean resume. *)
+  write_file path (String.sub full 0 4);
+  Alcotest.(check bool) "header torn -> Corrupt" true
+    (match Checkpoint.load ~path with
+    | _ -> false
+    | exception Pcc_sim.Persist.Corrupt _ -> true)
+
+let test_checkpoint_rejects_foreign_file () =
+  with_ckpt @@ fun path ->
+  write_file path "not a checkpoint at all, just prose long enough to read";
+  Alcotest.(check bool) "bad magic -> Corrupt" true
+    (match Checkpoint.load ~path with
+    | _ -> false
+    | exception Pcc_sim.Persist.Corrupt _ -> true)
+
 let suites =
   [
     ( "event_heap.live_count",
@@ -239,5 +555,31 @@ let suites =
       [
         Alcotest.test_case "tables byte-identical jobs 1/2/8" `Slow
           test_tables_byte_identical_across_jobs;
+      ] );
+    ( "supervisor",
+      [
+        Alcotest.test_case "gauntlet: hang+crash, partial results" `Quick
+          test_gauntlet_partial_results;
+        Alcotest.test_case "watchdog abandons non-engine hang" `Quick
+          test_watchdog_abandons_non_engine_hang;
+        Alcotest.test_case "retry then success" `Quick test_retry_then_success;
+        Alcotest.test_case "quarantine on retry exhaustion" `Quick
+          test_quarantine_after_retry_exhaustion;
+        Alcotest.test_case "timeouts never retried" `Quick
+          test_timeouts_never_retried;
+        Alcotest.test_case "non-transient crash not retried" `Quick
+          test_non_transient_crash_not_retried;
+        Alcotest.test_case "empty sweep" `Quick test_empty_sweep;
+        Alcotest.test_case "supervised tables byte-identical jobs 1/4" `Slow
+          test_supervised_tables_byte_identical;
+      ] );
+    ( "checkpoint",
+      [
+        Alcotest.test_case "roundtrip + identity" `Quick
+          test_checkpoint_roundtrip;
+        Alcotest.test_case "truncation drops only the torn tail" `Quick
+          test_checkpoint_truncation_drops_only_tail;
+        Alcotest.test_case "foreign file rejected" `Quick
+          test_checkpoint_rejects_foreign_file;
       ] );
   ]
