@@ -11,40 +11,9 @@ open Pcc_sim
 open Pcc_scenario
 
 let transport_of_string s =
-  match String.lowercase_ascii s with
-  | "pcc" -> Ok (Transport.pcc ())
-  | "pcc-latency" ->
-    Ok
-      (Transport.pcc
-         ~config:
-           (Pcc_core.Pcc_sender.config_with
-              ~utility:(Pcc_core.Utility.latency ())
-              ())
-         ())
-  | "pcc-resilient" ->
-    Ok
-      (Transport.pcc
-         ~config:
-           (Pcc_core.Pcc_sender.config_with
-              ~utility:(Pcc_core.Utility.loss_resilient ())
-              ())
-         ())
-  | "pcc-vivace" ->
-    Ok
-      (Transport.pcc
-         ~config:
-           (Pcc_core.Pcc_sender.config_with
-              ~utility:(Pcc_core.Utility.vivace ())
-              ())
-         ())
-  | "sabul" -> Ok Transport.sabul
-  | "pcp" -> Ok Transport.pcp
-  | s when String.length s > 6 && String.sub s 0 6 = "paced-" ->
-    let v = String.sub s 6 (String.length s - 6) in
-    if List.mem v Pcc_tcp.Registry.variants then Ok (Transport.tcp_paced v)
-    else Error (`Msg ("unknown TCP variant " ^ v))
-  | s when List.mem s Pcc_tcp.Registry.variants -> Ok (Transport.tcp s)
-  | s -> Error (`Msg ("unknown transport " ^ s))
+  match Transport.of_name s with
+  | Ok t -> Ok t
+  | Error msg -> Error (`Msg msg)
 
 let transport_conv =
   let parse s = transport_of_string s in
@@ -675,12 +644,78 @@ let exp_cmd names scale seed jobs dump_dir trace_out list_exps deadline
                 (String.concat ", " names)
                 suffix forensics )))
 
+(* ------------------------------------------------------------------ *)
+(* Scenario fuzzing *)
+
+let fuzz_cmd runs seed corpus deep_every shrink_budget replay replay_dir =
+  Pcc_experiments.Cli_validate.(
+    guarded
+      [
+        non_negative_i "--runs" runs;
+        non_negative_i "--deep-every" deep_every;
+        non_negative_i "--shrink-budget" shrink_budget;
+      ])
+  @@ fun () ->
+  match
+    try Ok (Pcc_fuzz.Driver.synth_of_env ())
+    with Invalid_argument m -> Error m
+  with
+  | Error m -> `Error (false, "error: " ^ m)
+  | Ok synth_opt -> (
+    let synth = Option.value synth_opt ~default:(fun _ -> None) in
+    match (replay, replay_dir) with
+    | Some path, _ -> (
+      match Pcc_fuzz.Driver.replay ~synth path with
+      | Ok () ->
+        Printf.printf "replay %s: all oracles pass\n" path;
+        `Ok ()
+      | Error f ->
+        `Error
+          ( false,
+            Printf.sprintf "error: replay %s fails %s: %s" path
+              f.Pcc_fuzz.Oracle.oracle f.Pcc_fuzz.Oracle.detail )
+      | exception Failure m -> `Error (false, "error: " ^ m)
+      | exception Persist.Corrupt m ->
+        `Error (false, "error: corrupt repro: " ^ m)
+      | exception Sys_error m -> `Error (false, "error: " ^ m))
+    | None, Some dir -> (
+      match Pcc_fuzz.Driver.replay_dir ~synth ~log:print_endline dir with
+      | [] ->
+        Printf.printf "corpus %s: all repros pass\n" dir;
+        `Ok ()
+      | failing ->
+        `Error
+          ( false,
+            Printf.sprintf "error: %d corpus repro(s) still fail"
+              (List.length failing) )
+      | exception Failure m -> `Error (false, "error: " ^ m)
+      | exception Persist.Corrupt m ->
+        `Error (false, "error: corrupt repro: " ^ m)
+      | exception Sys_error m -> `Error (false, "error: " ^ m))
+    | None, None -> (
+      let summary =
+        Pcc_fuzz.Driver.fuzz ~synth ~deep_every ~shrink_budget
+          ?corpus_dir:corpus ~log:print_endline ~runs ~seed ()
+      in
+      match summary.Pcc_fuzz.Driver.failed with
+      | [] -> `Ok ()
+      | failed ->
+        let oracles =
+          List.map
+            (fun (r : Pcc_fuzz.Driver.failure_report) ->
+              Printf.sprintf "run %d (%s)" r.Pcc_fuzz.Driver.run
+                r.Pcc_fuzz.Driver.failure.Pcc_fuzz.Oracle.oracle)
+            failed
+        in
+        `Error
+          ( false,
+            Printf.sprintf "error: %d/%d fuzz run(s) failed: %s"
+              (List.length failed) runs
+              (String.concat ", " oracles) )))
+
 let list_cmd () =
   Printf.printf "transports:\n";
-  List.iter (Printf.printf "  %s\n")
-    ([ "pcc"; "pcc-latency"; "pcc-resilient"; "pcc-vivace"; "sabul"; "pcp" ]
-    @ Pcc_tcp.Registry.variants
-    @ List.map (fun v -> "paced-" ^ v) Pcc_tcp.Registry.variants);
+  List.iter (Printf.printf "  %s\n") Transport.all_names;
   Printf.printf "queues:\n  droptail codel red infinite fq fq-codel\n";
   `Ok ()
 
@@ -974,6 +1009,67 @@ let trace_term =
      $ trace_duration_arg $ seed_arg $ out_arg $ capacity_arg
      $ categories_arg $ probe_arg))
 
+let fuzz_term =
+  let runs_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "runs" ] ~docv:"N" ~doc:"Random scenarios to generate and test.")
+  in
+  let fuzz_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Master seed; each run derives its own. The whole campaign — \
+             scenarios, oracle verdicts, shrinking, output — is a pure \
+             function of ($(b,--seed), $(b,--runs)).")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Bank a minimized self-contained repro file for every failure \
+             into $(docv) (created if missing).")
+  in
+  let deep_every_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "deep-every" ] ~docv:"N"
+          ~doc:
+            "Run the expensive supervisor/checkpoint differentials on every \
+             $(docv)th scenario (0 disables them).")
+  in
+  let shrink_budget_arg =
+    Arg.(
+      value & opt int 300
+      & info [ "shrink-budget" ] ~docv:"N"
+          ~doc:"Oracle invocations the minimizer may spend per failure.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay one repro file under the full oracle suite instead of \
+             fuzzing; exits 0 when every oracle passes.")
+  in
+  let replay_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay-dir" ] ~docv:"DIR"
+          ~doc:
+            "Replay every $(b,.repro) file in $(docv); exits 0 when the \
+             whole corpus passes.")
+  in
+  Term.(
+    ret
+      (const fuzz_cmd $ runs_arg $ fuzz_seed_arg $ corpus_arg $ deep_every_arg
+     $ shrink_budget_arg $ replay_arg $ replay_dir_arg))
+
 let cmds =
   [
     Cmd.v
@@ -1006,6 +1102,13 @@ let cmds =
     Cmd.v
       (Cmd.info "game" ~doc:"Run the Sec. 2.2 game dynamics (Theorems 1-2)")
       game_term;
+    Cmd.v
+      (Cmd.info "fuzz"
+         ~doc:
+           "Generate random scenarios, test them against invariant and \
+            differential oracles, and minimize any failure into a replayable \
+            repro file")
+      fuzz_term;
     Cmd.v
       (Cmd.info "list" ~doc:"List transports and queue disciplines")
       Term.(ret (const list_cmd $ const ()));

@@ -51,7 +51,11 @@ let tasks ?(seed = 42) ?(ns = [ 2; 3; 5; 10; 20 ]) () =
         let l = Game.loss ~c x in
         (x.(i) *. (1. -. l)) -. (x.(i) *. l)
       in
-      let naive_final, _ = Game.run_with ~u:naive_u (Array.copy x0) in
+      let naive_final, naive_steps = Game.run_with ~u:naive_u (Array.copy x0) in
+      (* The fluid model runs no engine, so its work is invisible to
+         [Engine.total_executed] unless reported: count one work item
+         per sender-rate update so bench event counts stay meaningful. *)
+      Pcc_sim.Engine.count_external ((max_steps + naive_steps) * n);
       {
         n;
         steps;

@@ -1,0 +1,131 @@
+open Pcc_scenario
+
+type repro = { oracle : string; detail : string; scenario : Scenario.t }
+
+let header = "pcc-fuzz-repro v1"
+
+(* FNV-1a, 64-bit: a stable content hash with no dependencies. *)
+let fnv1a s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  !h
+
+let oracle_slug oracle =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' -> c | _ -> '-')
+    oracle
+
+let filename r =
+  let blob = Scenario.to_string r.scenario in
+  Printf.sprintf "fuzz-%s-%08Lx.repro" (oracle_slug r.oracle)
+    (Int64.logand (fnv1a blob) 0xffffffffL)
+
+let hex_encode s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iteri
+    (fun i c ->
+      Buffer.add_string b (Printf.sprintf "%02x" (Char.code c));
+      if i mod 32 = 31 then Buffer.add_char b '\n')
+    s;
+  let out = Buffer.contents b in
+  if String.length out > 0 && out.[String.length out - 1] <> '\n' then
+    out ^ "\n"
+  else out
+
+let hex_decode s =
+  let digits = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> Buffer.add_char digits c
+      | ' ' | '\n' | '\t' | '\r' -> ()
+      | c -> failwith (Printf.sprintf "repro: bad hex character %C" c))
+    s;
+  let d = Buffer.contents digits in
+  if String.length d mod 2 <> 0 then failwith "repro: odd hex length";
+  String.init
+    (String.length d / 2)
+    (fun i -> Char.chr (int_of_string ("0x" ^ String.sub d (2 * i) 2)))
+
+let one_line s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let to_string r =
+  let b = Buffer.create 512 in
+  Buffer.add_string b (header ^ "\n");
+  Buffer.add_string b (Printf.sprintf "# oracle: %s\n" (one_line r.oracle));
+  Buffer.add_string b (Printf.sprintf "# detail: %s\n" (one_line r.detail));
+  Buffer.add_string b
+    (Printf.sprintf "# scenario: %s\n" (one_line (Scenario.describe r.scenario)));
+  Buffer.add_string b
+    (Printf.sprintf "# replay: pcc_sim fuzz --replay %s\n" (filename r));
+  Buffer.add_string b (hex_encode (Scenario.to_string r.scenario));
+  Buffer.contents b
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  match lines with
+  | first :: rest when String.trim first = header ->
+    let oracle = ref "" and detail = ref "" in
+    let hex = Buffer.create 256 in
+    List.iter
+      (fun line ->
+        let line = String.trim line in
+        if line = "" then ()
+        else if String.length line > 0 && line.[0] = '#' then begin
+          let strip_prefix p =
+            if String.length line >= String.length p
+               && String.sub line 0 (String.length p) = p
+            then Some (String.sub line (String.length p)
+                         (String.length line - String.length p))
+            else None
+          in
+          match strip_prefix "# oracle: " with
+          | Some v -> oracle := v
+          | None -> (
+            match strip_prefix "# detail: " with
+            | Some v -> detail := v
+            | None -> (* scenario/replay headers are informational *) ())
+        end
+        else Buffer.add_string hex line)
+      rest;
+    if !oracle = "" then failwith "repro: missing '# oracle:' header";
+    let scenario = Scenario.of_string (hex_decode (Buffer.contents hex)) in
+    { oracle = !oracle; detail = !detail; scenario }
+  | _ -> failwith "repro: missing 'pcc-fuzz-repro v1' header line"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let save ~dir r =
+  mkdir_p dir;
+  let path = Filename.concat dir (filename r) in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string r));
+  path
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let load_dir dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".repro")
+    |> List.sort String.compare
+    |> List.map (fun f ->
+           let path = Filename.concat dir f in
+           (path, load path))

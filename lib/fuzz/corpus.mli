@@ -1,0 +1,36 @@
+(** Self-contained repro files and the regression corpus.
+
+    A repro is one text file carrying everything needed to re-run a
+    scenario that once failed an oracle: commented headers (the failing
+    oracle, its detail, a human-readable scenario summary and the exact
+    replay command) followed by the hex-encoded {!Pcc_scenario.Scenario}
+    binary encoding. Files land in a corpus directory —
+    [test/corpus/] for committed regressions, which [dune runtest]
+    replays — and are stable, diffable and greppable. *)
+
+type repro = {
+  oracle : string;  (** Oracle that failed when the repro was captured. *)
+  detail : string;
+  scenario : Pcc_scenario.Scenario.t;
+}
+
+val filename : repro -> string
+(** Content-addressed name, [fuzz-<oracle>-<hash>.repro]: an FNV-1a hash
+    of the scenario encoding, so re-finding the same minimized scenario
+    never duplicates a corpus entry. *)
+
+val to_string : repro -> string
+val of_string : string -> repro
+(** @raise Failure on a malformed file (bad header, bad hex) and
+    [Pcc_sim.Persist.Corrupt] on a corrupt scenario blob. *)
+
+val save : dir:string -> repro -> string
+(** Write the repro into [dir] (created if missing) under {!filename};
+    returns the path written. *)
+
+val load : string -> repro
+(** Read one repro file. *)
+
+val load_dir : string -> (string * repro) list
+(** Every [*.repro] file in the directory, sorted by name; [[]] if the
+    directory does not exist. *)

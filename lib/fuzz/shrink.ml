@@ -1,0 +1,232 @@
+open Pcc_scenario
+
+let drop_nth l n = List.filteri (fun i _ -> i <> n) l
+let first_half l = List.filteri (fun i _ -> i < List.length l / 2) l
+let second_half l = List.filteri (fun i _ -> i >= List.length l / 2) l
+
+let flow_extra (f : Scenario.flow) =
+  (if f.Scenario.stop_at <> None then 2 else 0)
+  + (if f.Scenario.size <> None then 2 else 0)
+  + (if f.Scenario.rev_route <> None then 4 else 0)
+  + (if f.Scenario.start_at <> 0. then 1 else 0)
+  + if f.Scenario.extra_rtt <> 0. then 1 else 0
+
+let link_extra (l : Scenario.link) =
+  (if l.Scenario.loss <> 0. then 1 else 0)
+  + (if l.Scenario.jitter <> 0. then 1 else 0)
+  + if l.Scenario.queue <> Topology.Droptail then 2 else 0
+
+(* Weights keep the measure well-founded under every pass: a structural
+   drop (flow 40, link 30) always outweighs the value extras it carries
+   (at most 10 resp. 4), and halving the duration drops its integer
+   part. *)
+let size (s : Scenario.t) =
+  (40 * List.length s.Scenario.flows)
+  + (30 * List.length s.Scenario.links)
+  + (8 * List.length s.Scenario.faults)
+  + (20 * List.length s.Scenario.cross)
+  + (match s.Scenario.dynamics with Some _ -> 20 | None -> 0)
+  + int_of_float s.Scenario.duration
+  + List.fold_left (fun acc f -> acc + flow_extra f) 0 s.Scenario.flows
+  + List.fold_left (fun acc l -> acc + link_extra l) 0 s.Scenario.links
+
+(* ---------------------------------------------------------------- *)
+(* Candidate passes, largest reductions first. Every candidate is
+   strictly smaller than its parent under [size]; structural validity
+   is not guaranteed — the acceptance check rejects candidates whose
+   failure changes oracle (including [build] rejections). *)
+
+let with_flows s flows = { s with Scenario.flows }
+let with_faults s faults = { s with Scenario.faults }
+
+let drop_flows_half (s : Scenario.t) =
+  if List.length s.Scenario.flows < 2 then []
+  else
+    [
+      with_flows s (first_half s.Scenario.flows);
+      with_flows s (second_half s.Scenario.flows);
+    ]
+
+let drop_flow_one (s : Scenario.t) =
+  List.mapi (fun i _ -> with_flows s (drop_nth s.Scenario.flows i)) s.Scenario.flows
+
+let drop_faults (s : Scenario.t) =
+  match s.Scenario.faults with
+  | [] -> []
+  | [ _ ] -> [ with_faults s [] ]
+  | fs ->
+    (with_faults s [] :: with_faults s (first_half fs)
+    :: with_faults s (second_half fs) :: [])
+    @ List.mapi (fun i _ -> with_faults s (drop_nth fs i)) fs
+
+let drop_cross (s : Scenario.t) =
+  List.mapi
+    (fun i _ -> { s with Scenario.cross = drop_nth s.Scenario.cross i })
+    s.Scenario.cross
+
+let drop_dynamics (s : Scenario.t) =
+  match s.Scenario.dynamics with
+  | None -> []
+  | Some _ -> [ { s with Scenario.dynamics = None } ]
+
+let round2 v = Float.round (v *. 100.) /. 100.
+
+let halve_duration (s : Scenario.t) =
+  if s.Scenario.duration < 1. then []
+  else [ { s with Scenario.duration = round2 (s.Scenario.duration /. 2.) } ]
+
+let rec route_edges = function
+  | a :: (b :: _ as rest) -> (a, b) :: route_edges rest
+  | _ -> []
+
+let used_edges (s : Scenario.t) =
+  List.concat_map
+    (fun (f : Scenario.flow) ->
+      route_edges f.Scenario.route
+      @ (match f.Scenario.rev_route with Some r -> route_edges r | None -> []))
+    s.Scenario.flows
+
+let drop_links (s : Scenario.t) =
+  if List.length s.Scenario.links < 2 then []
+  else
+    let used = used_edges s in
+    List.concat
+      (List.mapi
+         (fun i (l : Scenario.link) ->
+           let referenced =
+             List.mem (l.Scenario.src, l.Scenario.dst) used
+             || List.exists (fun c -> c.Scenario.cross_link = i) s.Scenario.cross
+             || (match s.Scenario.dynamics with
+                | Some d -> d.Scenario.dyn_link = i
+                | None -> false)
+             || List.exists
+                  (fun (e : Fault.event) ->
+                    match e.Fault.kind with
+                    | Fault.Partition { hop; _ } -> hop = i
+                    | _ -> false)
+                  s.Scenario.faults
+           in
+           if referenced then []
+           else
+             let remap j = if j > i then j - 1 else j in
+             [
+               {
+                 s with
+                 Scenario.links = drop_nth s.Scenario.links i;
+                 cross =
+                   List.map
+                     (fun c ->
+                       { c with Scenario.cross_link = remap c.Scenario.cross_link })
+                     s.Scenario.cross;
+                 dynamics =
+                   Option.map
+                     (fun d ->
+                       { d with Scenario.dyn_link = remap d.Scenario.dyn_link })
+                     s.Scenario.dynamics;
+                 faults =
+                   List.map
+                     (fun (e : Fault.event) ->
+                       match e.Fault.kind with
+                       | Fault.Partition { duration; hop } ->
+                         {
+                           e with
+                           Fault.kind =
+                             Fault.Partition { duration; hop = remap hop };
+                         }
+                       | _ -> e)
+                     s.Scenario.faults;
+               };
+             ])
+         s.Scenario.links)
+
+let simplify_flows (s : Scenario.t) =
+  List.concat
+    (List.mapi
+       (fun i (f : Scenario.flow) ->
+         let put f' = with_flows s (List.mapi (fun j g -> if j = i then f' else g) s.Scenario.flows) in
+         List.concat
+           [
+             (match f.Scenario.rev_route with
+             | Some _ -> [ put { f with Scenario.rev_route = None } ]
+             | None -> []);
+             (match f.Scenario.stop_at with
+             | Some _ -> [ put { f with Scenario.stop_at = None } ]
+             | None -> []);
+             (match f.Scenario.size with
+             | Some _ -> [ put { f with Scenario.size = None } ]
+             | None -> []);
+             (if f.Scenario.start_at <> 0. then
+                [ put { f with Scenario.start_at = 0. } ]
+              else []);
+             (if f.Scenario.extra_rtt <> 0. then
+                [ put { f with Scenario.extra_rtt = 0. } ]
+              else []);
+           ])
+       s.Scenario.flows)
+
+let simplify_links (s : Scenario.t) =
+  List.concat
+    (List.mapi
+       (fun i (l : Scenario.link) ->
+         let put l' =
+           {
+             s with
+             Scenario.links =
+               List.mapi (fun j m -> if j = i then l' else m) s.Scenario.links;
+           }
+         in
+         List.concat
+           [
+             (if l.Scenario.queue <> Topology.Droptail then
+                [ put { l with Scenario.queue = Topology.Droptail } ]
+              else []);
+             (if l.Scenario.loss <> 0. then
+                [ put { l with Scenario.loss = 0. } ]
+              else []);
+             (if l.Scenario.jitter <> 0. then
+                [ put { l with Scenario.jitter = 0. } ]
+              else []);
+           ])
+       s.Scenario.links)
+
+let passes =
+  [
+    drop_flows_half;
+    drop_flow_one;
+    drop_faults;
+    drop_cross;
+    drop_dynamics;
+    halve_duration;
+    drop_links;
+    simplify_flows;
+    simplify_links;
+  ]
+
+let minimize ?(budget = 300) ~check ~oracle s0 =
+  let checks = ref 0 in
+  let cur = ref s0 in
+  let accepts c =
+    size c < size !cur
+    && !checks < budget
+    && begin
+      incr checks;
+      match check c with
+      | Some (f : Oracle.failure) -> f.Oracle.oracle = oracle
+      | None -> false
+      | exception _ -> false
+    end
+  in
+  let progress = ref true in
+  while !progress && !checks < budget do
+    progress := false;
+    List.iter
+      (fun pass ->
+        if not !progress then
+          match List.find_opt accepts (pass !cur) with
+          | Some c ->
+            cur := c;
+            progress := true
+          | None -> ())
+      passes
+  done;
+  (!cur, !checks)

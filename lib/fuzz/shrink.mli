@@ -1,0 +1,37 @@
+(** Delta-debugging minimizer for failing scenarios.
+
+    Given a scenario on which some oracle failed, search for a smaller
+    scenario that fails the {e same} oracle — the repro a human actually
+    wants to read. Transformation passes, largest reductions first:
+
+    - drop flows (halves, then one at a time);
+    - drop fault events, cross-traffic sources and the dynamics driver;
+    - halve the duration;
+    - drop links no flow route, cross source, dynamics driver or
+      partition fault references (remapping the surviving indices);
+    - per-flow simplifications: clear [stop_at]/[size]/[rev_route],
+      zero [start_at]/[extra_rtt];
+    - per-link simplifications: zero [loss]/[jitter], revert the queue
+      discipline to droptail.
+
+    Each accepted step strictly shrinks a well-founded size measure, so
+    minimization terminates even without the check budget. Candidates
+    that fail a {e different} oracle (including [build] rejections of a
+    now-invalid structure) are not accepted. *)
+
+val size : Pcc_scenario.Scenario.t -> int
+(** The measure minimization decreases — components (flows, links,
+    fault/cross entries, optional features, nonzero knobs) weighted so
+    structural drops dominate value simplifications. *)
+
+val minimize :
+  ?budget:int ->
+  check:(Pcc_scenario.Scenario.t -> Oracle.failure option) ->
+  oracle:string ->
+  Pcc_scenario.Scenario.t ->
+  Pcc_scenario.Scenario.t * int
+(** [minimize ~check ~oracle s] greedily applies the passes until none
+    makes progress or [budget] (default 300) invocations of [check] are
+    spent; returns the minimized scenario and the number of checks used.
+    [s] itself is assumed to fail [oracle] and is returned unchanged if
+    nothing smaller reproduces it. *)

@@ -16,6 +16,51 @@ let name = function
   | Sabul -> "sabul"
   | Pcp -> "pcp"
 
+(* Name-indexed construction, shared by the CLI and the scenario
+   generator. The names here are the serialization vocabulary of
+   [Scenario]: every spec a generated scenario can carry must round-trip
+   through [of_name]. *)
+let of_name s =
+  match String.lowercase_ascii s with
+  | "pcc" -> Ok (pcc ())
+  | "pcc-latency" ->
+    Ok
+      (pcc
+         ~config:
+           (Pcc_core.Pcc_sender.config_with
+              ~utility:(Pcc_core.Utility.latency ())
+              ())
+         ())
+  | "pcc-resilient" ->
+    Ok
+      (pcc
+         ~config:
+           (Pcc_core.Pcc_sender.config_with
+              ~utility:(Pcc_core.Utility.loss_resilient ())
+              ())
+         ())
+  | "pcc-vivace" ->
+    Ok
+      (pcc
+         ~config:
+           (Pcc_core.Pcc_sender.config_with
+              ~utility:(Pcc_core.Utility.vivace ())
+              ())
+         ())
+  | "sabul" -> Ok sabul
+  | "pcp" -> Ok pcp
+  | s when String.length s > 6 && String.sub s 0 6 = "paced-" ->
+    let v = String.sub s 6 (String.length s - 6) in
+    if List.mem v Pcc_tcp.Registry.variants then Ok (tcp_paced v)
+    else Error ("unknown TCP variant " ^ v)
+  | s when List.mem s Pcc_tcp.Registry.variants -> Ok (tcp s)
+  | s -> Error ("unknown transport " ^ s)
+
+let all_names =
+  [ "pcc"; "pcc-latency"; "pcc-resilient"; "pcc-vivace"; "sabul"; "pcp" ]
+  @ Pcc_tcp.Registry.variants
+  @ List.map (fun v -> "paced-" ^ v) Pcc_tcp.Registry.variants
+
 let build engine ~rng ?size ?on_complete ?rtt_hint spec ~out =
   match spec with
   | Pcc config ->

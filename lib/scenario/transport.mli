@@ -20,6 +20,15 @@ val pcp : spec
 
 val name : spec -> string
 
+val of_name : string -> (spec, string) result
+(** The CLI/scenario-file vocabulary: ["pcc"], ["pcc-latency"],
+    ["pcc-resilient"], ["pcc-vivace"], ["sabul"], ["pcp"], any
+    {!Pcc_tcp.Registry} variant name, or ["paced-<variant>"]. The error
+    is a human-readable message. *)
+
+val all_names : string list
+(** Every name {!of_name} accepts, in a stable order. *)
+
 val build :
   Pcc_sim.Engine.t ->
   rng:Pcc_sim.Rng.t ->

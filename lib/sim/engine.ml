@@ -86,6 +86,9 @@ let global_executed = Atomic.make 0
 
 let total_executed () = Atomic.get global_executed
 
+let count_external n =
+  if n > 0 then ignore (Atomic.fetch_and_add global_executed n)
+
 (* Dispatch one already-popped event: advance the clock, police the
    stall budget, run the callback under the error policy. *)
 let execute t time f =

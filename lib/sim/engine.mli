@@ -100,6 +100,12 @@ val total_executed : unit -> int
     their contribution once per {!run}/{!step} call, so concurrent
     readers may lag an in-flight [run] by that call's events. *)
 
+val count_external : int -> unit
+(** Add [n] externally-executed work items to {!total_executed} —
+    for engine-free computations (e.g. the fluid-model game dynamics)
+    whose per-step updates would otherwise be invisible to benchmark
+    event counts. Thread-safe; non-positive [n] is ignored. *)
+
 val step : t -> bool
 (** [step t] executes the next event, if any; returns [false] when the
     queue is empty.

@@ -11,7 +11,10 @@
 # gates on whatever overlaps; the aggregate pools events and wall time
 # across the joined set so one tiny, noisy experiment cannot fail the
 # gate on its own. A markdown table goes to $GITHUB_STEP_SUMMARY when
-# that is set.
+# that is set. Experiments reporting zero events on either side (e.g. a
+# crashed run, or a computation the event counter cannot see) are listed
+# but excluded from the aggregate, since they contribute wall time with
+# no events and would skew the pooled events/sec arbitrarily.
 set -euo pipefail
 
 usage="usage: check_bench.sh BASELINE.json FRESH.json [MAX_REGRESSION]"
@@ -44,13 +47,26 @@ fi
 
 agg=$(jq -r --slurpfile b "$baseline" '
   ($b[0].experiments | map({(.name): .}) | add) as $base
-  | [ .experiments[] | select($base[.name] != null) ] as $common
-  | (([ $common[] | $base[.name].events ] | add)
-     / ([ $common[] | $base[.name].wall_s ] | add)) as $be
-  | (([ $common[] | .events ] | add)
-     / ([ $common[] | .wall_s ] | add)) as $fe
-  | "\($be) \($fe) \($fe / $be)"' "$fresh")
+  | [ .experiments[]
+      | select($base[.name] != null
+               and $base[.name].events > 0 and .events > 0) ] as $common
+  | if ($common | length) == 0 then "0 0 1"
+    else
+      (([ $common[] | $base[.name].events ] | add)
+       / ([ $common[] | $base[.name].wall_s ] | add)) as $be
+      | (([ $common[] | .events ] | add)
+         / ([ $common[] | .wall_s ] | add)) as $fe
+      | "\($be) \($fe) \($fe / $be)"
+    end' "$fresh")
 read -r base_eps fresh_eps ratio <<<"$agg"
+
+skipped=$(jq -r --slurpfile b "$baseline" '
+  ($b[0].experiments | map({(.name): .}) | add) as $base
+  | [ .experiments[]
+      | select($base[.name] != null
+               and ($base[.name].events == 0 or .events == 0))
+      | .name ]
+  | join(", ")' "$fresh")
 
 threshold=$(awk -v m="$max_reg" 'BEGIN { printf "%.4f", 1 - m }')
 ok=$(awk -v r="$ratio" -v t="$threshold" 'BEGIN { print (r >= t) ? "yes" : "no" }')
@@ -66,6 +82,10 @@ ok=$(awk -v r="$ratio" -v t="$threshold" 'BEGIN { print (r >= t) ? "yes" : "no" 
   printf '| **aggregate** | %.0f | %.0f | **%.2f** |\n' \
     "$base_eps" "$fresh_eps" "$ratio"
   echo ""
+  if [ -n "$skipped" ]; then
+    echo "Excluded from the aggregate (zero events): $skipped"
+    echo ""
+  fi
   if [ "$ok" = yes ]; then
     echo "Aggregate events/sec ratio $ratio ≥ $threshold: within budget."
   else

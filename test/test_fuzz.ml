@@ -1,0 +1,297 @@
+open Pcc_sim
+open Pcc_scenario
+open Pcc_fuzz
+
+(* The fuzzing harness tested on itself: generator validity, oracle
+   smoke, campaign determinism, synthetic shrink-and-repro pipeline,
+   corpus file roundtrips, and replay of the committed regression
+   corpus (test/corpus/). *)
+
+let gen seed = Scenario.generate ~rng:(Rng.create seed) ()
+
+(* A fresh directory path under the system temp dir; Corpus.save
+   creates it on first write. *)
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    let f = Filename.temp_file "pcc-fuzz-test" "" in
+    Sys.remove f;
+    incr n;
+    f ^ Printf.sprintf "-%d.d" !n
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let test_generator_builds () =
+  (* Every generated scenario must satisfy Scenario.build's validation:
+     the generator's envelope is the fuzzer's input space. *)
+  for seed = 1 to 150 do
+    let s = gen seed in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: has flows" seed)
+      true
+      (List.length s.Scenario.flows >= 1);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: positive duration" seed)
+      true (s.Scenario.duration > 0.);
+    let engine = Engine.create () in
+    match Scenario.build engine s with
+    | built -> built.Scenario.stop ()
+    | exception Invalid_argument msg ->
+      Alcotest.fail (Printf.sprintf "seed %d rejected by build: %s" seed msg)
+  done
+
+let test_generator_deterministic () =
+  for seed = 1 to 50 do
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d" seed)
+      true
+      (Scenario.equal (gen seed) (gen seed))
+  done
+
+let test_scenario_roundtrip () =
+  for seed = 1 to 200 do
+    let s = gen seed in
+    let s' = Scenario.of_string (Scenario.to_string s) in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d structurally equal" seed)
+      true (Scenario.equal s s')
+  done
+
+let test_oracles_pass_smoke () =
+  (* A handful of generated scenarios through the full suite, deep
+     differentials included: all oracles must hold on healthy code. *)
+  for seed = 1 to 4 do
+    let s = gen seed in
+    match Oracle.test ~deep:true s with
+    | None -> ()
+    | Some f ->
+      Alcotest.fail
+        (Printf.sprintf "seed %d failed %s: %s" seed f.Oracle.oracle
+           f.Oracle.detail)
+  done
+
+let test_run_once_reports_events () =
+  let s = gen 1 in
+  match Oracle.run_once s with
+  | Error f ->
+    Alcotest.fail (Printf.sprintf "failed %s: %s" f.Oracle.oracle f.Oracle.detail)
+  | Ok stats ->
+    Alcotest.(check bool) "events executed" true (stats.Oracle.events > 0);
+    Alcotest.(check bool) "digest nonempty" true
+      (String.length stats.Oracle.digest > 0)
+
+let campaign ?synth ?corpus_dir () =
+  let buf = Buffer.create 256 in
+  let summary =
+    Driver.fuzz ?synth ~deep_every:0 ?corpus_dir
+      ~log:(fun line ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n')
+      ~runs:10 ~seed:5 ()
+  in
+  (summary, Buffer.contents buf)
+
+let test_campaign_deterministic () =
+  (* Two identical campaigns — with a synthetic hook so failures,
+     shrinking and logging all actually execute — must agree on every
+     log byte and every report. *)
+  let synth (s : Scenario.t) =
+    if List.length s.Scenario.flows >= 2 then Some "synthetic: flows>=2"
+    else None
+  in
+  let s1, log1 = campaign ~synth () in
+  let s2, log2 = campaign ~synth () in
+  Alcotest.(check string) "logs identical" log1 log2;
+  Alcotest.(check int) "same runs" s1.Driver.runs s2.Driver.runs;
+  Alcotest.(check (list (pair int string)))
+    "same failures"
+    (List.map (fun r -> (r.Driver.run, r.Driver.failure.Oracle.oracle)) s1.Driver.failed)
+    (List.map (fun r -> (r.Driver.run, r.Driver.failure.Oracle.oracle)) s2.Driver.failed)
+
+let test_synthetic_failure_shrinks () =
+  let synth (s : Scenario.t) =
+    let n = List.length s.Scenario.flows in
+    if n >= 2 then Some (Printf.sprintf "flows=%d" n) else None
+  in
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let summary, _ = campaign ~synth ~corpus_dir:dir () in
+  Alcotest.(check bool) "at least one failure" true
+    (summary.Driver.failed <> []);
+  List.iter
+    (fun (r : Driver.failure_report) ->
+      Alcotest.(check string) "oracle" "synthetic" r.Driver.failure.Oracle.oracle;
+      (* flows>=2 is the failure condition, so the minimum is exactly 2
+         flows with every optional feature stripped. *)
+      let s = r.Driver.shrunk in
+      Alcotest.(check int) "shrunk to two flows" 2
+        (List.length s.Scenario.flows);
+      Alcotest.(check int) "faults dropped" 0 (List.length s.Scenario.faults);
+      Alcotest.(check int) "cross dropped" 0 (List.length s.Scenario.cross);
+      Alcotest.(check bool) "dynamics dropped" true
+        (s.Scenario.dynamics = None);
+      match r.Driver.repro_path with
+      | None -> Alcotest.fail "repro not banked"
+      | Some path ->
+        (* The banked repro still fails under the hook... *)
+        (match Driver.replay ~synth path with
+        | Error f ->
+          Alcotest.(check string) "replay fails same oracle" "synthetic"
+            f.Oracle.oracle
+        | Ok () -> Alcotest.fail "replay with synth hook should fail");
+        (* ...and replays green without it. *)
+        (match Driver.replay path with
+        | Ok () -> ()
+        | Error f ->
+          Alcotest.fail
+            (Printf.sprintf "replay without hook failed %s: %s"
+               f.Oracle.oracle f.Oracle.detail)))
+    summary.Driver.failed
+
+let test_shrink_size_decreases () =
+  (* minimize never returns something larger, and the result still
+     fails the same oracle. *)
+  let synth (s : Scenario.t) =
+    if List.length s.Scenario.links >= 1 then Some "synthetic" else None
+  in
+  let check = Oracle.test ~synth ~deep:false in
+  let s = gen 9 in
+  match check s with
+  | None -> Alcotest.fail "synth hook should fire on every scenario"
+  | Some f ->
+    let shrunk, checks =
+      Shrink.minimize ~check ~oracle:f.Oracle.oracle s
+    in
+    Alcotest.(check bool) "not larger" true (Shrink.size shrunk <= Shrink.size s);
+    Alcotest.(check bool) "budget respected" true (checks <= 300);
+    (match check shrunk with
+    | Some f' ->
+      Alcotest.(check string) "same oracle" f.Oracle.oracle f'.Oracle.oracle
+    | None -> Alcotest.fail "shrunk scenario no longer fails")
+
+let test_corpus_roundtrip () =
+  for seed = 11 to 20 do
+    let r =
+      {
+        Corpus.oracle = "synthetic";
+        detail = Printf.sprintf "detail for seed %d" seed;
+        scenario = gen seed;
+      }
+    in
+    let r' = Corpus.of_string (Corpus.to_string r) in
+    Alcotest.(check string) "oracle" r.Corpus.oracle r'.Corpus.oracle;
+    Alcotest.(check string) "detail" r.Corpus.detail r'.Corpus.detail;
+    Alcotest.(check bool) "scenario" true
+      (Scenario.equal r.Corpus.scenario r'.Corpus.scenario);
+    (* Content-addressed names survive the roundtrip. *)
+    Alcotest.(check string) "filename stable" (Corpus.filename r)
+      (Corpus.filename r')
+  done
+
+let test_corpus_save_load_dir () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let mk seed =
+    { Corpus.oracle = "synthetic"; detail = "x"; scenario = gen seed }
+  in
+  let p1 = Corpus.save ~dir (mk 21) in
+  let p2 = Corpus.save ~dir (mk 22) in
+  (* Saving the same repro again dedupes by content hash. *)
+  let p1' = Corpus.save ~dir (mk 21) in
+  Alcotest.(check string) "content-addressed dedupe" p1 p1';
+  Alcotest.(check bool) "two distinct files" true (p1 <> p2);
+  let loaded = Corpus.load_dir dir in
+  Alcotest.(check int) "two entries" 2 (List.length loaded);
+  List.iter
+    (fun (path, (r : Corpus.repro)) ->
+      Alcotest.(check string) "name matches content" (Filename.basename path)
+        (Corpus.filename r))
+    loaded;
+  Alcotest.(check (list string))
+    "missing dir is empty corpus" []
+    (List.map fst (Corpus.load_dir (dir ^ "-missing")))
+
+let test_synth_of_env () =
+  let with_env v f =
+    Unix.putenv "PCC_FUZZ_SYNTH" v;
+    Fun.protect ~finally:(fun () -> Unix.putenv "PCC_FUZZ_SYNTH" "") f
+  in
+  Alcotest.(check bool) "unset -> no hook" true
+    (with_env "" (fun () -> Driver.synth_of_env () = None));
+  with_env "always" (fun () ->
+      match Driver.synth_of_env () with
+      | Some hook ->
+        Alcotest.(check bool) "always fires" true (hook (gen 1) <> None)
+      | None -> Alcotest.fail "expected a hook");
+  with_env "flows>=2" (fun () ->
+      match Driver.synth_of_env () with
+      | Some hook ->
+        for seed = 1 to 20 do
+          let s = gen seed in
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d predicate matches" seed)
+            (List.length s.Scenario.flows >= 2)
+            (hook s <> None)
+        done
+      | None -> Alcotest.fail "expected a hook");
+  List.iter
+    (fun bad ->
+      with_env bad (fun () ->
+          match Driver.synth_of_env () with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.fail (Printf.sprintf "%S should be rejected" bad)))
+    [ "bogus>=1"; "flows>=x"; "flows"; "nonsense" ]
+
+let test_committed_corpus_green () =
+  (* The committed regression corpus (test/corpus/*.repro, staged next
+     to the test binary by dune) must replay green — every banked
+     failure stays fixed. *)
+  let dir = "corpus" in
+  let entries = Corpus.load_dir dir in
+  Alcotest.(check bool) "committed corpus is non-empty" true (entries <> []);
+  let still_failing = Driver.replay_dir dir in
+  List.iter
+    (fun (path, (f : Oracle.failure)) ->
+      Printf.eprintf "replay %s: %s: %s\n" path f.Oracle.oracle f.Oracle.detail)
+    still_failing;
+  Alcotest.(check int) "all repros replay green" 0 (List.length still_failing)
+
+let suites =
+  [
+    ( "fuzz.generator",
+      [
+        Alcotest.test_case "every scenario builds" `Quick test_generator_builds;
+        Alcotest.test_case "seed determines scenario" `Quick
+          test_generator_deterministic;
+        Alcotest.test_case "serialization roundtrip" `Quick
+          test_scenario_roundtrip;
+      ] );
+    ( "fuzz.oracle",
+      [
+        Alcotest.test_case "oracles pass on healthy code" `Slow
+          test_oracles_pass_smoke;
+        Alcotest.test_case "run_once reports events" `Quick
+          test_run_once_reports_events;
+      ] );
+    ( "fuzz.driver",
+      [
+        Alcotest.test_case "campaign is deterministic" `Slow
+          test_campaign_deterministic;
+        Alcotest.test_case "synthetic failure shrinks and banks" `Slow
+          test_synthetic_failure_shrinks;
+        Alcotest.test_case "shrink preserves oracle, not size" `Quick
+          test_shrink_size_decreases;
+        Alcotest.test_case "PCC_FUZZ_SYNTH parsing" `Quick test_synth_of_env;
+      ] );
+    ( "fuzz.corpus",
+      [
+        Alcotest.test_case "repro file roundtrip" `Quick test_corpus_roundtrip;
+        Alcotest.test_case "save/load_dir" `Quick test_corpus_save_load_dir;
+        Alcotest.test_case "committed corpus replays green" `Slow
+          test_committed_corpus_green;
+      ] );
+  ]

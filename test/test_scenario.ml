@@ -1,7 +1,19 @@
 open Pcc_sim
 open Pcc_scenario
 
-(* Integration tests of the paper's headline behaviours, scaled down. *)
+(* Integration tests of the paper's headline behaviours, scaled down.
+
+   Every topology these tests build runs under the runtime invariant
+   checker by default — a violation raises inside the engine and fails
+   the test. Set PCC_TEST_INVARIANTS=0 to opt out (e.g. when bisecting
+   a violation interactively). *)
+
+let invariants_enabled =
+  match Sys.getenv_opt "PCC_TEST_INVARIANTS" with
+  | Some ("0" | "off" | "false") -> false
+  | _ -> true
+
+let watch path = if invariants_enabled then ignore (Invariant.attach_path path)
 
 let goodput_mbps f duration =
   float_of_int (Path.goodput_bytes f * 8) /. duration /. 1e6
@@ -15,6 +27,7 @@ let test_pcc_fills_clean_link () =
       ~flows:[ Path.flow (Transport.pcc ()) ]
       ()
   in
+  watch path;
   Engine.run ~until:20. engine;
   let f = (Path.flows path).(0) in
   Alcotest.(check bool) "above 80 Mbps average incl. startup" true
@@ -31,6 +44,7 @@ let test_pcc_beats_cubic_on_lossy_link () =
         ~flows:[ Path.flow spec ]
         ()
     in
+    watch path;
     Engine.run ~until:30. engine;
     goodput_mbps (Path.flows path).(0) 30.
   in
@@ -48,6 +62,7 @@ let test_pcc_shallow_buffer () =
       ~flows:[ Path.flow (Transport.pcc ()) ]
       ()
   in
+  watch path;
   Engine.run ~until:20. engine;
   Alcotest.(check bool) "90% capacity on 6-packet buffer" true
     (goodput_mbps (Path.flows path).(0) 20. > 80.)
@@ -61,6 +76,7 @@ let test_two_pcc_flows_converge_fair () =
       ~flows:[ Path.flow (Transport.pcc ()); Path.flow (Transport.pcc ()) ]
       ()
   in
+  watch path;
   (* Both start together: convergence is fast; measure the last 30 s. *)
   Engine.run ~until:30. engine;
   let f = Path.flows path in
@@ -86,6 +102,7 @@ let test_pcc_rtt_fairness_beats_newreno () =
           ]
         ()
     in
+    watch path;
     Engine.run ~until:20. engine;
     let f = Path.flows path in
     let b0 = Array.map Path.goodput_bytes f in
@@ -110,6 +127,7 @@ let test_flow_scheduling_and_fct () =
         ]
       ()
   in
+  watch path;
   Engine.run ~until:0.5 engine;
   let f = (Path.flows path).(0) in
   Alcotest.(check int) "nothing before start" 0
@@ -132,6 +150,7 @@ let test_set_base_rtt_applies () =
       ~flows:[ Path.flow (Transport.tcp "newreno") ]
       ()
   in
+  watch path;
   Path.set_base_rtt path 0.2;
   Engine.run ~until:5. engine;
   let f = (Path.flows path).(0) in
