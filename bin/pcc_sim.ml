@@ -22,6 +22,36 @@ let transport_conv =
 
 (* ------------------------------------------------------------------ *)
 
+(* The scheduler choice must land before any command body runs (engines
+   are created early in several commands), so the converter applies it
+   as a side effect of parsing: cmdliner converts every argument before
+   it evaluates a term. [with_scheduler] then only has to thread the
+   option through so the flag is parsed and documented. *)
+let scheduler_conv =
+  let parse s =
+    match Engine.scheduler_of_string (String.lowercase_ascii s) with
+    | Some sch ->
+      Engine.set_default_scheduler sch;
+      Ok sch
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown scheduler %s (heap, wheel)" s))
+  in
+  let print fmt s = Format.pp_print_string fmt (Engine.scheduler_name s) in
+  Arg.conv (parse, print)
+
+let scheduler_arg =
+  Arg.(
+    value
+    & opt (some scheduler_conv) None
+    & info [ "scheduler" ] ~docv:"BACKEND"
+        ~doc:
+          "Event-queue backend: $(b,wheel) (hierarchical timing wheel, the \
+           default) or $(b,heap) (binary heap). Both dispatch in the same \
+           deterministic order; this only changes performance. Equivalent \
+           to setting $(b,PCC_SCHEDULER).")
+
+let with_scheduler term = Term.(const (fun _sched r -> r) $ scheduler_arg $ term)
+
 let queue_of_string = function
   | "droptail" -> Some Path.Droptail
   | "codel" -> Some Path.Codel
@@ -165,10 +195,16 @@ let chaos_cmd transport bw_mbps rtt_ms duration seed rate check_invariants =
 
 (* Demo shapes for the graph topology layer. "dumbbell" is what `run`
    builds; "parking" and "revpath" are shapes the flat builders cannot
-   express (asymmetric chain, congested ack path). *)
-let topo_shape ~engine ~rng ~bandwidth ~rtt transports shape =
+   express (asymmetric chain, congested ack path); "fanin-large" is the
+   many-flow scheduler stress scenario ([--flows] sized PCC transfers
+   over one bottleneck, reported in aggregate). *)
+let topo_shape ~engine ~rng ~bandwidth ~rtt ~flows_n transports shape =
   let bdp = Units.bdp_bytes ~rate:bandwidth ~rtt in
   match shape with
+  | "fanin-large" ->
+    Ok
+      (Pcc_experiments.Exp_manyflow.topology engine ~rng ~n:flows_n ~bandwidth
+         ~rtt)
   | "dumbbell" ->
     let links =
       [
@@ -227,10 +263,47 @@ let topo_shape ~engine ~rng ~bandwidth ~rtt transports shape =
     in
     Ok (Topology.build engine ~rng ~links ~flows ())
   | other ->
-    Error (Printf.sprintf "unknown shape %s (dumbbell, parking, revpath)" other)
+    Error
+      (Printf.sprintf "unknown shape %s (dumbbell, parking, revpath, fanin-large)"
+         other)
 
-let topo_cmd transports shape bw_mbps rtt_ms duration seed interval describe
-    check_invariants =
+(* Per-flow columns are unreadable past a handful of flows, so large
+   populations (fanin-large) report aggregates per interval instead:
+   completions, goodput, and the live event-queue depth. *)
+let topo_report_aggregate ~engine ~duration ~interval topo =
+  let flows = Topology.flows topo in
+  let n = Array.length flows in
+  let total_bytes () =
+    Array.fold_left (fun a f -> a + Topology.goodput_bytes f) 0 flows
+  in
+  let completed () =
+    Array.fold_left
+      (fun a (f : Topology.built_flow) ->
+        if f.Topology.fct <> None then a + 1 else a)
+      0 flows
+  in
+  Printf.printf "\n%8s %10s %12s %14s %12s\n" "time" "completed" "agg Mbps"
+    "total events" "pending";
+  let last = ref 0 in
+  let steps = int_of_float (duration /. interval) in
+  for i = 1 to steps do
+    Engine.run ~until:(float_of_int i *. interval) engine;
+    let b = total_bytes () in
+    Printf.printf "%7.1fs %6d/%-4d %12.2f %14d %12d\n%!"
+      (float_of_int i *. interval)
+      (completed ()) n
+      (float_of_int ((b - !last) * 8) /. interval /. 1e6)
+      (Engine.executed engine) (Engine.pending engine);
+    last := b
+  done;
+  Printf.printf
+    "\n%d/%d flows completed; %.1f MB delivered; %d events executed\n"
+    (completed ()) n
+    (float_of_int (total_bytes ()) /. 1e6)
+    (Engine.executed engine)
+
+let topo_cmd transports shape flows_n bw_mbps rtt_ms duration seed interval
+    describe check_invariants =
   Pcc_experiments.Cli_validate.(
     guarded
       [
@@ -238,14 +311,25 @@ let topo_cmd transports shape bw_mbps rtt_ms duration seed interval describe
         positive_f "--rtt" rtt_ms;
         positive_f "--duration" duration;
         positive_f "--interval" interval;
+        positive_i "--flows" flows_n;
       ])
   @@ fun () ->
   let bandwidth = Units.mbps bw_mbps in
   let rtt = rtt_ms /. 1000. in
   let engine = Engine.create () in
   let rng = Rng.create seed in
-  match topo_shape ~engine ~rng ~bandwidth ~rtt transports shape with
+  match topo_shape ~engine ~rng ~bandwidth ~rtt ~flows_n transports shape with
   | Error msg -> `Error (false, msg)
+  | Ok topo when Array.length (Topology.flows topo) > 16 ->
+    Printf.printf "%d nodes, %d links, %d flows\n" (Topology.num_nodes topo)
+      (Topology.num_links topo)
+      (Array.length (Topology.flows topo));
+    if describe then `Ok ()
+    else begin
+      if check_invariants then ignore (Invariant.attach_topology topo);
+      topo_report_aggregate ~engine ~duration ~interval topo;
+      `Ok ()
+    end
   | Ok topo ->
     print_string (Topology.describe topo);
     if describe then `Ok ()
@@ -360,7 +444,10 @@ let trace_cmd transports shape bw_mbps rtt_ms duration seed out_dir capacity
       Pcc_trace.Collector.install collector;
       let engine = Engine.create () in
       let rng = Rng.create seed in
-      match topo_shape ~engine ~rng ~bandwidth ~rtt transports shape with
+      match
+        topo_shape ~engine ~rng ~bandwidth ~rtt ~flows_n:1000 transports
+          shape
+      with
       | Error msg ->
         Pcc_trace.Collector.uninstall ();
         `Error (false, msg)
@@ -405,6 +492,7 @@ let selftest_entry : Pcc_experiments.Exp_registry.entry =
   {
     Exp_registry.name = "selftest";
     descr = "supervision self-test: ok / hang / crash / ok (PCC_TEST_HANG)";
+    parallel = true;
     render =
       (fun ?pool ?policy ?dump_dir:_ ~scale:_ ~seed:_ () ->
         let hang () =
@@ -412,7 +500,7 @@ let selftest_entry : Pcc_experiments.Exp_registry.entry =
              deadline or event ceiling gets us out. *)
           let engine = Engine.create () in
           let rec tick () =
-            ignore (Engine.schedule_in engine ~after:1e-3 tick)
+            Engine.post_in engine ~after:1e-3 tick
           in
           tick ();
           Engine.run engine;
@@ -810,8 +898,17 @@ let topo_term =
       & info [ "shape" ] ~docv:"SHAPE"
           ~doc:
             "Topology shape: $(b,dumbbell) (one bottleneck), $(b,parking) \
-             (asymmetric 3-hop chain), or $(b,revpath) (ack path 100x \
-             narrower than the data path).")
+             (asymmetric 3-hop chain), $(b,revpath) (ack path 100x narrower \
+             than the data path), or $(b,fanin-large) ($(b,--flows) sized \
+             PCC transfers over one bottleneck, reported in aggregate).")
+  in
+  let flows_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "flows" ] ~docv:"N"
+          ~doc:
+            "Flow population for $(b,fanin-large) (other shapes take one \
+             flow per $(b,--transport)).")
   in
   let describe_arg =
     Arg.(
@@ -821,8 +918,8 @@ let topo_term =
   in
   Term.(
     ret
-      (const topo_cmd $ transports_arg $ shape_arg $ bw_arg $ rtt_arg
-     $ duration_arg $ seed_arg $ interval_arg $ describe_arg
+      (const topo_cmd $ transports_arg $ shape_arg $ flows_arg $ bw_arg
+     $ rtt_arg $ duration_arg $ seed_arg $ interval_arg $ describe_arg
      $ check_invariants_arg))
 
 let game_term =
@@ -1074,41 +1171,41 @@ let cmds =
   [
     Cmd.v
       (Cmd.info "run" ~doc:"Simulate flows sharing one bottleneck link")
-      run_term;
+      (with_scheduler run_term);
     Cmd.v
       (Cmd.info "exp"
          ~doc:
            "Reproduce the paper's experiments (optionally in parallel with \
             --jobs)")
-      exp_term;
+      (with_scheduler exp_term);
     Cmd.v
       (Cmd.info "topo"
          ~doc:
            "Simulate flows on a graph topology (multi-hop chains, congested \
             reverse paths)")
-      topo_term;
+      (with_scheduler topo_term);
     Cmd.v
       (Cmd.info "trace"
          ~doc:
            "Run a scenario with the structured tracer on and export \
             Perfetto-loadable JSON, CSV series and a decision log")
-      trace_term;
+      (with_scheduler trace_term);
     Cmd.v
       (Cmd.info "chaos"
          ~doc:
            "Run a transport through a seeded fault gauntlet and report \
             per-fault recovery")
-      chaos_term;
+      (with_scheduler chaos_term);
     Cmd.v
       (Cmd.info "game" ~doc:"Run the Sec. 2.2 game dynamics (Theorems 1-2)")
-      game_term;
+      (with_scheduler game_term);
     Cmd.v
       (Cmd.info "fuzz"
          ~doc:
            "Generate random scenarios, test them against invariant and \
             differential oracles, and minimize any failure into a replayable \
             repro file")
-      fuzz_term;
+      (with_scheduler fuzz_term);
     Cmd.v
       (Cmd.info "list" ~doc:"List transports and queue disciplines")
       Term.(ret (const list_cmd $ const ()));

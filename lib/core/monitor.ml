@@ -46,7 +46,16 @@ type mi = {
   mutable rtt_early_cnt : int;
   mutable rtt_late_sum : float;  (* samples in (or after) the last quarter *)
   mutable rtt_late_cnt : int;
-  seqs : (int, unit) Hashtbl.t;  (* sent, not yet resolved (acked/lost) *)
+  (* Sequences charged to this MI: an append-only vector (duplicates
+     possible when a sequence is re-sent within the MI) plus a count of
+     those still unresolved. A sequence is unresolved by this MI exactly
+     while [seq_owner] still names this MI; a later MI re-sending it
+     steals ownership (the ack credit follows the latest transmission)
+     without decrementing [unresolved] — the stolen sequence then counts
+     as this MI's loss at evaluation, matching the hash-table version. *)
+  mutable sent_list : int array;
+  mutable sent_len : int;
+  mutable unresolved : int;
 }
 
 type t = {
@@ -57,7 +66,15 @@ type t = {
   rate_for_mi : id:int -> float;
   on_result : result -> unit;
   on_mi_losses : int list -> unit;
-  seq_to_mi : (int, mi) Hashtbl.t;
+  (* seq -> owning MI id (-1 none), directly indexed: sequences are
+     dense per flow, and this lookup runs once per sent packet and once
+     per ack — the Hashtbl it replaces dominated ack processing. *)
+  mutable seq_owner : int array;
+  (* MIs that may still own sequences (current + closed-unevaluated) —
+     a handful at any instant, scanned linearly to map an owner id back
+     to its MI. Evaluated and discarded MIs first clear their owned
+     sequences, so a stale id can never surface from [seq_owner]. *)
+  mutable live_mis : mi list;
   mutable trace_id : int;  (* flow id, for the trace layer *)
   mutable current : mi option;
   mutable next_id : int;
@@ -81,7 +98,8 @@ let create engine cfg ~rng ~utility ~rate_for_mi ~on_result ~on_mi_losses =
     rate_for_mi;
     on_result;
     on_mi_losses;
-    seq_to_mi = Hashtbl.create 4096;
+    seq_owner = Array.make 1024 (-1);
+    live_mis = [];
     trace_id = -1;
     current = None;
     next_id = 0;
@@ -94,6 +112,37 @@ let create engine cfg ~rng ~utility ~rate_for_mi ~on_result ~on_mi_losses =
     discarded = Hashtbl.create 16;
     expected = 0;
   }
+
+let ensure_seq t seq =
+  let cap = Array.length t.seq_owner in
+  if seq >= cap then begin
+    let ncap = ref (cap * 2) in
+    while seq >= !ncap do
+      ncap := !ncap * 2
+    done;
+    let nown = Array.make !ncap (-1) in
+    Array.blit t.seq_owner 0 nown 0 cap;
+    t.seq_owner <- nown
+  end
+
+let drop_live t (mi : mi) =
+  t.live_mis <- List.filter (fun m -> m != mi) t.live_mis
+
+(* Collect the sequences still owned by [mi] (its losses), releasing
+   ownership as they are visited so a duplicate in [sent_list] cannot
+   be collected twice. *)
+let take_owned t (mi : mi) =
+  let owned = ref [] in
+  for k = 0 to mi.sent_len - 1 do
+    let seq = mi.sent_list.(k) in
+    if t.seq_owner.(seq) = mi.mi_id then begin
+      t.seq_owner.(seq) <- -1;
+      owned := seq :: !owned
+    end
+  done;
+  mi.sent_len <- 0;
+  mi.unresolved <- 0;
+  !owned
 
 let rtt_estimate t = t.rtt_est
 let current_mi_id t = match t.current with Some mi -> mi.mi_id | None -> -1
@@ -145,17 +194,8 @@ let evaluate t (mi : mi) =
     Engine.cancel timer;
     mi.fallback <- None
   | None -> ());
-  let losses = Hashtbl.fold (fun seq () acc -> seq :: acc) mi.seqs [] in
-  (* Drop the seq->mi mapping only where this MI still owns it — a later
-     MI that retransmitted the sequence owns it now and must receive the
-     ack credit. *)
-  List.iter
-    (fun seq ->
-      match Hashtbl.find_opt t.seq_to_mi seq with
-      | Some owner when owner == mi -> Hashtbl.remove t.seq_to_mi seq
-      | Some _ | None -> ())
-    losses;
-  Hashtbl.reset mi.seqs;
+  let losses = take_owned t mi in
+  drop_live t mi;
   let duration = Float.max (mi.close_time -. mi.start) 1e-9 in
   let loss =
     if mi.sent_pkts = 0 then 0.
@@ -218,8 +258,7 @@ let evaluate t (mi : mi) =
   release_ready t
 
 let maybe_evaluate t (mi : mi) =
-  if mi.closed && (not mi.evaluated) && Hashtbl.length mi.seqs = 0 then
-    evaluate t mi
+  if mi.closed && (not mi.evaluated) && mi.unresolved = 0 then evaluate t mi
 
 let close_mi t (mi : mi) =
   (match mi.rollover with
@@ -229,7 +268,7 @@ let close_mi t (mi : mi) =
   | None -> ());
   mi.close_time <- Engine.now t.engine;
   mi.closed <- true;
-  if Hashtbl.length mi.seqs = 0 then evaluate t mi
+  if mi.unresolved = 0 then evaluate t mi
   else begin
     (* Normally every packet resolves through SACK feedback (ack or gap
        detection) about one RTT after the close. The fallback timer only
@@ -275,9 +314,12 @@ let rec open_mi t =
         rtt_early_cnt = 0;
         rtt_late_sum = 0.;
         rtt_late_cnt = 0;
-        seqs = Hashtbl.create 64;
+        sent_list = Array.make 64 0;
+        sent_len = 0;
+        unresolved = 0;
       }
     in
+    t.live_mis <- mi :: t.live_mis;
     let duration = mi_duration t rate in
     mi.planned_dur <- duration;
     if Pcc_trace.Collector.enabled () then
@@ -322,13 +364,8 @@ let discard_mi t (mi : mi) =
     mi.rollover <- None
   | None -> ());
   mi.evaluated <- true;
-  Hashtbl.iter
-    (fun seq () ->
-      match Hashtbl.find_opt t.seq_to_mi seq with
-      | Some owner when owner == mi -> Hashtbl.remove t.seq_to_mi seq
-      | Some _ | None -> ())
-    mi.seqs;
-  Hashtbl.reset mi.seqs;
+  ignore (take_owned t mi);
+  drop_live t mi;
   Hashtbl.replace t.discarded mi.mi_id ();
   if Pcc_trace.Collector.enabled () then
     Pcc_trace.Collector.emit Pcc_trace.Event.Mi_discard
@@ -349,8 +386,16 @@ let on_send t ~seq ~size =
   | Some mi ->
     mi.sent_pkts <- mi.sent_pkts + 1;
     mi.sent_bytes <- mi.sent_bytes + size;
-    Hashtbl.replace mi.seqs seq ();
-    Hashtbl.replace t.seq_to_mi seq mi
+    ensure_seq t seq;
+    if t.seq_owner.(seq) <> mi.mi_id then mi.unresolved <- mi.unresolved + 1;
+    t.seq_owner.(seq) <- mi.mi_id;
+    if mi.sent_len >= Array.length mi.sent_list then begin
+      let nlist = Array.make (2 * mi.sent_len) 0 in
+      Array.blit mi.sent_list 0 nlist 0 mi.sent_len;
+      mi.sent_list <- nlist
+    end;
+    mi.sent_list.(mi.sent_len) <- seq;
+    mi.sent_len <- mi.sent_len + 1
 
 let on_ack t ~seq ~rtt ~size =
   (match rtt with
@@ -362,12 +407,18 @@ let on_ack t ~seq ~rtt ~size =
       t.have_rtt <- true
     end
   | None -> ());
-  match Hashtbl.find_opt t.seq_to_mi seq with
+  let owner =
+    if seq < Array.length t.seq_owner then t.seq_owner.(seq) else -1
+  in
+  match
+    if owner < 0 then None
+    else List.find_opt (fun m -> m.mi_id = owner) t.live_mis
+  with
   | None -> ()
   | Some mi ->
-    if Hashtbl.mem mi.seqs seq then begin
-      Hashtbl.remove mi.seqs seq;
-      Hashtbl.remove t.seq_to_mi seq;
+    begin
+      t.seq_owner.(seq) <- -1;
+      mi.unresolved <- mi.unresolved - 1;
       mi.acked_pkts <- mi.acked_pkts + 1;
       mi.acked_bytes <- mi.acked_bytes + size;
       (match rtt with
@@ -395,11 +446,15 @@ let on_ack t ~seq ~rtt ~size =
    resolve it in its owning MI (the loss is already implicit in
    sent - acked; resolution just lets the MI evaluate promptly). *)
 let on_lost t ~seq =
-  match Hashtbl.find_opt t.seq_to_mi seq with
+  let owner =
+    if seq < Array.length t.seq_owner then t.seq_owner.(seq) else -1
+  in
+  match
+    if owner < 0 then None
+    else List.find_opt (fun m -> m.mi_id = owner) t.live_mis
+  with
   | None -> ()
   | Some mi ->
-    if Hashtbl.mem mi.seqs seq then begin
-      Hashtbl.remove mi.seqs seq;
-      Hashtbl.remove t.seq_to_mi seq;
-      maybe_evaluate t mi
-    end
+    t.seq_owner.(seq) <- -1;
+    mi.unresolved <- mi.unresolved - 1;
+    maybe_evaluate t mi

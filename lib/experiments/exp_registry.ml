@@ -1,6 +1,12 @@
 type entry = {
   name : string;
   descr : string;
+  parallel : bool;
+      (* Whether a Runner pool pays for itself. An experiment whose whole
+         sweep is sub-second cannot amortize the domain fan-out (spawn,
+         work-stealing handshakes, multi-domain minor-GC coordination),
+         so the bench harness runs it sequentially even under --jobs N
+         rather than report a meaningless slowdown. *)
   render :
     ?pool:Runner.t ->
     ?policy:Supervisor.policy ->
@@ -11,13 +17,15 @@ type entry = {
     string;
 }
 
-let simple name descr render =
-  { name; descr; render = (fun ?pool ?policy ?dump_dir:_ ~scale ~seed () ->
+let simple ?(parallel = true) name descr render =
+  { name; descr; parallel;
+    render = (fun ?pool ?policy ?dump_dir:_ ~scale ~seed () ->
         render ?pool ?policy ~scale ~seed ()) }
 
 let fig11 =
   {
     name = "fig11";
+    parallel = true;
     descr = "Fig. 11: rapidly changing network";
     render =
       (fun ?pool ?policy ?dump_dir ~scale ~seed () ->
@@ -51,6 +59,7 @@ let fig11 =
 let fig12 =
   {
     name = "fig12";
+    parallel = true;
     descr = "Fig. 12/13: convergence and fairness of competing flows";
     render =
       (fun ?pool ?policy ?dump_dir ~scale ~seed () ->
@@ -80,7 +89,9 @@ let fig12 =
 
 let all : entry list =
   [
-    simple "game"
+    (* ~300 ms of total work across five uneven tasks: measured 0.44x
+       "speedup" at --jobs 2, i.e. the pool costs more than the sweep. *)
+    simple ~parallel:false "game"
       "Theorems 1-2: game dynamics, equilibrium, naive-utility contrast"
       (fun ?pool ?policy ~scale:_ ~seed () ->
         Exp_common.render_table (Exp_game.table (Exp_game.run ?pool ?policy ~seed ())));
@@ -136,6 +147,10 @@ let all : entry list =
       (fun ?pool ?policy ~scale ~seed () ->
         Exp_common.render_table
           (Exp_ablation.table (Exp_ablation.run ?pool ?policy ~scale ~seed ())));
+    simple "manyflow" "Scale: 10k-flow fan-in stress (scheduler and pooling)"
+      (fun ?pool ?policy ~scale ~seed () ->
+        Exp_common.render_table
+          (Exp_manyflow.table (Exp_manyflow.run ?pool ?policy ~scale ~seed ())));
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

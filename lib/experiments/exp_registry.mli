@@ -11,6 +11,15 @@
 type entry = {
   name : string;  (** Short key, e.g. ["fig7"], used by [--only]. *)
   descr : string;
+  parallel : bool;
+      (** Whether a {!Runner} pool pays for itself on this experiment.
+          [false] marks sweeps whose total work is too small to amortize
+          the domain fan-out (spawn cost plus multi-domain minor-GC
+          coordination) — the bench harness runs those sequentially even
+          under [--jobs N] instead of reporting a meaningless slowdown.
+          Output is unaffected either way: the registry's determinism
+          contract already makes pooled and sequential runs
+          byte-identical. *)
   render :
     ?pool:Runner.t ->
     ?policy:Supervisor.policy ->

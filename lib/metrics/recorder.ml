@@ -14,13 +14,13 @@ let rec tick t () =
     let now = Engine.now t.engine in
     t.acc <- (now, t.probe ()) :: t.acc;
     t.count <- t.count + 1;
-    ignore (Engine.schedule_in t.engine ~after:t.interval (tick t))
+    Engine.post_in t.engine ~after:t.interval (tick t)
   end
 
 let create engine ?(interval = 1.0) probe =
   if interval <= 0. then invalid_arg "Recorder.create: interval must be positive";
   let t = { engine; interval; probe; acc = []; count = 0; running = true } in
-  ignore (Engine.schedule_in engine ~after:interval (tick t));
+  Engine.post_in engine ~after:interval (tick t);
   t
 
 let stop t = t.running <- false

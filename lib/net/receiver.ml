@@ -1,15 +1,20 @@
 open Pcc_sim
 
-module Int_set = Set.Make (Int)
+(* Duplicate detection and cumulative-ack reassembly over a flat
+   per-sequence byte array. Sequences are dense, so [seen] is directly
+   indexed; the out-of-order set of the tree-based version is implicit —
+   it is exactly the seen sequences above [cum_ack], and advancing the
+   cumulative ack is a walk over contiguous seen bytes. This removes the
+   per-packet [Hashtbl] probe and [Set] rebalance from the hottest
+   receive path. *)
 
 type t = {
   engine : Engine.t;
   ack_out : Packet.t -> unit;
   mutable cum_ack : int;
-  mutable out_of_order : Int_set.t;
   mutable goodput_bytes : int;
   mutable received_pkts : int;
-  seen : (int, unit) Hashtbl.t;
+  mutable seen : Bytes.t;  (* one byte per sequence; 1 = received *)
 }
 
 let create engine ~ack_out =
@@ -17,21 +22,29 @@ let create engine ~ack_out =
     engine;
     ack_out;
     cum_ack = -1;
-    out_of_order = Int_set.empty;
     goodput_bytes = 0;
     received_pkts = 0;
-    seen = Hashtbl.create 1024;
+    seen = Bytes.make 1024 '\000';
   }
 
+let ensure t seq =
+  let cap = Bytes.length t.seen in
+  if seq >= cap then begin
+    let ncap = ref (cap * 2) in
+    while seq >= !ncap do
+      ncap := !ncap * 2
+    done;
+    let nseen = Bytes.make !ncap '\000' in
+    Bytes.blit t.seen 0 nseen 0 cap;
+    t.seen <- nseen
+  end
+
 let advance t =
-  let continue = ref true in
-  while !continue do
-    let next = t.cum_ack + 1 in
-    if Int_set.mem next t.out_of_order then begin
-      t.out_of_order <- Int_set.remove next t.out_of_order;
-      t.cum_ack <- next
-    end
-    else continue := false
+  let len = Bytes.length t.seen in
+  while
+    t.cum_ack + 1 < len && Bytes.unsafe_get t.seen (t.cum_ack + 1) = '\001'
+  do
+    t.cum_ack <- t.cum_ack + 1
   done
 
 let on_packet t (p : Packet.t) =
@@ -39,15 +52,11 @@ let on_packet t (p : Packet.t) =
   | Packet.Ack _ -> ()
   | Packet.Data _ ->
     t.received_pkts <- t.received_pkts + 1;
-    if not (Hashtbl.mem t.seen p.seq) then begin
-      Hashtbl.add t.seen p.seq ();
+    ensure t p.seq;
+    if Bytes.unsafe_get t.seen p.seq = '\000' then begin
+      Bytes.unsafe_set t.seen p.seq '\001';
       t.goodput_bytes <- t.goodput_bytes + p.size;
-      if p.seq = t.cum_ack + 1 then begin
-        t.cum_ack <- p.seq;
-        advance t
-      end
-      else if p.seq > t.cum_ack then
-        t.out_of_order <- Int_set.add p.seq t.out_of_order
+      if p.seq = t.cum_ack + 1 then advance t
     end;
     let now = Engine.now t.engine in
     t.ack_out

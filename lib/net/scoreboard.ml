@@ -1,35 +1,81 @@
-module Int_set = Set.Make (Int)
+(* Flat SACK scoreboard.
+
+   Sequence numbers are dense (allocated 0,1,2,... by [fresh_seq]), so
+   per-sequence tracking lives in directly-indexed flat arrays instead
+   of [Set]/[Hashtbl]: one state byte and one send-time float per
+   sequence. Profiling the fig7/fig9 experiments put over half the
+   simulation time in [Hashtbl] and [Set] operations; the flat layout
+   replaces every hot lookup with an array load.
+
+   State byte, per sequence: the low two bits are the tracking kind
+   (0 untracked, 1 outstanding, 2 SACKed above the cumulative ack);
+   bit 2 flags membership in the retransmission queue. [sent_at] keeps
+   the last transmission time and is only consulted for sequences
+   currently outstanding, so stale values for resolved sequences are
+   harmless (the hash-table version deleted them; the reads are guarded
+   by the outstanding check either way).
+
+   Ascending iteration over outstanding sequences (loss detection,
+   stale sweeps) is a byte scan from [min_out] — a cursor below which
+   no sequence is outstanding. Windows are bounded by the flow's
+   bandwidth-delay product, so the scan touches a few hundred
+   contiguous bytes where the sets walked pointer-linked balanced
+   trees. Memory is O(total sequences sent) per flow rather than
+   O(window); at 9 bytes per packet a 60-second gigabit flow costs a
+   few megabytes, which the many-flow experiments bound by giving each
+   flow a finite transfer. *)
 
 type t = {
   dupthresh : int;
   mutable high_ack : int;
-  mutable sacked : Int_set.t;
   mutable highest_sacked : int;
-  mutable outstanding : Int_set.t;
+  mutable state : Bytes.t;
+  mutable sent_at : float array;
+  mutable min_out : int;  (* no outstanding sequence lies below this *)
   mutable inflight : int;
   retx_q : int Queue.t;
-  retx_set : (int, unit) Hashtbl.t;
-  sent_at : (int, float) Hashtbl.t;  (* last transmission time per seq *)
   mutable next : int;
   mutable limit : int option;
   mutable acked_pkts : int;
 }
 
+let initial_cap = 256
+
 let create ?(dupthresh = 3) () =
   {
     dupthresh;
     high_ack = -1;
-    sacked = Int_set.empty;
     highest_sacked = -1;
-    outstanding = Int_set.empty;
+    state = Bytes.make initial_cap '\000';
+    sent_at = Array.make initial_cap 0.;
+    min_out = 0;
     inflight = 0;
     retx_q = Queue.create ();
-    retx_set = Hashtbl.create 64;
-    sent_at = Hashtbl.create 256;
     next = 0;
     limit = None;
     acked_pkts = 0;
   }
+
+let ensure t seq =
+  let cap = Bytes.length t.state in
+  if seq >= cap then begin
+    let ncap = ref (cap * 2) in
+    while seq >= !ncap do
+      ncap := !ncap * 2
+    done;
+    let nstate = Bytes.make !ncap '\000' in
+    Bytes.blit t.state 0 nstate 0 cap;
+    t.state <- nstate;
+    let nsent = Array.make !ncap 0. in
+    Array.blit t.sent_at 0 nsent 0 cap;
+    t.sent_at <- nsent
+  end
+
+let kind t seq = Char.code (Bytes.unsafe_get t.state seq) land 3
+
+let set_kind t seq k =
+  Bytes.unsafe_set t.state seq
+    (Char.unsafe_chr ((Char.code (Bytes.unsafe_get t.state seq) land lnot 3) lor k))
 
 let limit_pkts t n = t.limit <- Some n
 
@@ -39,38 +85,44 @@ let fresh_seq t =
   | Some _ | None ->
     let seq = t.next in
     t.next <- seq + 1;
+    ensure t seq;
     Some seq
 
-let delivered t seq = seq <= t.high_ack || Int_set.mem seq t.sacked
+(* All sequences reaching the scoreboard were issued by [fresh_seq], so
+   they are below [next] and in capacity after [ensure] at issue time. *)
+let delivered t seq = seq <= t.high_ack || kind t seq = 2
 
 let record_send t seq ~now =
-  Hashtbl.replace t.sent_at seq now;
-  if not (delivered t seq) && not (Int_set.mem seq t.outstanding) then begin
-    t.outstanding <- Int_set.add seq t.outstanding;
-    t.inflight <- t.inflight + 1
+  ensure t seq;
+  t.sent_at.(seq) <- now;
+  if (not (delivered t seq)) && kind t seq <> 1 then begin
+    set_kind t seq 1;
+    t.inflight <- t.inflight + 1;
+    if seq < t.min_out then t.min_out <- seq
   end
 
 let remove_outstanding t seq =
-  if Int_set.mem seq t.outstanding then begin
-    t.outstanding <- Int_set.remove seq t.outstanding;
-    t.inflight <- t.inflight - 1;
-    Hashtbl.remove t.sent_at seq
+  if kind t seq = 1 then begin
+    set_kind t seq 0;
+    t.inflight <- t.inflight - 1
   end
 
 let on_ack t (a : Packet.ack) =
   let newly = ref [] in
   let seq = a.Packet.acked_seq in
-  if seq > t.high_ack && not (Int_set.mem seq t.sacked) then begin
-    t.sacked <- Int_set.add seq t.sacked;
+  ensure t seq;
+  if seq > t.high_ack && kind t seq <> 2 then begin
     newly := seq :: !newly;
     remove_outstanding t seq;
+    set_kind t seq 2;
     if seq > t.highest_sacked then t.highest_sacked <- seq
   end;
   if a.Packet.cum_ack > t.high_ack then begin
     (* Sequences covered only by the cumulative ack were delivered even if
        their own acks were lost on the reverse path. *)
+    ensure t a.Packet.cum_ack;
     for s = t.high_ack + 1 to a.Packet.cum_ack do
-      if Int_set.mem s t.sacked then t.sacked <- Int_set.remove s t.sacked
+      if kind t s = 2 then set_kind t s 0 (* now covered by [high_ack] *)
       else begin
         newly := s :: !newly;
         remove_outstanding t s
@@ -82,10 +134,17 @@ let on_ack t (a : Packet.ack) =
   List.rev !newly
 
 let queue_retx t seq =
-  if not (Hashtbl.mem t.retx_set seq) then begin
-    Hashtbl.add t.retx_set seq ();
+  let st = Char.code (Bytes.unsafe_get t.state seq) in
+  if st land 4 = 0 then begin
+    Bytes.unsafe_set t.state seq (Char.unsafe_chr (st lor 4));
     Queue.push seq t.retx_q
   end
+
+(* Advance the outstanding cursor past resolved sequences. *)
+let advance_min_out t =
+  while t.min_out < t.next && kind t t.min_out <> 1 do
+    t.min_out <- t.min_out + 1
+  done
 
 let detect_losses t ~now ~min_age =
   (* Age guard: a hole below the SACK threshold only counts as lost if its
@@ -95,36 +154,22 @@ let detect_losses t ~now ~min_age =
      subsequent ack — the spurious-retransmission storm. *)
   let threshold = t.highest_sacked - t.dupthresh in
   let lost = ref [] in
-  let candidates = ref [] in
-  (try
-     Int_set.iter
-       (fun seq ->
-         if seq > threshold then raise Exit;
-         candidates := seq :: !candidates)
-       t.outstanding
-   with Exit -> ());
-  List.iter
-    (fun seq ->
-      let old_enough =
-        match Hashtbl.find_opt t.sent_at seq with
-        | Some at -> now -. at >= min_age
-        | None -> true
-      in
-      if old_enough then begin
-        remove_outstanding t seq;
-        queue_retx t seq;
-        lost := seq :: !lost
-      end)
-    (List.rev !candidates);
+  advance_min_out t;
+  let hi = if threshold < t.next - 1 then threshold else t.next - 1 in
+  for seq = t.min_out to hi do
+    if kind t seq = 1 && now -. t.sent_at.(seq) >= min_age then begin
+      remove_outstanding t seq;
+      queue_retx t seq;
+      lost := seq :: !lost
+    end
+  done;
   List.rev !lost
 
 let mark_lost t seq ~now ~min_age =
-  let old_enough =
-    match Hashtbl.find_opt t.sent_at seq with
-    | Some at -> now -. at >= min_age
-    | None -> true
-  in
-  if old_enough && Int_set.mem seq t.outstanding then begin
+  if
+    kind t seq = 1
+    && now -. t.sent_at.(seq) >= min_age
+  then begin
     remove_outstanding t seq;
     queue_retx t seq;
     true
@@ -133,12 +178,11 @@ let mark_lost t seq ~now ~min_age =
 
 let sweep_stale t ~now ~min_age =
   let stale = ref [] in
-  Int_set.iter
-    (fun seq ->
-      match Hashtbl.find_opt t.sent_at seq with
-      | Some at when now -. at < min_age -> ()
-      | Some _ | None -> stale := seq :: !stale)
-    t.outstanding;
+  advance_min_out t;
+  for seq = t.min_out to t.next - 1 do
+    if kind t seq = 1 && now -. t.sent_at.(seq) >= min_age then
+      stale := seq :: !stale
+  done;
   List.iter
     (fun seq ->
       remove_outstanding t seq;
@@ -150,7 +194,8 @@ let rec take_retx t =
   match Queue.take_opt t.retx_q with
   | None -> None
   | Some seq ->
-    Hashtbl.remove t.retx_set seq;
+    let st = Char.code (Bytes.unsafe_get t.state seq) in
+    Bytes.unsafe_set t.state seq (Char.unsafe_chr (st land lnot 4));
     if delivered t seq then take_retx t else Some seq
 
 let has_retx t =

@@ -27,7 +27,7 @@ let rec send_tick t () =
       t.seq <- t.seq + 1;
       t.sent <- t.sent + 1;
       t.sink pkt;
-      ignore (Engine.schedule_in t.engine ~after:(gap t) (send_tick t))
+      Engine.post_in t.engine ~after:(gap t) (send_tick t)
     end
     else begin
       (* OFF period, then a fresh burst. *)

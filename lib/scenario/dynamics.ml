@@ -28,7 +28,7 @@ let redraw t =
 let rec tick t () =
   if t.running then begin
     redraw t;
-    ignore (Engine.schedule_in t.engine ~after:t.period (tick t))
+    Engine.post_in t.engine ~after:t.period (tick t)
   end
 
 let start engine ~rng ~topo ?(link = 0) ?(period = 5.)

@@ -119,7 +119,7 @@ let check_now = sweep
    only ever record the first violation. *)
 let rec tick t =
   if not t.stopped then begin
-    ignore (Engine.schedule_in t.engine ~after:t.interval (fun () -> tick t));
+    Engine.post_in t.engine ~after:t.interval (fun () -> tick t);
     sweep t
   end
 
@@ -144,7 +144,7 @@ let start engine ?(interval = 0.05) ?on_violation ~links ~goodputs () =
       stopped = false;
     }
   in
-  ignore (Engine.schedule_in engine ~after:interval (fun () -> tick t));
+  Engine.post_in engine ~after:interval (fun () -> tick t);
   t
 
 let attach_link engine ?interval ?on_violation ?(name = "link") link =

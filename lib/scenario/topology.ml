@@ -393,9 +393,9 @@ let build engine ~rng ?nodes ~links:specs ?(rev_loss = 0.) ~flows:defs () =
             ~b:0.
             ~i:(q.Queue_disc.len_pkts ()))
         links;
-      ignore (Engine.schedule_in engine ~after:dt probe)
+      Engine.post_in engine ~after:dt probe
     in
-    ignore (Engine.schedule_in engine ~after:dt probe)
+    Engine.post_in engine ~after:dt probe
   | Some _ | None -> ());
   let strip = function Some x -> x | None -> assert false in
   {

@@ -30,8 +30,40 @@
 type t
 (** A simulation engine. *)
 
-type timer
-(** A cancellable handle on a scheduled event. *)
+type timer = Handle.t
+(** A cancellable handle on a scheduled event, independent of the
+    scheduler backend. *)
+
+type scheduler =
+  | Heap  (** Binary min-heap ({!Event_heap}): O(log n) operations. *)
+  | Wheel
+      (** Hierarchical timing wheel ({!Timing_wheel}): O(1) schedule and
+          near-O(1) dispatch at millions of pending events. *)
+
+(** Both backends dispatch in the identical exact [(time, sequence)]
+    order — time ties break in scheduling order — so a seeded
+    simulation produces byte-identical output under either. The
+    per-engine choice resolves, in priority order: the [?scheduler]
+    argument to {!create}, {!set_default_scheduler} (the CLI's
+    [--scheduler]), the [PCC_SCHEDULER] environment variable
+    ("heap"/"wheel"), and finally the built-in default (wheel). *)
+
+val scheduler_of_string : string -> scheduler option
+(** ["heap"] / ["wheel"] (already lowercased) to a scheduler. *)
+
+val scheduler_name : scheduler -> string
+
+val set_default_scheduler : scheduler -> unit
+(** Override the process-wide default backend for subsequently created
+    engines (thread-safe; worker domains observe it). *)
+
+val default_scheduler : unit -> scheduler
+(** The backend a parameterless {!create} would pick right now.
+    @raise Invalid_argument if [PCC_SCHEDULER] is set to garbage and no
+    override is installed. *)
+
+val scheduler : t -> scheduler
+(** The backend this engine runs on. *)
 
 type error_policy =
   | Raise  (** Wrap the exception in {!Event_error} and re-raise (default). *)
@@ -52,12 +84,19 @@ exception Livelock of { time : float; events : int; kind : livelock_kind }
     ({!Budget}). *)
 
 val create :
-  ?now:float -> ?stall_budget:int -> ?on_error:error_policy -> unit -> t
+  ?now:float ->
+  ?stall_budget:int ->
+  ?on_error:error_policy ->
+  ?scheduler:scheduler ->
+  unit ->
+  t
 (** [create ()] is a fresh engine with the clock at [now] (default 0).
     [stall_budget] (default 1_000_000) is the number of events that may
     execute at a single simulated instant before {!Livelock} is raised;
     legitimate bursts of simultaneous events are orders of magnitude
-    smaller. @raise Invalid_argument if [stall_budget <= 0]. *)
+    smaller. [scheduler] picks the queue backend (default: see
+    {!default_scheduler}). @raise Invalid_argument if
+    [stall_budget <= 0]. *)
 
 val now : t -> float
 (** [now t] is the current simulated time in seconds. *)
@@ -70,6 +109,15 @@ val schedule_in : t -> after:float -> (unit -> unit) -> timer
 (** [schedule_in t ~after f] runs [f] [after] seconds from now. Negative
     delays are clamped to zero (the event runs after already-queued events
     at the current instant). *)
+
+val post : t -> at:float -> (unit -> unit) -> unit
+(** {!schedule} without a cancellation handle: the event cannot be
+    cancelled, and the queue allocates nothing beyond its arena slot.
+    Use for fire-and-forget events on hot paths (packet deliveries).
+    Ordering is identical to {!schedule} at the same time. *)
+
+val post_in : t -> after:float -> (unit -> unit) -> unit
+(** {!schedule_in}, handle-free (see {!post}). *)
 
 val cancel : timer -> unit
 (** [cancel timer] prevents a pending event from firing. Cancelling an

@@ -11,10 +11,7 @@
    root), but the heap maintains an exact live count so [size] and
    [is_empty] are O(1) and never over-report buried dead entries. *)
 
-(* state: 0 = pending (in the heap), 1 = cancelled, 2 = popped.
-   [live] aliases the owning heap's counter so [cancel] — which has no
-   heap argument — can keep the count exact. *)
-type handle = { mutable state : int; live : int ref }
+type handle = Handle.t
 
 type 'a cell = { seq : int; h : handle; v : 'a }
 
@@ -100,7 +97,7 @@ let sift_down t i time c =
   t.cells.(!i) <- c
 
 let push t ~time v =
-  let h = { state = 0; live = t.live } in
+  let h = Handle.make t.live in
   let c = { seq = t.next_seq; h; v } in
   t.next_seq <- t.next_seq + 1;
   ensure_capacity t time c;
@@ -108,6 +105,18 @@ let push t ~time v =
   incr t.live;
   sift_up t (t.len - 1) time c;
   h
+
+(* A single always-pending handle shared by every uncancellable entry;
+   pop recognizes it physically and skips the state write. *)
+let unit_handle : handle = Handle.make (ref 0)
+
+let push_unit t ~time v =
+  let c = { seq = t.next_seq; h = unit_handle; v } in
+  t.next_seq <- t.next_seq + 1;
+  ensure_capacity t time c;
+  t.len <- t.len + 1;
+  incr t.live;
+  sift_up t (t.len - 1) time c
 
 (* Remove the root, refilling the hole from the last slot. *)
 let remove_root t =
@@ -122,17 +131,31 @@ let rec pop t =
   else begin
     let time = t.times.(0) and c = t.cells.(0) in
     remove_root t;
-    if c.h.state = 0 then begin
-      c.h.state <- 2;
+    if c.h.Handle.state = 0 then begin
+      if c.h != unit_handle then c.h.Handle.state <- 2;
       decr t.live;
       Some (time, c.v)
     end
     else pop t
   end
 
+let rec pop_cb t k =
+  if t.len = 0 then false
+  else begin
+    let time = t.times.(0) and c = t.cells.(0) in
+    remove_root t;
+    if c.h.Handle.state = 0 then begin
+      if c.h != unit_handle then c.h.Handle.state <- 2;
+      decr t.live;
+      k time c.v;
+      true
+    end
+    else pop_cb t k
+  end
+
 let rec pop_le t ~max_time =
   if t.len = 0 then None
-  else if t.cells.(0).h.state <> 0 then begin
+  else if t.cells.(0).h.Handle.state <> 0 then begin
     (* Dead root: discard it even if it lies beyond [max_time]. *)
     remove_root t;
     pop_le t ~max_time
@@ -141,23 +164,34 @@ let rec pop_le t ~max_time =
   else begin
     let time = t.times.(0) and c = t.cells.(0) in
     remove_root t;
-    c.h.state <- 2;
+    if c.h != unit_handle then c.h.Handle.state <- 2;
     decr t.live;
     Some (time, c.v)
   end
 
+let rec pop_le_cb t ~max_time k =
+  if t.len = 0 then false
+  else if t.cells.(0).h.Handle.state <> 0 then begin
+    remove_root t;
+    pop_le_cb t ~max_time k
+  end
+  else if t.times.(0) > max_time then false
+  else begin
+    let time = t.times.(0) and c = t.cells.(0) in
+    remove_root t;
+    if c.h != unit_handle then c.h.Handle.state <- 2;
+    decr t.live;
+    k time c.v;
+    true
+  end
+
 let rec peek_time t =
   if t.len = 0 then None
-  else if t.cells.(0).h.state <> 0 then begin
+  else if t.cells.(0).h.Handle.state <> 0 then begin
     remove_root t;
     peek_time t
   end
   else Some t.times.(0)
 
-let cancel h =
-  if h.state = 0 then begin
-    h.state <- 1;
-    decr h.live
-  end
-
-let cancelled h = h.state = 1
+let cancel = Handle.cancel
+let cancelled = Handle.cancelled

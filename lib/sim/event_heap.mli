@@ -15,8 +15,10 @@
 type 'a t
 (** A heap carrying payloads of type ['a]. *)
 
-type handle
-(** A handle onto an inserted event, usable to cancel it. *)
+type handle = Handle.t
+(** A handle onto an inserted event, usable to cancel it. The concrete
+    type is shared with {!Timing_wheel} so {!Engine} can expose one
+    [timer] type across scheduler backends. *)
 
 val create : unit -> 'a t
 (** [create ()] is an empty heap. *)
@@ -32,15 +34,32 @@ val push : 'a t -> time:float -> 'a -> handle
 (** [push t ~time v] inserts [v] at key [time] and returns a cancellation
     handle. *)
 
+val push_unit : 'a t -> time:float -> 'a -> unit
+(** Like {!push} but uncancellable and handle-free — fire-and-forget
+    events skip the per-entry handle allocation. Dispatch order is
+    identical to {!push} (same sequence counter). *)
+
 val pop : 'a t -> (float * 'a) option
 (** [pop t] removes and returns the earliest live event, or [None] if the
     heap is empty. Cancelled entries are discarded transparently. *)
+
+val pop_cb : 'a t -> (float -> 'a -> unit) -> bool
+(** [pop_cb t k] is {!pop} in continuation style: calls [k time v] on
+    the earliest live event and returns [true], or returns [false] on an
+    empty queue without calling [k]. Allocates nothing — the option and
+    tuple of {!pop} are measurable at millions of events per second on
+    the engine dispatch loop. The event is consumed before [k] runs. *)
 
 val pop_le : 'a t -> max_time:float -> (float * 'a) option
 (** [pop_le t ~max_time] is [pop t] if the earliest live event's time is
     [<= max_time], and [None] (removing nothing live) otherwise. A single
     heap traversal — callers driving a clock toward a deadline avoid the
     peek-then-pop double descent. *)
+
+val pop_le_cb : 'a t -> max_time:float -> (float -> 'a -> unit) -> bool
+(** {!pop_le} in continuation style (see {!pop_cb}): [false] both when
+    the queue is empty and when the earliest live event lies beyond
+    [max_time]. *)
 
 val peek_time : 'a t -> float option
 (** [peek_time t] is the timestamp of the earliest live event, if any,

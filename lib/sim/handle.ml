@@ -1,0 +1,20 @@
+(* Cancellation handle shared by every scheduler backend.
+
+   state: 0 = pending (queued), 1 = cancelled, 2 = popped. [live]
+   aliases the owning queue's exact live-entry counter so [cancel] —
+   which has no queue argument — can keep that count exact without a
+   back-pointer to the queue itself. Both Event_heap and Timing_wheel
+   store handles of this one type, which is what lets Engine expose a
+   single [timer] type independent of the selected scheduler. *)
+
+type t = { mutable state : int; live : int ref }
+
+let make live = { state = 0; live }
+
+let cancel h =
+  if h.state = 0 then begin
+    h.state <- 1;
+    decr h.live
+  end
+
+let cancelled h = h.state = 1

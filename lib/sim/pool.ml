@@ -1,0 +1,92 @@
+(* Slot pool with per-slot reusable event closures.
+
+   The simulator's packet paths used to allocate one closure (and, via
+   [Engine.schedule_in], one cancellation handle) per packet per hop:
+   [fun () -> receiver p] captures a fresh environment every send. This
+   pool inverts the capture. Each slot owns one closure, allocated when
+   the slot first exists, that reads the slot's *current* payload and
+   releases the slot before firing the pool's action. Checking a value
+   in ([event]) is then a couple of array stores, and a steady-state
+   simulation — where the number of in-flight packets per component is
+   bounded by bandwidth-delay products — allocates nothing at all on
+   the per-packet path after warm-up.
+
+   Discipline: every closure returned by [event] must be run exactly
+   once. Running it twice would fire a later packet's payload (or the
+   dummy); never running it leaks the slot until [clear]. Scheduling it
+   via {!Engine.post}/{!Engine.post_in} satisfies this — posted events
+   cannot be cancelled and run exactly once.
+
+   The fire action is mutable ([set_fire]) because receivers are wired
+   after construction (see {!Delay_line.set_receiver}); the per-slot
+   closures read it at fire time through the pool record. *)
+
+type 'a t = {
+  dummy : 'a;
+  mutable fire : 'a -> unit;
+  mutable slots : 'a array;
+  mutable events : (unit -> unit) array;
+  mutable free : int array;  (* stack of free slot indices *)
+  mutable free_top : int;  (* number of valid entries in [free] *)
+  mutable in_use : int;
+}
+
+let create ~dummy () =
+  {
+    dummy;
+    fire = (fun _ -> failwith "Pool: no fire action installed");
+    slots = [||];
+    events = [||];
+    free = [||];
+    free_top = 0;
+    in_use = 0;
+  }
+
+let set_fire t f = t.fire <- f
+
+let make_event t i () =
+  let v = t.slots.(i) in
+  t.slots.(i) <- t.dummy;
+  t.free.(t.free_top) <- i;
+  t.free_top <- t.free_top + 1;
+  t.in_use <- t.in_use - 1;
+  t.fire v
+
+let grow t =
+  let cap = Array.length t.slots in
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  let nslots = Array.make ncap t.dummy in
+  let nevents = Array.make ncap ignore in
+  let nfree = Array.make ncap 0 in
+  Array.blit t.slots 0 nslots 0 cap;
+  Array.blit t.events 0 nevents 0 cap;
+  Array.blit t.free 0 nfree 0 t.free_top;
+  t.slots <- nslots;
+  t.events <- nevents;
+  t.free <- nfree;
+  for i = ncap - 1 downto cap do
+    nevents.(i) <- make_event t i;
+    nfree.(t.free_top) <- i;
+    t.free_top <- t.free_top + 1
+  done
+
+let event t v =
+  if t.free_top = 0 then grow t;
+  t.free_top <- t.free_top - 1;
+  let i = t.free.(t.free_top) in
+  t.slots.(i) <- v;
+  t.in_use <- t.in_use + 1;
+  t.events.(i)
+
+let in_use t = t.in_use
+let capacity t = Array.length t.slots
+
+let clear t =
+  let cap = Array.length t.slots in
+  Array.fill t.slots 0 cap t.dummy;
+  t.free_top <- 0;
+  for i = cap - 1 downto 0 do
+    t.free.(t.free_top) <- i;
+    t.free_top <- t.free_top + 1
+  done;
+  t.in_use <- 0

@@ -1,0 +1,41 @@
+(** Slot pool with per-slot reusable event closures.
+
+    Eliminates per-packet closure and handle allocation on hot packet
+    paths: each slot allocates one closure when the slot first exists,
+    and {!event} re-binds that closure to a new payload with a couple
+    of array stores. After warm-up (pool capacity reaches the
+    steady-state in-flight count) the per-packet path allocates
+    nothing.
+
+    Discipline: a closure returned by {!event} must be run exactly
+    once — running it twice fires a later payload, never running it
+    leaks the slot. Scheduling it with {!Engine.post} / {!Engine.post_in}
+    (which run each posted event exactly once and admit no
+    cancellation) satisfies this by construction. *)
+
+type 'a t
+
+val create : dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] is an empty pool. [dummy] seeds the payload
+    array and scrubs released slots (so the pool never pins a fired
+    payload); it is never passed to the fire action. *)
+
+val set_fire : 'a t -> ('a -> unit) -> unit
+(** Install the action the slot closures run on their payload.
+    Mutable because receivers are typically wired after construction;
+    closures read the current action at fire time. *)
+
+val event : 'a t -> 'a -> unit -> unit
+(** [event t v] checks [v] into a slot and returns the slot's reusable
+    closure: running it releases the slot and applies the fire action
+    to [v]. Amortized allocation-free (slots and their closures are
+    allocated only when the pool grows). *)
+
+val in_use : 'a t -> int
+(** Slots currently checked out (events scheduled but not yet run). *)
+
+val capacity : 'a t -> int
+
+val clear : 'a t -> unit
+(** Release every slot and scrub payloads. Only safe when no checked-out
+    closure can still run (e.g. the owning engine was discarded). *)

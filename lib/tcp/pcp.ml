@@ -173,7 +173,7 @@ let create engine ?(init_rate = Units.mbps 1.) ?(max_rate = Units.gbps 10.)
     if (not !running) && not !completed then begin
       running := true;
       Rate_pacer.start p;
-      ignore (Engine.schedule_in engine ~after:0.01 probe_tick)
+      Engine.post_in engine ~after:0.01 probe_tick
     end
   in
   let stop () =

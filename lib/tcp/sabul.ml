@@ -121,7 +121,7 @@ let create engine ?(init_rate = Units.mbps 1.) ?(max_rate = Units.gbps 10.)
       let now = Engine.now engine in
       ignore (Scoreboard.sweep_stale sb ~now ~min_age:(4. *. !srtt));
       if Scoreboard.has_retx sb then Rate_pacer.kick p;
-      ignore (Engine.schedule_in engine ~after:syn_period syn_tick)
+      Engine.post_in engine ~after:syn_period syn_tick
     end
   in
   let p = Rate_pacer.create engine ~rate:init_rate ~send:send_one in
@@ -130,7 +130,7 @@ let create engine ?(init_rate = Units.mbps 1.) ?(max_rate = Units.gbps 10.)
     if (not !running) && not !completed then begin
       running := true;
       Rate_pacer.start p;
-      ignore (Engine.schedule_in engine ~after:syn_period syn_tick)
+      Engine.post_in engine ~after:syn_period syn_tick
     end
   in
   let stop () =

@@ -1,8 +1,6 @@
 open Pcc_sim
 open Pcc_net
 
-module Int_set = Set.Make (Int)
-
 type config = {
   variant : Variant.t;
   pacing : bool;
@@ -24,6 +22,25 @@ let default_config variant =
     initial_rtt = 0.05;
   }
 
+(* Per-sequence tracking lives in flat arrays indexed by sequence number
+   (sequences are dense from 0). [state] packs, per sequence, a kind in
+   the low two bits — 0 none, 1 outstanding (sent, unacked, not marked
+   lost), 2 selectively acked above [high_ack] — and "queued for
+   retransmission" in bit 2. [sent_at] keeps the last transmission time;
+   entries for resolved sequences go stale, but every read is guarded by
+   an outstanding check, so staleness is unobservable. [min_out] is a
+   monotone cursor below which nothing is outstanding.
+
+   Loss detection needs "outstanding sequences at or below the SACK
+   frontier minus dupthresh" on every ack. Scanning the window for them
+   would be O(cwnd) per ack, so candidates are tracked incrementally in
+   [cand] (bit 3 of [state] marks membership): a sequence enters when
+   the frontier first passes it (the frontier advance scans only the
+   newly covered delta, amortized O(1) per sequence) or when it is
+   retransmitted below the frontier, and leaves when it resolves or is
+   declared lost. [cand] therefore holds exactly the holes — typically
+   a handful of entries. *)
+
 type t = {
   engine : Engine.t;
   cfg : config;
@@ -35,13 +52,14 @@ type t = {
   mutable running : bool;
   mutable next_seq : int;
   mutable high_ack : int;
-  mutable sacked : Int_set.t;  (* received seqs above high_ack *)
-  mutable outstanding : Int_set.t;  (* sent, unacked, not marked lost *)
+  mutable state : Bytes.t;
+  mutable sent_at : float array;
+  mutable min_out : int;
   mutable inflight : int;
   mutable highest_sacked : int;
+  mutable cand : int array;  (* loss candidates (unsorted) *)
+  mutable cand_len : int;
   retx : int Queue.t;
-  retx_set : (int, unit) Hashtbl.t;
-  sent_at : (int, float) Hashtbl.t;
   mutable in_recovery : bool;
   mutable recover_seq : int;
   mutable rto_timer : Engine.timer option;
@@ -96,13 +114,14 @@ let create engine cfg ?size ?on_complete ~out () =
     running = false;
     next_seq = 0;
     high_ack = -1;
-    sacked = Int_set.empty;
-    outstanding = Int_set.empty;
+    state = Bytes.make 1024 '\000';
+    sent_at = Array.make 1024 0.;
+    min_out = 0;
     inflight = 0;
     highest_sacked = -1;
+    cand = Array.make 16 0;
+    cand_len = 0;
     retx = Queue.create ();
-    retx_set = Hashtbl.create 64;
-    sent_at = Hashtbl.create 256;
     in_recovery = false;
     recover_seq = 0;
     rto_timer = None;
@@ -116,6 +135,70 @@ let create engine cfg ?size ?on_complete ~out () =
     on_complete;
   }
 
+let ensure t seq =
+  let cap = Bytes.length t.state in
+  if seq >= cap then begin
+    let ncap = ref (cap * 2) in
+    while seq >= !ncap do
+      ncap := !ncap * 2
+    done;
+    let nstate = Bytes.make !ncap '\000' in
+    Bytes.blit t.state 0 nstate 0 cap;
+    t.state <- nstate;
+    let nsent = Array.make !ncap 0. in
+    Array.blit t.sent_at 0 nsent 0 cap;
+    t.sent_at <- nsent
+  end
+
+(* Every sequence below [next_seq] has been through [do_send] and hence
+   [ensure], so unguarded accesses in that range are in bounds. *)
+let kind t seq = Char.code (Bytes.unsafe_get t.state seq) land 3
+
+let set_kind t seq k =
+  let b = Char.code (Bytes.unsafe_get t.state seq) in
+  Bytes.unsafe_set t.state seq (Char.unsafe_chr (b land 12 lor k))
+
+let retx_queued t seq = Char.code (Bytes.unsafe_get t.state seq) land 4 <> 0
+
+let set_retx_queued t seq q =
+  let b = Char.code (Bytes.unsafe_get t.state seq) in
+  Bytes.unsafe_set t.state seq
+    (Char.unsafe_chr (if q then b lor 4 else b land 11))
+
+let untrack t seq =
+  let b = Char.code (Bytes.unsafe_get t.state seq) in
+  Bytes.unsafe_set t.state seq (Char.unsafe_chr (b land 7))
+
+(* Add [seq] to the loss-candidate set unless already tracked. *)
+let track t seq =
+  let b = Char.code (Bytes.unsafe_get t.state seq) in
+  if b land 8 = 0 then begin
+    Bytes.unsafe_set t.state seq (Char.unsafe_chr (b lor 8));
+    if t.cand_len = Array.length t.cand then begin
+      let ncand = Array.make (2 * t.cand_len) 0 in
+      Array.blit t.cand 0 ncand 0 t.cand_len;
+      t.cand <- ncand
+    end;
+    t.cand.(t.cand_len) <- seq;
+    t.cand_len <- t.cand_len + 1
+  end
+
+(* The SACK frontier moved from [old_hs] to [t.highest_sacked]: any
+   still-outstanding sequence in the newly covered band becomes a loss
+   candidate. Bands are disjoint across calls, so the total scan work
+   over a connection is O(highest sequence). *)
+let frontier_advanced t old_hs =
+  let lo = max t.min_out (old_hs - t.cfg.dupthresh + 1) in
+  let hi = t.highest_sacked - t.cfg.dupthresh in
+  for s = max 0 lo to hi do
+    if kind t s = 1 then track t s
+  done
+
+let advance_min_out t =
+  while t.min_out < t.next_seq && kind t t.min_out <> 1 do
+    t.min_out <- t.min_out + 1
+  done
+
 let cancel_rto t =
   match t.rto_timer with
   | Some timer ->
@@ -126,7 +209,7 @@ let cancel_rto t =
 let effective_cwnd t =
   int_of_float (Float.min t.ctx.Variant.cwnd t.cfg.max_cwnd)
 
-let already_delivered t seq = seq <= t.high_ack || Int_set.mem seq t.sacked
+let already_delivered t seq = seq <= t.high_ack || kind t seq = 2
 
 (* Trace: congestion-window change. [cause] 0 = ack-clocked growth,
    1 = fast-recovery entry, 2 = retransmission timeout. *)
@@ -141,7 +224,7 @@ let trace_cwnd t ~cause =
 let rec next_to_send t =
   match Queue.take_opt t.retx with
   | Some seq ->
-    Hashtbl.remove t.retx_set seq;
+    set_retx_queued t seq false;
     if already_delivered t seq then next_to_send t else Some (seq, true)
   | None -> (
     match t.total_pkts with
@@ -171,15 +254,17 @@ and on_timeout t =
     t.timeouts <- t.timeouts + 1;
     let flight_at_timeout = t.inflight in
     (* Go-back-N: everything unacked is presumed lost. *)
-    Int_set.iter
-      (fun seq ->
-        if (not (already_delivered t seq)) && not (Hashtbl.mem t.retx_set seq)
-        then begin
-          Hashtbl.add t.retx_set seq ();
+    advance_min_out t;
+    for seq = t.min_out to t.next_seq - 1 do
+      if kind t seq = 1 then begin
+        set_kind t seq 0;
+        if (not (already_delivered t seq)) && not (retx_queued t seq) then begin
+          set_retx_queued t seq true;
           Queue.push seq t.retx
-        end)
-      t.outstanding;
-    t.outstanding <- Int_set.empty;
+        end
+      end
+    done;
+    t.min_out <- t.next_seq;
     t.inflight <- 0;
     t.in_recovery <- false;
     t.ctx.Variant.ssthresh <-
@@ -194,8 +279,11 @@ and on_timeout t =
 and do_send t seq retx =
   let now = Engine.now t.engine in
   let pkt = Packet.data ~flow:t.flow ~seq ~size:Units.mss ~now ~retx in
-  Hashtbl.replace t.sent_at seq now;
-  t.outstanding <- Int_set.add seq t.outstanding;
+  ensure t seq;
+  t.sent_at.(seq) <- now;
+  set_kind t seq 1;
+  if seq <= t.highest_sacked - t.cfg.dupthresh then track t seq;
+  if seq < t.min_out then t.min_out <- seq;
   t.inflight <- t.inflight + 1;
   t.sent_pkts <- t.sent_pkts + 1;
   t.last_send <- now;
@@ -255,68 +343,96 @@ let detect_losses t =
      selectively acknowledged — the SACK analogue of 3 dup-acks. The age
      guard keeps an in-flight retransmission (necessarily below the SACK
      frontier) from being re-declared lost on every subsequent ack. *)
-  let now = Engine.now t.engine in
-  let min_age = 0.8 *. Rtt_estimator.srtt_or t.est t.cfg.initial_rtt in
-  let threshold = t.highest_sacked - t.cfg.dupthresh in
-  let candidates = ref [] in
-  (try
-     Int_set.iter
-       (fun seq ->
-         if seq > threshold then raise Exit;
-         candidates := seq :: !candidates)
-       t.outstanding
-   with Exit -> ());
-  let newly_lost = ref [] in
-  List.iter
-    (fun seq ->
-      let old_enough =
-        match Hashtbl.find_opt t.sent_at seq with
-        | Some at -> now -. at >= min_age
-        | None -> true
-      in
-      if old_enough then begin
-        t.outstanding <- Int_set.remove seq t.outstanding;
-        t.inflight <- t.inflight - 1;
-        newly_lost := seq :: !newly_lost;
-        if not (Hashtbl.mem t.retx_set seq) then begin
-          Hashtbl.add t.retx_set seq ();
-          Queue.push seq t.retx
+  if t.cand_len = 0 then []
+  else begin
+    let now = Engine.now t.engine in
+    let min_age = 0.8 *. Rtt_estimator.srtt_or t.est t.cfg.initial_rtt in
+    let n = t.cand_len in
+    (* In-place insertion sort: [cand] is small (it holds only the
+       holes), and ascending order fixes the retransmission-queue push
+       order below, which must match the tree-based implementation. *)
+    for i = 1 to n - 1 do
+      let v = t.cand.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && t.cand.(!j) > v do
+        t.cand.(!j + 1) <- t.cand.(!j);
+        decr j
+      done;
+      t.cand.(!j + 1) <- v
+    done;
+    (* Ascending walk, consed into a descending list: processing order
+       (and hence retx push order) matches the original exactly. Entries
+       that resolved since being tracked drop out here. *)
+    let candidates = ref [] in
+    for i = 0 to n - 1 do
+      let seq = t.cand.(i) in
+      if kind t seq = 1 then candidates := seq :: !candidates
+      else untrack t seq
+    done;
+    t.cand_len <- 0;
+    let newly_lost = ref [] in
+    List.iter
+      (fun seq ->
+        if now -. t.sent_at.(seq) >= min_age then begin
+          set_kind t seq 0;
+          untrack t seq;
+          t.inflight <- t.inflight - 1;
+          newly_lost := seq :: !newly_lost;
+          if not (retx_queued t seq) then begin
+            set_retx_queued t seq true;
+            Queue.push seq t.retx
+          end
         end
-      end)
-    !candidates;
-  !newly_lost
+        else begin
+          (* Too young to declare lost: stays a candidate. *)
+          t.cand.(t.cand_len) <- seq;
+          t.cand_len <- t.cand_len + 1
+        end)
+      !candidates;
+    (* Survivors were appended in descending order; restore ascending
+       so the next drain's insertion sort stays linear (only entries
+       tracked by a retransmission since then can be out of place). *)
+    let i = ref 0 and j = ref (t.cand_len - 1) in
+    while !i < !j do
+      let tmp = t.cand.(!i) in
+      t.cand.(!i) <- t.cand.(!j);
+      t.cand.(!j) <- tmp;
+      incr i;
+      decr j
+    done;
+    !newly_lost
+  end
 
 let handle_ack t (a : Packet.ack) =
   if t.running then begin
     (* Karn's rule: no RTT sample from a retransmitted packet. *)
     if not a.Packet.data_retx then
-      Rtt_estimator.sample t.est
-        (Engine.now t.engine -. a.Packet.data_sent_at);
+      Rtt_estimator.sample t.est (Engine.now t.engine -. a.Packet.data_sent_at);
     let newly = ref 0 in
     let seq = a.Packet.acked_seq in
-    if seq > t.high_ack && not (Int_set.mem seq t.sacked) then begin
-      t.sacked <- Int_set.add seq t.sacked;
+    ensure t seq;
+    if seq > t.high_ack && kind t seq <> 2 then begin
+      if kind t seq = 1 then t.inflight <- t.inflight - 1;
+      set_kind t seq 2;
       incr newly;
-      if Int_set.mem seq t.outstanding then begin
-        t.outstanding <- Int_set.remove seq t.outstanding;
-        t.inflight <- t.inflight - 1
-      end;
-      Hashtbl.remove t.sent_at seq;
-      if seq > t.highest_sacked then t.highest_sacked <- seq
+      if seq > t.highest_sacked then begin
+        let old_hs = t.highest_sacked in
+        t.highest_sacked <- seq;
+        frontier_advanced t old_hs
+      end
     end;
     if a.Packet.cum_ack > t.high_ack then begin
+      ensure t a.Packet.cum_ack;
       for s = t.high_ack + 1 to a.Packet.cum_ack do
-        if Int_set.mem s t.sacked then t.sacked <- Int_set.remove s t.sacked
-        else begin
+        (match kind t s with
+        | 2 -> ()
+        | k ->
           incr newly;
-          if Int_set.mem s t.outstanding then begin
-            t.outstanding <- Int_set.remove s t.outstanding;
-            t.inflight <- t.inflight - 1
-          end
-        end;
-        Hashtbl.remove t.sent_at s
+          if k = 1 then t.inflight <- t.inflight - 1);
+        set_kind t s 0
       done;
-      t.high_ack <- a.Packet.cum_ack
+      t.high_ack <- a.Packet.cum_ack;
+      if t.min_out <= t.high_ack then t.min_out <- t.high_ack + 1
     end;
     if !newly > 0 then begin
       t.acked_pkts <- t.acked_pkts + !newly;

@@ -3,24 +3,30 @@
 # committed baseline and fail if aggregate event throughput regressed
 # beyond the budget.
 #
-#   check_bench.sh BASELINE.json FRESH.json [MAX_REGRESSION]
+#   check_bench.sh BASELINE.json FRESH.json [MAX_REGRESSION] [MAX_REGRESSION_EACH]
 #
 # MAX_REGRESSION is a fraction (default 0.30 = fail when the fresh run
 # sustains < 70% of the baseline's events/sec). Experiments are joined
 # by name, so a baseline regenerated with a different --only set still
 # gates on whatever overlaps; the aggregate pools events and wall time
 # across the joined set so one tiny, noisy experiment cannot fail the
-# gate on its own. A markdown table goes to $GITHUB_STEP_SUMMARY when
+# gate on its own. On top of the aggregate, each individual experiment
+# is gated against the looser MAX_REGRESSION_EACH budget (default 0.50),
+# so a single experiment cratering cannot hide behind the pooled mean —
+# the slack exists because a lone experiment's events/sec is noisier
+# than the pool. A markdown table goes to $GITHUB_STEP_SUMMARY when
 # that is set. Experiments reporting zero events on either side (e.g. a
 # crashed run, or a computation the event counter cannot see) are listed
-# but excluded from the aggregate, since they contribute wall time with
-# no events and would skew the pooled events/sec arbitrarily.
+# but excluded from the aggregate and the per-experiment gate, since
+# they contribute wall time with no events and would skew the pooled
+# events/sec arbitrarily.
 set -euo pipefail
 
-usage="usage: check_bench.sh BASELINE.json FRESH.json [MAX_REGRESSION]"
+usage="usage: check_bench.sh BASELINE.json FRESH.json [MAX_REGRESSION] [MAX_REGRESSION_EACH]"
 baseline=${1:?$usage}
 fresh=${2:?$usage}
 max_reg=${3:-0.30}
+max_reg_each=${4:-0.50}
 
 for f in "$baseline" "$fresh"; do
   if [ ! -f "$f" ]; then
@@ -71,6 +77,20 @@ skipped=$(jq -r --slurpfile b "$baseline" '
 threshold=$(awk -v m="$max_reg" 'BEGIN { printf "%.4f", 1 - m }')
 ok=$(awk -v r="$ratio" -v t="$threshold" 'BEGIN { print (r >= t) ? "yes" : "no" }')
 
+# Per-experiment gate: every joined experiment with events on both
+# sides must individually stay within the (looser) per-experiment
+# budget.
+each_threshold=$(awk -v m="$max_reg_each" 'BEGIN { printf "%.4f", 1 - m }')
+slow=$(jq -r --slurpfile b "$baseline" --argjson t "$each_threshold" '
+  ($b[0].experiments | map({(.name): .}) | add) as $base
+  | [ .experiments[]
+      | select($base[.name] != null
+               and $base[.name].events > 0 and .events > 0
+               and $base[.name].events_per_sec > 0
+               and (.events_per_sec / $base[.name].events_per_sec) < $t)
+      | .name ]
+  | join(", ")' "$fresh")
+
 {
   echo "## Bench regression gate"
   echo ""
@@ -91,6 +111,10 @@ ok=$(awk -v r="$ratio" -v t="$threshold" 'BEGIN { print (r >= t) ? "yes" : "no" 
   else
     echo "**Aggregate events/sec ratio $ratio < $threshold: regression beyond the ${max_reg} budget.**"
   fi
+  if [ -n "$slow" ]; then
+    echo ""
+    echo "**Per-experiment regression beyond the ${max_reg_each} budget (ratio < $each_threshold): $slow**"
+  fi
 } | tee -a "${GITHUB_STEP_SUMMARY:-/dev/null}"
 
-[ "$ok" = yes ]
+[ "$ok" = yes ] && [ -z "$slow" ]
