@@ -197,14 +197,39 @@ let chaos_cmd transport bw_mbps rtt_ms duration seed rate check_invariants =
    builds; "parking" and "revpath" are shapes the flat builders cannot
    express (asymmetric chain, congested ack path); "fanin-large" is the
    many-flow scheduler stress scenario ([--flows] sized PCC transfers
-   over one bottleneck, reported in aggregate). *)
-let topo_shape ~engine ~rng ~bandwidth ~rtt ~flows_n transports shape =
+   over one bottleneck, reported in aggregate); "clusters" chains
+   [--shards] fan-in dumbbells with slow inter-cluster links — the
+   shape whose partition actually spreads over shards. With [hub] the
+   graph is built sharded ({!Topology.build_sharded}); [engine] is only
+   used monolithically. *)
+let topo_shape ~engine ~hub ~rng ~bandwidth ~rtt ~flows_n transports shape =
   let bdp = Units.bdp_bytes ~rate:bandwidth ~rtt in
+  let build ~links ~flows =
+    match hub with
+    | Some h -> Topology.build_sharded h ~rng ~links ~flows ()
+    | None -> Topology.build engine ~rng ~links ~flows ()
+  in
   match shape with
   | "fanin-large" ->
     Ok
-      (Pcc_experiments.Exp_manyflow.topology engine ~rng ~n:flows_n ~bandwidth
-         ~rtt)
+      (match hub with
+      | Some h ->
+        Pcc_experiments.Exp_manyflow.topology_sharded h ~rng ~n:flows_n
+          ~bandwidth ~rtt
+      | None ->
+        Pcc_experiments.Exp_manyflow.topology engine ~rng ~n:flows_n ~bandwidth
+          ~rtt)
+  | "clusters" -> (
+    match hub with
+    | None ->
+      Error "shape clusters needs a hub; pass --shards N (e.g. --shards 4)"
+    | Some h ->
+      (* A fixed cluster count: the graph must not depend on the shard
+         count, or cross-shard-count output comparisons would be
+         comparing different simulations. *)
+      Ok
+        (Pcc_experiments.Exp_manyflow.clustered_topology h ~rng ~clusters:4
+           ~n:flows_n ~bandwidth ~rtt))
   | "dumbbell" ->
     let links =
       [
@@ -213,7 +238,7 @@ let topo_shape ~engine ~rng ~bandwidth ~rtt ~flows_n transports shape =
       ]
     in
     let flows = List.map (fun t -> Topology.flow ~route:[ 0; 1 ] t) transports in
-    Ok (Topology.build engine ~rng ~links ~flows ())
+    Ok (build ~links ~flows)
   | "parking" ->
     (* Asymmetric 3-hop parking lot: the middle hop is the narrowest. The
        first transport runs end to end; the rest take one-hop routes,
@@ -243,7 +268,7 @@ let topo_shape ~engine ~rng ~bandwidth ~rtt ~flows_n transports shape =
           end)
         transports
     in
-    Ok (Topology.build engine ~rng ~links ~flows ())
+    Ok (build ~links ~flows)
   | "revpath" ->
     (* Congested reverse path: acks share a link 100x narrower than the
        data direction, with a shallow buffer. *)
@@ -261,16 +286,47 @@ let topo_shape ~engine ~rng ~bandwidth ~rtt ~flows_n transports shape =
         (fun t -> Topology.flow ~route:[ 0; 1 ] ~rev_route:[ 1; 0 ] t)
         transports
     in
-    Ok (Topology.build engine ~rng ~links ~flows ())
+    Ok (build ~links ~flows)
   | other ->
     Error
-      (Printf.sprintf "unknown shape %s (dumbbell, parking, revpath, fanin-large)"
+      (Printf.sprintf
+         "unknown shape %s (dumbbell, parking, revpath, fanin-large, clusters)"
          other)
 
 (* Per-flow columns are unreadable past a handful of flows, so large
-   populations (fanin-large) report aggregates per interval instead:
-   completions, goodput, and the live event-queue depth. *)
-let topo_report_aggregate ~engine ~duration ~interval topo =
+   populations (fanin-large, clusters) report aggregates per interval
+   instead: completions, goodput, and the live event-queue depth. Event
+   totals are hub-wide when the topology is sharded. *)
+let topo_executed topo =
+  match Topology.hub topo with
+  | Some h -> Shard.executed h
+  | None -> Engine.executed (Topology.engine topo)
+
+let topo_pending topo =
+  match Topology.hub topo with
+  | Some h -> Shard.pending h
+  | None -> Engine.pending (Topology.engine topo)
+
+(* After a sharded run, one line of per-shard balance. The reporting
+   loops drive [Topology.run] in interval slices and [Shard.last_stats]
+   covers only the final slice, so the line reads the hub's lifetime
+   counters and each engine's cumulative executed count instead. *)
+let report_shard_balance topo =
+  match Topology.hub topo with
+  | None -> ()
+  | Some h ->
+    let per = Array.map Engine.executed (Shard.engines h) in
+    let total = Array.fold_left ( + ) 0 per in
+    let mean = float_of_int total /. float_of_int (Array.length per) in
+    let worst = Array.fold_left max 0 per in
+    Printf.printf
+      "shards: %d; %d barrier rounds, %d boundary messages; per-shard events \
+       [%s], balance %.2f (max/mean)\n"
+      (Array.length per) (Shard.total_rounds h) (Shard.total_messages h)
+      (String.concat "; " (Array.to_list (Array.map string_of_int per)))
+      (if total = 0 then 1. else float_of_int worst /. mean)
+
+let topo_report_aggregate ~duration ~interval topo =
   let flows = Topology.flows topo in
   let n = Array.length flows in
   let total_bytes () =
@@ -287,23 +343,24 @@ let topo_report_aggregate ~engine ~duration ~interval topo =
   let last = ref 0 in
   let steps = int_of_float (duration /. interval) in
   for i = 1 to steps do
-    Engine.run ~until:(float_of_int i *. interval) engine;
+    Topology.run topo ~until:(float_of_int i *. interval);
     let b = total_bytes () in
     Printf.printf "%7.1fs %6d/%-4d %12.2f %14d %12d\n%!"
       (float_of_int i *. interval)
       (completed ()) n
       (float_of_int ((b - !last) * 8) /. interval /. 1e6)
-      (Engine.executed engine) (Engine.pending engine);
+      (topo_executed topo) (topo_pending topo);
     last := b
   done;
   Printf.printf
     "\n%d/%d flows completed; %.1f MB delivered; %d events executed\n"
     (completed ()) n
     (float_of_int (total_bytes ()) /. 1e6)
-    (Engine.executed engine)
+    (topo_executed topo);
+  report_shard_balance topo
 
 let topo_cmd transports shape flows_n bw_mbps rtt_ms duration seed interval
-    describe check_invariants =
+    describe check_invariants shards =
   Pcc_experiments.Cli_validate.(
     guarded
       [
@@ -312,13 +369,32 @@ let topo_cmd transports shape flows_n bw_mbps rtt_ms duration seed interval
         positive_f "--duration" duration;
         positive_f "--interval" interval;
         positive_i "--flows" flows_n;
+        non_negative_i "--shards" shards;
+        (if check_invariants && shards > 0 then
+           Error
+             "error: --check-invariants is incompatible with --shards (the \
+              checker's sweeps are engine events on one engine; sharded runs \
+              are validated by the fuzz differential and the determinism CI \
+              job instead)"
+         else Ok ());
       ])
   @@ fun () ->
   let bandwidth = Units.mbps bw_mbps in
   let rtt = rtt_ms /. 1000. in
   let engine = Engine.create () in
+  (* --shards 0 (the default) builds the classic monolithic topology;
+     "clusters" is inherently sharded, so give it a 1-shard hub rather
+     than reject it. *)
+  let hub =
+    if shards > 0 then Some (Shard.create ~shards ())
+    else if shape = "clusters" then Some (Shard.create ~shards:1 ())
+    else None
+  in
   let rng = Rng.create seed in
-  match topo_shape ~engine ~rng ~bandwidth ~rtt ~flows_n transports shape with
+  match
+    topo_shape ~engine ~hub ~rng ~bandwidth ~rtt ~flows_n transports shape
+  with
+  | exception Invalid_argument msg -> `Error (false, "error: " ^ msg)
   | Error msg -> `Error (false, msg)
   | Ok topo when Array.length (Topology.flows topo) > 16 ->
     Printf.printf "%d nodes, %d links, %d flows\n" (Topology.num_nodes topo)
@@ -327,7 +403,7 @@ let topo_cmd transports shape flows_n bw_mbps rtt_ms duration seed interval
     if describe then `Ok ()
     else begin
       if check_invariants then ignore (Invariant.attach_topology topo);
-      topo_report_aggregate ~engine ~duration ~interval topo;
+      topo_report_aggregate ~duration ~interval topo;
       `Ok ()
     end
   | Ok topo ->
@@ -345,7 +421,7 @@ let topo_cmd transports shape flows_n bw_mbps rtt_ms duration seed interval
       let last = Array.make (Array.length flows) 0 in
       let steps = int_of_float (duration /. interval) in
       for i = 1 to steps do
-        Engine.run ~until:(float_of_int i *. interval) engine;
+        Topology.run topo ~until:(float_of_int i *. interval);
         Printf.printf "%7.1fs" (float_of_int i *. interval);
         Array.iteri
           (fun j f ->
@@ -372,6 +448,7 @@ let topo_cmd transports shape flows_n bw_mbps rtt_ms duration seed interval
             (min_cap /. 1e6)
             (f.Topology.sender.Pcc_net.Sender.srtt () *. 1e3))
         flows;
+      report_shard_balance topo;
       `Ok ()
     end
 
@@ -445,8 +522,8 @@ let trace_cmd transports shape bw_mbps rtt_ms duration seed out_dir capacity
       let engine = Engine.create () in
       let rng = Rng.create seed in
       match
-        topo_shape ~engine ~rng ~bandwidth ~rtt ~flows_n:1000 transports
-          shape
+        topo_shape ~engine ~hub:None ~rng ~bandwidth ~rtt ~flows_n:1000
+          transports shape
       with
       | Error msg ->
         Pcc_trace.Collector.uninstall ();
@@ -735,12 +812,15 @@ let exp_cmd names scale seed jobs dump_dir trace_out list_exps deadline
 (* ------------------------------------------------------------------ *)
 (* Scenario fuzzing *)
 
-let fuzz_cmd runs seed corpus deep_every shrink_budget replay replay_dir =
+let fuzz_cmd runs seed corpus deep_every shard_every shards shrink_budget
+    replay replay_dir =
   Pcc_experiments.Cli_validate.(
     guarded
       [
         non_negative_i "--runs" runs;
         non_negative_i "--deep-every" deep_every;
+        non_negative_i "--shard-every" shard_every;
+        at_least "--shards" 2 shards;
         non_negative_i "--shrink-budget" shrink_budget;
       ])
   @@ fun () ->
@@ -753,7 +833,7 @@ let fuzz_cmd runs seed corpus deep_every shrink_budget replay replay_dir =
     let synth = Option.value synth_opt ~default:(fun _ -> None) in
     match (replay, replay_dir) with
     | Some path, _ -> (
-      match Pcc_fuzz.Driver.replay ~synth path with
+      match Pcc_fuzz.Driver.replay ~synth ~shards path with
       | Ok () ->
         Printf.printf "replay %s: all oracles pass\n" path;
         `Ok ()
@@ -767,7 +847,9 @@ let fuzz_cmd runs seed corpus deep_every shrink_budget replay replay_dir =
         `Error (false, "error: corrupt repro: " ^ m)
       | exception Sys_error m -> `Error (false, "error: " ^ m))
     | None, Some dir -> (
-      match Pcc_fuzz.Driver.replay_dir ~synth ~log:print_endline dir with
+      match
+        Pcc_fuzz.Driver.replay_dir ~synth ~shards ~log:print_endline dir
+      with
       | [] ->
         Printf.printf "corpus %s: all repros pass\n" dir;
         `Ok ()
@@ -782,8 +864,8 @@ let fuzz_cmd runs seed corpus deep_every shrink_budget replay replay_dir =
       | exception Sys_error m -> `Error (false, "error: " ^ m))
     | None, None -> (
       let summary =
-        Pcc_fuzz.Driver.fuzz ~synth ~deep_every ~shrink_budget
-          ?corpus_dir:corpus ~log:print_endline ~runs ~seed ()
+        Pcc_fuzz.Driver.fuzz ~synth ~deep_every ~shard_every ~shards
+          ~shrink_budget ?corpus_dir:corpus ~log:print_endline ~runs ~seed ()
       in
       match summary.Pcc_fuzz.Driver.failed with
       | [] -> `Ok ()
@@ -899,8 +981,10 @@ let topo_term =
           ~doc:
             "Topology shape: $(b,dumbbell) (one bottleneck), $(b,parking) \
              (asymmetric 3-hop chain), $(b,revpath) (ack path 100x narrower \
-             than the data path), or $(b,fanin-large) ($(b,--flows) sized \
-             PCC transfers over one bottleneck, reported in aggregate).")
+             than the data path), $(b,fanin-large) ($(b,--flows) sized PCC \
+             transfers over one bottleneck, reported in aggregate), or \
+             $(b,clusters) (chained fan-in dumbbells that spread over \
+             $(b,--shards)).")
   in
   let flows_arg =
     Arg.(
@@ -916,11 +1000,22 @@ let topo_term =
       & info [ "describe" ]
           ~doc:"Print the built graph (nodes, links, routes) and exit.")
   in
+  let shards_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Partition the topology over $(docv) shards and drive it through \
+             the conservative parallel hub. Output is byte-identical to the \
+             monolithic run for every $(docv); 0 (the default) builds the \
+             classic single-engine topology. Incompatible with \
+             $(b,--check-invariants).")
+  in
   Term.(
     ret
       (const topo_cmd $ transports_arg $ shape_arg $ flows_arg $ bw_arg
      $ rtt_arg $ duration_arg $ seed_arg $ interval_arg $ describe_arg
-     $ check_invariants_arg))
+     $ check_invariants_arg $ shards_arg))
 
 let game_term =
   let senders =
@@ -1138,6 +1233,23 @@ let fuzz_term =
             "Run the expensive supervisor/checkpoint differentials on every \
              $(docv)th scenario (0 disables them).")
   in
+  let shard_every_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "shard-every" ] ~docv:"N"
+          ~doc:
+            "Run the sharded-execution differential (1-shard vs \
+             $(b,--shards)-shard hub, bit-identical digests required) on \
+             every $(docv)th scenario (0 disables it).")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Shard count the sharded differential compares against the \
+             1-shard hub run.")
+  in
   let shrink_budget_arg =
     Arg.(
       value & opt int 300
@@ -1165,7 +1277,8 @@ let fuzz_term =
   Term.(
     ret
       (const fuzz_cmd $ runs_arg $ fuzz_seed_arg $ corpus_arg $ deep_every_arg
-     $ shrink_budget_arg $ replay_arg $ replay_dir_arg))
+     $ shard_every_arg $ shards_arg $ shrink_budget_arg $ replay_arg
+     $ replay_dir_arg))
 
 let cmds =
   [

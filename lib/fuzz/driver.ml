@@ -13,15 +13,22 @@ type summary = { runs : int; failed : failure_report list }
 
 let deep_oracle = function "supervisor-jobs" | "checkpoint" -> true | _ -> false
 
-let fuzz ?(synth = fun _ -> None) ?(deep_every = 8) ?(shrink_budget = 300)
-    ?corpus_dir ?(log = fun _ -> ()) ~runs ~seed () =
+let shard_oracle = function
+  | "shard-differential" | "shard-build" | "shard-livelock" | "shard-crash" ->
+    true
+  | _ -> false
+
+let fuzz ?(synth = fun _ -> None) ?(deep_every = 8) ?(shard_every = 4)
+    ?(shards = 4) ?(shrink_budget = 300) ?corpus_dir ?(log = fun _ -> ())
+    ~runs ~seed () =
   let failed = ref [] in
   for run = 0 to runs - 1 do
     let run_seed = Pcc_experiments.Runner.derive_seed ~master:seed ~index:run in
     let rng = Rng.create run_seed in
     let scenario = Scenario.generate ~rng () in
     let deep = deep_every > 0 && run mod deep_every = 0 in
-    match Oracle.test ~synth ~deep scenario with
+    let shard = shard_every > 0 && run mod shard_every = 0 in
+    match Oracle.test ~synth ~deep ~shard ~shards scenario with
     | None -> ()
     | Some failure ->
       log
@@ -29,9 +36,20 @@ let fuzz ?(synth = fun _ -> None) ?(deep_every = 8) ?(shrink_budget = 300)
            (Scenario.describe scenario) failure.Oracle.oracle
            failure.Oracle.detail);
       let deep_shrink = deep_oracle failure.Oracle.oracle in
+      let shard_shrink = shard_oracle failure.Oracle.oracle in
+      (* A sharded-differential failure only reproduces while the
+         candidate still spans more than one shard: a shrink step that
+         collapses the topology onto a single shard makes the N-shard
+         run degenerate to the 1-shard run and the bug vanishes, so
+         reject such candidates before spending an oracle run on them. *)
+      let check cand =
+        if shard_shrink && Scenario.shard_preview ~shards cand < 2 then None
+        else
+          Oracle.test ~synth ~deep:deep_shrink ~shard:shard_shrink ~shards
+            cand
+      in
       let shrunk, shrink_checks =
-        Shrink.minimize ~budget:shrink_budget
-          ~check:(Oracle.test ~synth ~deep:deep_shrink)
+        Shrink.minimize ~budget:shrink_budget ~check
           ~oracle:failure.Oracle.oracle scenario
       in
       log
@@ -41,7 +59,10 @@ let fuzz ?(synth = fun _ -> None) ?(deep_every = 8) ?(shrink_budget = 300)
       (* Re-derive the detail from the minimized scenario so the repro's
          header matches its own payload. *)
       let final_detail =
-        match Oracle.test ~synth ~deep:deep_shrink shrunk with
+        match
+          Oracle.test ~synth ~deep:deep_shrink ~shard:shard_shrink ~shards
+            shrunk
+        with
         | Some f when f.Oracle.oracle = failure.Oracle.oracle ->
           f.Oracle.detail
         | _ -> failure.Oracle.detail
@@ -70,16 +91,18 @@ let fuzz ?(synth = fun _ -> None) ?(deep_every = 8) ?(shrink_budget = 300)
        (if List.length failed = 1 then "" else "s"));
   { runs; failed }
 
-let replay ?(synth = fun _ -> None) path =
+let replay ?(synth = fun _ -> None) ?(shards = 4) path =
   let r = Corpus.load path in
-  match Oracle.test ~synth ~deep:true r.Corpus.scenario with
+  match Oracle.test ~synth ~deep:true ~shard:true ~shards r.Corpus.scenario with
   | None -> Ok ()
   | Some f -> Error f
 
-let replay_dir ?synth ?(log = fun _ -> ()) dir =
+let replay_dir ?synth ?(shards = 4) ?(log = fun _ -> ()) dir =
   List.filter_map
     (fun (path, (r : Corpus.repro)) ->
-      match Oracle.test ?synth ~deep:true r.Corpus.scenario with
+      match
+        Oracle.test ?synth ~deep:true ~shard:true ~shards r.Corpus.scenario
+      with
       | None ->
         log (Printf.sprintf "replay %s: ok (was %s)" path r.Corpus.oracle);
         None

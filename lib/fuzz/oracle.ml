@@ -9,7 +9,7 @@ type stats = { events : int; digest : string }
    events, so hitting this means the simulation ran away. *)
 let max_events = 10_000_000
 
-let digest engine topo =
+let digest_gen ~events ~now topo =
   let b = Buffer.create 256 in
   Array.iteri
     (fun i (f : Topology.built_flow) ->
@@ -24,10 +24,11 @@ let digest engine topo =
            | None -> "-"
            | Some v -> Printf.sprintf "%h" v)))
     (Topology.flows topo);
-  Buffer.add_string b
-    (Printf.sprintf "events=%d now=%h" (Engine.executed engine)
-       (Engine.now engine));
+  Buffer.add_string b (Printf.sprintf "events=%d now=%h" events now);
   Buffer.contents b
+
+let digest engine topo =
+  digest_gen ~events:(Engine.executed engine) ~now:(Engine.now engine) topo
 
 (* Post-run sweeps over sender/receiver counters: properties that must
    hold for every valid scenario, whatever the network did. *)
@@ -301,6 +302,78 @@ let wrapper_check (s : Scenario.t) (base : stats) =
   else None
 
 (* --------------------------------------------------------------- *)
+(* Sharded differential: rebuild the scenario on a 1-shard and an
+   N-shard hub and require bit-identical digests. Hub runs attach no
+   invariant checker (its sweeps are engine events, which would make
+   event counts incomparable between the two hub runs and the scheduled
+   probe cadence shard-dependent), so the comparison is hub-vs-hub, not
+   hub-vs-monolithic; the monolithic digest is covered by the oracles
+   above and the hub protocol's own determinism is what this one
+   polices. *)
+
+let run_hub ~shards (s : Scenario.t) : (stats, failure) result =
+  let hub = Shard.create ~shards () in
+  match Scenario.build_sharded hub s with
+  | exception Invalid_argument m -> Error { oracle = "shard-build"; detail = m }
+  | exception exn ->
+    Error { oracle = "shard-build"; detail = Printexc.to_string exn }
+  | built -> (
+    match Shard.run ~max_events hub ~until:s.Scenario.duration with
+    | () ->
+      built.Scenario.stop ();
+      let events = Shard.executed hub in
+      Ok
+        {
+          events;
+          digest =
+            digest_gen ~events
+              ~now:(Engine.now (Shard.engine hub 0))
+              built.Scenario.topo;
+        }
+    | exception Engine.Livelock { time; events; kind } ->
+      Error
+        {
+          oracle = "shard-livelock";
+          detail =
+            Printf.sprintf "%s at t=%.6f after %d events"
+              (match kind with
+              | Engine.Stall -> "stall"
+              | Engine.Budget -> "event budget exhausted")
+              time events;
+        }
+    | exception exn ->
+      Error { oracle = "shard-crash"; detail = Printexc.to_string exn })
+
+let shard_check ~shards (s : Scenario.t) =
+  if shards < 2 || not (Scenario.shard_applicable s) then None
+  else
+    match (run_hub ~shards:1 s, run_hub ~shards s) with
+    | Error f, _ ->
+      Some
+        {
+          oracle = "shard-differential";
+          detail = "1-shard hub run failed: " ^ f.oracle ^ ": " ^ f.detail;
+        }
+    | _, Error f ->
+      Some
+        {
+          oracle = "shard-differential";
+          detail =
+            Printf.sprintf "%d-shard hub run failed: %s: %s" shards f.oracle
+              f.detail;
+        }
+    | Ok one, Ok many ->
+      if not (String.equal one.digest many.digest) then
+        Some
+          {
+            oracle = "shard-differential";
+            detail =
+              Printf.sprintf
+                "%d-shard digest differs from the 1-shard hub run" shards;
+          }
+      else None
+
+(* --------------------------------------------------------------- *)
 (* Deep differentials: cost real wall-clock (domain spawns, temp-file
    IO), so the fuzz loop only enables them on a subset of runs. *)
 
@@ -381,7 +454,8 @@ let deep_checks s base =
 
 (* --------------------------------------------------------------- *)
 
-let test ?(synth = fun _ -> None) ?(deep = true) (s : Scenario.t) =
+let test ?(synth = fun _ -> None) ?(deep = true) ?(shard = false)
+    ?(shards = 4) (s : Scenario.t) =
   match run_once s with
   | Error f -> Some f
   | Ok base -> (
@@ -458,4 +532,9 @@ let test ?(synth = fun _ -> None) ?(deep = true) (s : Scenario.t) =
           | Ok _ -> (
             match wrapper_check s base with
             | Some f -> Some f
-            | None -> if deep then deep_checks s base else None))))))
+            | None -> (
+              match
+                if shard then shard_check ~shards s else None
+              with
+              | Some f -> Some f
+              | None -> if deep then deep_checks s base else None)))))))

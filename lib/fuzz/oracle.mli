@@ -36,7 +36,11 @@
       {!Pcc_experiments.Supervisor} task at [jobs = 1] and [jobs = 2]
       yields identical digests;
     - checkpoint transport: a digest written through
-      {!Pcc_experiments.Checkpoint} loads back verbatim.
+      {!Pcc_experiments.Checkpoint} loads back verbatim;
+    - sharded execution: rebuilding the scenario on a 1-shard and an
+      N-shard {!Pcc_sim.Shard} hub produces bit-identical digests (hub
+      runs attach no invariant checker, so this compares hub-vs-hub and
+      polices the conservative-parallel protocol itself).
 
     The digest deliberately includes float bit patterns ([%h]) so "close
     enough" drift counts as a failure. *)
@@ -61,9 +65,29 @@ val run_once :
     backend (default: the engine's process default — whatever
     [PCC_SCHEDULER] or {!Pcc_sim.Engine.set_default_scheduler} says). *)
 
+val run_hub :
+  shards:int -> Pcc_scenario.Scenario.t -> (stats, failure) result
+(** Build and run the scenario on a fresh [shards]-shard hub
+    ({!Pcc_scenario.Scenario.build_sharded}) with no invariant checker
+    attached. Never raises: build rejections ("shard-build"), livelocks
+    ("shard-livelock") and event crashes ("shard-crash") come back as
+    failures. The digest's event count is the hub-wide
+    {!Pcc_sim.Shard.executed}. *)
+
+val shard_check :
+  shards:int -> Pcc_scenario.Scenario.t -> failure option
+(** The sharded differential: run the scenario on a 1-shard hub and a
+    [shards]-shard hub and require bit-identical digests (oracle
+    ["shard-differential"]). Returns [None] without running anything when
+    [shards < 2] or the scenario is not
+    {!Pcc_scenario.Scenario.shard_applicable} (link dynamics mutate cut
+    delays mid-run, which would invalidate the partition's lookahead). *)
+
 val test :
   ?synth:(Pcc_scenario.Scenario.t -> string option) ->
   ?deep:bool ->
+  ?shard:bool ->
+  ?shards:int ->
   Pcc_scenario.Scenario.t ->
   failure option
 (** Run the full oracle suite; [None] means every oracle passed. [synth]
@@ -73,4 +97,6 @@ val test :
     [deep] (default [true]) additionally runs the supervisor jobs-1/2
     and checkpoint differentials, which spawn domains and touch the
     filesystem; the fuzz loop only enables it on a deterministic subset
-    of runs. *)
+    of runs. [shard] (default [false]) additionally runs
+    {!shard_check} at [shards] (default 4); the fuzz loop enables it
+    every [shard_every]-th run. *)

@@ -1,0 +1,192 @@
+(* Deterministic topology partitioner.
+
+   Sharding is only sound when every cross-shard link carries enough
+   propagation delay to serve as conservative lookahead, so the
+   partitioner first collapses all edges faster than [min_cut_delay]
+   with a union-find — those can never be cut — and then deals the
+   resulting components onto shards with a greedy pass that is a pure
+   function of the topology: components in (load desc, min-node asc)
+   order, each placed on the shard with the strongest edge affinity to
+   what is already there, subject to a load cap. No RNG, no hashing of
+   unordered containers — the same topology always partitions the same
+   way, which is half of the sharded determinism contract (the other
+   half is the hub's canonical merge order). *)
+
+type input = {
+  nodes : int;
+  edges : (int * int * float) list;  (* src, dst, delay; list order fixed *)
+  routes : int list list;  (* every flow route (forward and reverse) *)
+}
+
+type result = {
+  shard_of : int array;  (* node -> shard *)
+  shards_used : int;
+  cut_links : int;  (* edges whose endpoints landed on different shards *)
+  loads : int array;  (* per-shard heuristic load *)
+}
+
+let find parent i =
+  let rec root i = if parent.(i) = i then i else root parent.(i) in
+  let r = root i in
+  (* Path compression keeps repeated lookups cheap; purely an
+     optimization, the roots are what matter. *)
+  let rec compress i =
+    if parent.(i) <> r then begin
+      let next = parent.(i) in
+      parent.(i) <- r;
+      compress next
+    end
+  in
+  compress i;
+  r
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if ra <> rb then
+    (* Lower node id wins the root, so component identity is canonical
+       regardless of union order. *)
+    if ra < rb then parent.(rb) <- ra else parent.(ra) <- rb
+
+let partition ?(min_cut_delay = 0.0005) ~shards input =
+  if shards < 1 then invalid_arg "Partition.partition: shards must be >= 1";
+  if input.nodes < 1 then
+    invalid_arg "Partition.partition: need at least one node";
+  let n = input.nodes in
+  let check_node what i =
+    if i < 0 || i >= n then
+      invalid_arg
+        (Printf.sprintf "Partition.partition: %s references node %d outside \
+                         the %d-node graph"
+           what i n)
+  in
+  List.iter
+    (fun (s, d, _) ->
+      check_node "an edge" s;
+      check_node "an edge" d)
+    input.edges;
+  List.iter (List.iter (check_node "a route")) input.routes;
+  (* 1. Fuse everything joined by a low-latency edge. *)
+  let parent = Array.init n Fun.id in
+  List.iter
+    (fun (s, d, delay) -> if delay < min_cut_delay then union parent s d)
+    input.edges;
+  (* 2. Heuristic node loads: a flow's endpoints dominate its event
+     volume (sender timers, receiver acks), hops serialize packets,
+     and a link's queue lives at its source. *)
+  let load = Array.make n 0 in
+  List.iter
+    (fun route ->
+      match route with
+      | [] -> ()
+      | [ only ] -> load.(only) <- load.(only) + 3
+      | head :: rest ->
+        load.(head) <- load.(head) + 3;
+        let rec walk = function
+          | [ tail ] -> load.(tail) <- load.(tail) + 2
+          | mid :: rest ->
+            load.(mid) <- load.(mid) + 1;
+            walk rest
+          | [] -> ()
+        in
+        walk rest)
+    input.routes;
+  List.iter (fun (s, _, _) -> load.(s) <- load.(s) + 1) input.edges;
+  (* 3. Components, canonically identified by their minimum node id. *)
+  let comp_load = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    let r = find parent i in
+    let prev = Option.value ~default:0 (Hashtbl.find_opt comp_load r) in
+    Hashtbl.replace comp_load r (prev + load.(i))
+  done;
+  let comps =
+    Hashtbl.fold (fun root load acc -> (root, load) :: acc) comp_load []
+    |> List.sort (fun (ra, la) (rb, lb) ->
+           if la <> lb then compare lb la else compare ra rb)
+  in
+  (* 4. Inter-component affinity: flows crossing an edge pull its two
+     components toward the same shard. *)
+  let edge_uses = Hashtbl.create 16 in
+  List.iter
+    (fun route ->
+      let rec walk = function
+        | a :: (b :: _ as rest) ->
+          let key = (a, b) in
+          Hashtbl.replace edge_uses key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt edge_uses key));
+          walk rest
+        | _ -> ()
+      in
+      walk route)
+    input.routes;
+  let affinity = Hashtbl.create 16 in
+  List.iter
+    (fun (s, d, _) ->
+      let rs = find parent s and rd = find parent d in
+      if rs <> rd then begin
+        let key = if rs < rd then (rs, rd) else (rd, rs) in
+        let w =
+          1 + Option.value ~default:0 (Hashtbl.find_opt edge_uses (s, d))
+        in
+        Hashtbl.replace affinity key
+          (w + Option.value ~default:0 (Hashtbl.find_opt affinity key))
+      end)
+    input.edges;
+  (* 5. Greedy placement under a slack-capped balance target. *)
+  let total = Array.fold_left ( + ) 0 load in
+  let cap =
+    int_of_float (ceil (1.2 *. float_of_int total /. float_of_int shards))
+  in
+  let shard_load = Array.make shards 0 in
+  let comp_shard = Hashtbl.create 16 in
+  List.iter
+    (fun (root, cload) ->
+      let affinity_to shard =
+        Hashtbl.fold
+          (fun other s acc ->
+            if s <> shard then acc
+            else
+              let key = if root < other then (root, other) else (other, root) in
+              acc + Option.value ~default:0 (Hashtbl.find_opt affinity key))
+          comp_shard 0
+      in
+      let best = ref (-1) and best_aff = ref (-1) and best_load = ref max_int in
+      for s = 0 to shards - 1 do
+        if shard_load.(s) + cload <= cap then begin
+          let aff = affinity_to s in
+          if
+            aff > !best_aff
+            || (aff = !best_aff && shard_load.(s) < !best_load)
+          then begin
+            best := s;
+            best_aff := aff;
+            best_load := shard_load.(s)
+          end
+        end
+      done;
+      let chosen =
+        if !best >= 0 then !best
+        else begin
+          (* Nothing fits under the cap (one huge component): least
+             loaded shard, lowest index on ties. *)
+          let m = ref 0 in
+          for s = 1 to shards - 1 do
+            if shard_load.(s) < shard_load.(!m) then m := s
+          done;
+          !m
+        end
+      in
+      shard_load.(chosen) <- shard_load.(chosen) + cload;
+      Hashtbl.replace comp_shard root chosen)
+    comps;
+  let shard_of =
+    Array.init n (fun i -> Hashtbl.find comp_shard (find parent i))
+  in
+  let cut_links =
+    List.fold_left
+      (fun acc (s, d, _) -> if shard_of.(s) <> shard_of.(d) then acc + 1 else acc)
+      0 input.edges
+  in
+  let used = Array.make shards false in
+  Array.iter (fun s -> used.(s) <- true) shard_of;
+  let shards_used = Array.fold_left (fun a u -> if u then a + 1 else a) 0 used in
+  { shard_of; shards_used; cut_links; loads = shard_load }

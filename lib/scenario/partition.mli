@@ -1,0 +1,41 @@
+(** Deterministic topology partitioner for sharded execution.
+
+    Produces the fixed node→shard assignment the determinism contract
+    requires: a pure function of the topology graph and flow routes,
+    with no RNG and no dependence on unordered-container iteration.
+
+    The rule, in order:
+    - edges with propagation delay below [min_cut_delay] can never be
+      cut (they would give the hub near-zero lookahead), so their
+      endpoints are fused into one component (union-find, lowest node
+      id canonical);
+    - components are placed largest-first (heuristic load: flow
+      endpoints weigh 3/2, intermediate hops 1, link sources 1) onto
+      the shard with the strongest flow-affinity to components already
+      there, subject to a 1.2× balance cap; ties break toward the
+      least-loaded, then lowest-indexed shard.
+
+    See DESIGN.md §13. *)
+
+type input = {
+  nodes : int;
+  edges : (int * int * float) list;
+      (** [(src, dst, delay)] per link, in link-list order. *)
+  routes : int list list;
+      (** Every flow route (forward, and explicit reverse routes). *)
+}
+
+type result = {
+  shard_of : int array;  (** Node to shard, length [nodes]. *)
+  shards_used : int;  (** Distinct shards actually populated. *)
+  cut_links : int;  (** Edges with endpoints on different shards. *)
+  loads : int array;  (** Heuristic load placed on each shard. *)
+}
+
+val partition : ?min_cut_delay:float -> shards:int -> input -> result
+(** [partition ~shards input] assigns every node to a shard in
+    [0, shards)]. [min_cut_delay] (default 0.5 ms) is the smallest link
+    delay the partitioner is willing to cut. Shards may end up empty
+    when the graph has fewer viable components than shards.
+    @raise Invalid_argument if [shards < 1], [nodes < 1], or an edge or
+    route references a node outside the graph. *)

@@ -21,14 +21,36 @@
    after construction (see {!Delay_line.set_receiver}); the per-slot
    closures read it at fire time through the pool record. *)
 
+exception Double_release
+exception Cross_domain_release
+
+let () =
+  Printexc.register_printer (function
+    | Double_release ->
+      Some
+        "Pool.Double_release: a pooled event closure ran twice (its slot \
+         was already free)"
+    | Cross_domain_release ->
+      Some
+        "Pool.Cross_domain_release: a pooled event fired on a domain that \
+         does not own the pool (missing Pool.adopt / Engine.adopt_owned?)"
+    | _ -> None)
+
 type 'a t = {
   dummy : 'a;
   mutable fire : 'a -> unit;
   mutable slots : 'a array;
   mutable events : (unit -> unit) array;
+  mutable live : bool array;  (* per-slot: currently checked out *)
   mutable free : int array;  (* stack of free slot indices *)
   mutable free_top : int;  (* number of valid entries in [free] *)
   mutable in_use : int;
+  mutable owner : Domain.id;
+      (* The domain whose engine dispatches this pool's events. Checkout
+         ([event]) from another domain is the documented hand-off (the
+         sharded coordinator injects boundary packets between windows,
+         while every engine is parked at a barrier); the *fire* must
+         happen on the owner. *)
 }
 
 let create ~dummy () =
@@ -37,14 +59,20 @@ let create ~dummy () =
     fire = (fun _ -> failwith "Pool: no fire action installed");
     slots = [||];
     events = [||];
+    live = [||];
     free = [||];
     free_top = 0;
     in_use = 0;
+    owner = Domain.self ();
   }
 
 let set_fire t f = t.fire <- f
+let adopt t = t.owner <- Domain.self ()
 
 let make_event t i () =
+  if Domain.self () <> t.owner then raise Cross_domain_release;
+  if not t.live.(i) then raise Double_release;
+  t.live.(i) <- false;
   let v = t.slots.(i) in
   t.slots.(i) <- t.dummy;
   t.free.(t.free_top) <- i;
@@ -57,12 +85,15 @@ let grow t =
   let ncap = if cap = 0 then 16 else cap * 2 in
   let nslots = Array.make ncap t.dummy in
   let nevents = Array.make ncap ignore in
+  let nlive = Array.make ncap false in
   let nfree = Array.make ncap 0 in
   Array.blit t.slots 0 nslots 0 cap;
   Array.blit t.events 0 nevents 0 cap;
+  Array.blit t.live 0 nlive 0 cap;
   Array.blit t.free 0 nfree 0 t.free_top;
   t.slots <- nslots;
   t.events <- nevents;
+  t.live <- nlive;
   t.free <- nfree;
   for i = ncap - 1 downto cap do
     nevents.(i) <- make_event t i;
@@ -75,6 +106,7 @@ let event t v =
   t.free_top <- t.free_top - 1;
   let i = t.free.(t.free_top) in
   t.slots.(i) <- v;
+  t.live.(i) <- true;
   t.in_use <- t.in_use + 1;
   t.events.(i)
 
@@ -84,6 +116,7 @@ let capacity t = Array.length t.slots
 let clear t =
   let cap = Array.length t.slots in
   Array.fill t.slots 0 cap t.dummy;
+  Array.fill t.live 0 cap false;
   t.free_top <- 0;
   for i = cap - 1 downto 0 do
     t.free.(t.free_top) <- i;

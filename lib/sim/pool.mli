@@ -8,12 +8,29 @@
     nothing.
 
     Discipline: a closure returned by {!event} must be run exactly
-    once — running it twice fires a later payload, never running it
-    leaks the slot. Scheduling it with {!Engine.post} / {!Engine.post_in}
-    (which run each posted event exactly once and admit no
-    cancellation) satisfies this by construction. *)
+    once — running it a second time raises {!Double_release}, never
+    running it leaks the slot. Scheduling it with {!Engine.post} /
+    {!Engine.post_in} (which run each posted event exactly once and
+    admit no cancellation) satisfies this by construction.
+
+    {b Domain ownership.} A pool belongs to the domain that created it
+    (re-assignable with {!adopt}); firing a pooled event from any other
+    domain raises {!Cross_domain_release}. Checking a payload {e in}
+    ({!event}) from a foreign domain is the one sanctioned hand-off: the
+    sharded coordinator injects boundary packets between windows, while
+    every engine is parked at a barrier, and the event then fires later
+    on the owner domain. See {!Shard} and DESIGN.md §13. *)
 
 type 'a t
+
+exception Double_release
+(** A pooled event closure ran twice: its slot was already free. Always
+    a bug in the caller (the exactly-once discipline was violated). *)
+
+exception Cross_domain_release
+(** A pooled event fired on a domain that does not own the pool —
+    usually a missing {!adopt} / {!Engine.adopt_owned} when moving an
+    engine's dispatch onto a worker domain. *)
 
 val create : dummy:'a -> unit -> 'a t
 (** [create ~dummy ()] is an empty pool. [dummy] seeds the payload
@@ -29,7 +46,15 @@ val event : 'a t -> 'a -> unit -> unit
 (** [event t v] checks [v] into a slot and returns the slot's reusable
     closure: running it releases the slot and applies the fire action
     to [v]. Amortized allocation-free (slots and their closures are
-    allocated only when the pool grows). *)
+    allocated only when the pool grows).
+    @raise Double_release if the closure runs a second time.
+    @raise Cross_domain_release if the closure runs on a domain that
+    does not own the pool. *)
+
+val adopt : 'a t -> unit
+(** Make the calling domain the pool's owner. Only safe while no other
+    domain can concurrently fire this pool's events — in practice, at a
+    sharded barrier or before any parallel run starts. *)
 
 val in_use : 'a t -> int
 (** Slots currently checked out (events scheduled but not yet run). *)

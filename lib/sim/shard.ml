@@ -1,0 +1,505 @@
+(* Conservative parallel discrete-event hub.
+
+   A hub owns N engines ("shards"), each with its own queue backend,
+   clock, pools and — at the scenario layer — RNG stream. Cross-shard
+   traffic flows through bounded channels whose [floor] is the link's
+   minimum propagation delay; the global lookahead L (minimum floor
+   over all channels) bounds how far any shard may run ahead of the
+   others without risking a causality violation.
+
+   The synchronization protocol is a barrier-window loop (YAWNS-style
+   null messages degenerate to a global reduction because every shard
+   synchronizes every round):
+
+     round:
+       1. inject buffered boundary messages, in canonical order
+       2. tmin  := min over engines of next pending event time
+       3. fire coordinator controls with time <= min(tmin, until)
+       4. cap   := min(tmin + L, earliest pending control time)
+          target:= if cap > until then until
+                   else max(Float.pred cap, tmin)
+       5. every engine runs [Engine.run ~until:target]
+
+   Safety: every event executed in a window fires at some s in
+   [tmin, target]; a boundary message it sends has
+   arrival >= s + floor >= tmin + L >= cap > target, so the message's
+   arrival lies strictly beyond every clock at the next barrier — it is
+   injected there, before any event that could observe it. (When the
+   ulp guard pins target to tmin the bound tightens to
+   arrival >= tmin + L > tmin = target.)
+
+   Determinism: shard windows advance in lockstep over the same global
+   time fence regardless of how many shards (or domains) execute them,
+   boundary messages are merged in the canonical
+   (arrival, sent, channel, sequence) order, and controls fire at a
+   fixed point of the event stream (after all events before their time,
+   before any event at or after it). A seeded hub run is therefore
+   byte-identical at any shard count and under Sequential or Parallel
+   execution. Boundary messages are injected with {!Engine.post_from},
+   carrying the source-side send instant into the destination's
+   (time, sent, seq) dispatch key, so an injected event sorts exactly
+   where a local post at that instant would have — same-float-time ties
+   between a boundary delivery and a local event (which are structural
+   in ack-clocked equilibrium, not measure-zero) resolve identically at
+   any shard count. The residual caveat is the double coincidence of a
+   boundary event and an unrelated local event agreeing in BOTH arrival
+   and send instant, float-bit exact; the fuzz differential polices
+   it. *)
+
+type message = {
+  m_arrival : float;
+  m_sent : float;
+  m_chan : int;
+  m_seq : int;
+  m_fire : unit -> unit;
+}
+
+type control = { c_time : float; c_ord : int; c_fn : unit -> unit }
+
+type chan_state = {
+  cs_id : int;
+  cs_floor : float;
+  mutable cs_buf : message list;  (* newest first; drained at barriers *)
+}
+
+type stats = {
+  rounds : int;
+  messages : int;
+  controls_fired : int;
+  per_shard_events : int array;
+  per_shard_busy_s : float array;
+  wall_s : float;
+  domains_used : int;
+}
+
+type t = {
+  engines : Engine.t array;
+  mutable chans : chan_state list;  (* registration order, newest first *)
+  mutable controls : control list;  (* unsorted *)
+  mutable ctrl_ord : int;
+  mutable fired_controls : int;
+  mutable injected : int;
+  mutable all_rounds : int;  (* lifetime, across runs *)
+  mutable all_messages : int;
+  mutable last_stats : stats option;
+  mutable running : bool;
+}
+
+type 'a channel = {
+  ch_state : chan_state;
+  ch_src : int;
+  ch_dst : int;
+  ch_inject : arrival:float -> sent:float -> 'a -> unit;
+  mutable ch_seq : int;
+}
+
+exception Shard_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Shard_error msg -> Some (Printf.sprintf "Shard_error: %s" msg)
+    | _ -> None)
+
+let create ?scheduler ?on_error ~shards () =
+  if shards < 1 then invalid_arg "Shard.create: shards must be >= 1";
+  {
+    engines =
+      Array.init shards (fun _ -> Engine.create ?on_error ?scheduler ());
+    chans = [];
+    controls = [];
+    ctrl_ord = 0;
+    fired_controls = 0;
+    injected = 0;
+    all_rounds = 0;
+    all_messages = 0;
+    last_stats = None;
+    running = false;
+  }
+
+let shards t = Array.length t.engines
+
+let engine t i =
+  if i < 0 || i >= Array.length t.engines then
+    invalid_arg (Printf.sprintf "Shard.engine: no shard %d" i);
+  t.engines.(i)
+
+let engines t = Array.copy t.engines
+
+let channel t ~src ~dst ~floor ~inject =
+  let n = Array.length t.engines in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Shard.channel: shard index out of range";
+  if src = dst then invalid_arg "Shard.channel: src and dst coincide";
+  if not (floor > 0.) then
+    invalid_arg "Shard.channel: floor must be positive (zero lookahead \
+                 would stall the window protocol)";
+  let cs = { cs_id = List.length t.chans; cs_floor = floor; cs_buf = [] } in
+  t.chans <- cs :: t.chans;
+  { ch_state = cs; ch_src = src; ch_dst = dst; ch_inject = inject; ch_seq = 0 }
+
+let send ch ~now ~arrival v =
+  if arrival < now +. ch.ch_state.cs_floor then
+    raise
+      (Shard_error
+         (Printf.sprintf
+            "channel %d: arrival %.9f violates floor %.9f from t=%.9f"
+            ch.ch_state.cs_id arrival ch.ch_state.cs_floor now));
+  let seq = ch.ch_seq in
+  ch.ch_seq <- seq + 1;
+  let inject = ch.ch_inject in
+  ch.ch_state.cs_buf <-
+    {
+      m_arrival = arrival;
+      m_sent = now;
+      m_chan = ch.ch_state.cs_id;
+      m_seq = seq;
+      m_fire = (fun () -> inject ~arrival ~sent:now v);
+    }
+    :: ch.ch_state.cs_buf
+
+let channel_src ch = ch.ch_src
+let channel_dst ch = ch.ch_dst
+
+let at t ~time f =
+  let ord = t.ctrl_ord in
+  t.ctrl_ord <- ord + 1;
+  t.controls <- { c_time = time; c_ord = ord; c_fn = f } :: t.controls
+
+let lookahead t =
+  List.fold_left (fun acc c -> Float.min acc c.cs_floor) infinity t.chans
+
+let executed t =
+  Array.fold_left (fun acc e -> acc + Engine.executed e) 0 t.engines
+
+let pending t =
+  Array.fold_left (fun acc e -> acc + Engine.pending e) 0 t.engines
+
+let last_stats t = t.last_stats
+let total_rounds t = t.all_rounds
+let total_messages t = t.all_messages
+
+type mode = Sequential | Parallel of int
+
+(* ----- coordinator-side barrier machinery (single-threaded) ----- *)
+
+let msg_before a b =
+  a.m_arrival < b.m_arrival
+  || (a.m_arrival = b.m_arrival
+      && (a.m_sent < b.m_sent
+          || (a.m_sent = b.m_sent
+              && (a.m_chan < b.m_chan
+                  || (a.m_chan = b.m_chan && a.m_seq < b.m_seq)))))
+
+let drain_inbox t =
+  let all =
+    List.fold_left
+      (fun acc cs ->
+        match cs.cs_buf with
+        | [] -> acc
+        | buf ->
+          cs.cs_buf <- [];
+          List.rev_append buf acc)
+      [] t.chans
+  in
+  match all with
+  | [] -> ()
+  | all ->
+    let all =
+      List.sort (fun a b -> if msg_before a b then -1 else 1) all
+    in
+    List.iter
+      (fun m ->
+        t.injected <- t.injected + 1;
+        m.m_fire ())
+      all
+
+let tmin t =
+  Array.fold_left
+    (fun acc e ->
+      match Engine.next_time e with
+      | Some time -> Float.min acc time
+      | None -> acc)
+    infinity t.engines
+
+let ctrl_min t =
+  List.fold_left (fun acc c -> Float.min acc c.c_time) infinity t.controls
+
+(* Fire every control due at or before [min tmin until], in
+   (time, registration) order, re-checking after each batch because a
+   control may register further controls (recurring probes) or post
+   events (shifting tmin). Returns the post-firing tmin. *)
+let fire_controls t ~until =
+  let budget = ref 10_000_000 in
+  let rec loop () =
+    let tmin = tmin t in
+    let bound = Float.min tmin until in
+    let due, rest =
+      List.partition (fun c -> c.c_time <= bound) t.controls
+    in
+    match due with
+    | [] -> tmin
+    | due ->
+      t.controls <- rest;
+      let due =
+        List.sort
+          (fun a b ->
+            if a.c_time < b.c_time then -1
+            else if a.c_time > b.c_time then 1
+            else compare a.c_ord b.c_ord)
+          due
+      in
+      List.iter
+        (fun c ->
+          decr budget;
+          if !budget < 0 then
+            raise
+              (Shard_error
+                 (Printf.sprintf
+                    "control livelock: 10M controls fired in one round \
+                     near t=%.9f"
+                    c.c_time));
+          t.fired_controls <- t.fired_controls + 1;
+          c.c_fn ())
+        due;
+      loop ()
+  in
+  loop ()
+
+(* The fence every engine runs to this round. Events execute strictly
+   below [tmin + L] (so every boundary message lands beyond the next
+   barrier) and strictly below the earliest pending control; when the
+   window would be empty by ulp-rounding, it degenerates to exactly
+   [tmin], which is still safe because a message sent at tmin arrives
+   at >= tmin + L > tmin. *)
+let window_target t ~until ~tmin =
+  let cap = Float.min (tmin +. lookahead t) (ctrl_min t) in
+  if cap > until then until
+  else
+    let p = Float.pred cap in
+    if p < tmin then tmin else p
+
+(* ----- parallel lanes ----- *)
+
+type cmd = Go of float | Quit
+
+type lane = {
+  l_mutex : Mutex.t;
+  l_cond : Condition.t;
+  mutable l_cmd : cmd option;
+  mutable l_done : bool;
+  mutable l_failed : (int * exn) option;  (* lowest shard index first *)
+  l_shards : int array;  (* shard indices this lane executes, ascending *)
+}
+
+let lane_run t lane ~clock ~busy ~target =
+  (try
+     Array.iter
+       (fun i ->
+         match lane.l_failed with
+         | Some _ -> ()
+         | None -> (
+           let e = t.engines.(i) in
+           let t0 = clock () in
+           (try Engine.run ~until:target e
+            with exn -> lane.l_failed <- Some (i, exn));
+           busy.(i) <- busy.(i) +. (clock () -. t0)))
+       lane.l_shards
+   with exn ->
+     (* Defensive: nothing above should raise outside the per-engine
+        handler, but a lane must never die without reporting. *)
+     if lane.l_failed = None then lane.l_failed <- Some (max_int, exn));
+  ()
+
+let worker_loop t lane ~clock ~busy =
+  (* Pools wired to this lane's engines must fire on this domain. *)
+  Array.iter (fun i -> Engine.adopt_owned t.engines.(i)) lane.l_shards;
+  let rec loop () =
+    Mutex.lock lane.l_mutex;
+    let rec await () =
+      match lane.l_cmd with
+      | Some cmd ->
+        lane.l_cmd <- None;
+        cmd
+      | None ->
+        Condition.wait lane.l_cond lane.l_mutex;
+        await ()
+    in
+    let cmd = await () in
+    Mutex.unlock lane.l_mutex;
+    match cmd with
+    | Quit -> ()
+    | Go target ->
+      lane_run t lane ~clock ~busy ~target;
+      Mutex.lock lane.l_mutex;
+      lane.l_done <- true;
+      Condition.signal lane.l_cond;
+      Mutex.unlock lane.l_mutex;
+      loop ()
+  in
+  loop ()
+
+let lane_go lane ~target =
+  Mutex.lock lane.l_mutex;
+  lane.l_cmd <- Some (Go target);
+  Condition.signal lane.l_cond;
+  Mutex.unlock lane.l_mutex
+
+let lane_await lane =
+  Mutex.lock lane.l_mutex;
+  while not lane.l_done do
+    Condition.wait lane.l_cond lane.l_mutex
+  done;
+  lane.l_done <- false;
+  Mutex.unlock lane.l_mutex
+
+let lane_quit lane =
+  Mutex.lock lane.l_mutex;
+  lane.l_cmd <- Some Quit;
+  Condition.signal lane.l_cond;
+  Mutex.unlock lane.l_mutex
+
+(* ----- the run loop ----- *)
+
+let run ?(mode = Sequential) ?max_events ?clock t ~until =
+  if t.running then raise (Shard_error "Shard.run: hub already running");
+  let n = Array.length t.engines in
+  let wall_clock = match clock with Some c -> c | None -> fun () -> 0. in
+  let busy_clock = wall_clock in
+  (* One trace ring per process (Domain.DLS in the collector), so a
+     traced run must stay on the calling domain; likewise a global
+     [max_events] budget is only meaningful when windows execute in a
+     deterministic order. Both force sequential execution — output is
+     unaffected, per the determinism contract. *)
+  let domains_used =
+    match mode with
+    | Sequential -> 1
+    | Parallel d ->
+      if max_events <> None || Pcc_trace.Collector.enabled () then 1
+      else max 1 (min d n)
+  in
+  let start_events = Array.map Engine.executed t.engines in
+  let busy = Array.make n 0. in
+  let wall0 = wall_clock () in
+  t.running <- true;
+  t.injected <- 0;
+  t.fired_controls <- 0;
+  let rounds = ref 0 in
+  let budget_left = ref (match max_events with Some b -> b | None -> 0) in
+  let run_engine_seq target i =
+    let e = t.engines.(i) in
+    let t0 = busy_clock () in
+    Fun.protect
+      ~finally:(fun () -> busy.(i) <- busy.(i) +. (busy_clock () -. t0))
+      (fun () ->
+        match max_events with
+        | None -> Engine.run ~until:target e
+        | Some _ ->
+          let before = Engine.executed e in
+          Fun.protect
+            ~finally:(fun () ->
+              budget_left := !budget_left - (Engine.executed e - before))
+            (fun () -> Engine.run ~until:target ~max_events:!budget_left e))
+  in
+  let lanes =
+    if domains_used <= 1 then [||]
+    else
+      Array.init domains_used (fun l ->
+          let mine =
+            Array.of_list
+              (List.filter
+                 (fun i -> i mod domains_used = l)
+                 (List.init n Fun.id))
+          in
+          {
+            l_mutex = Mutex.create ();
+            l_cond = Condition.create ();
+            l_cmd = None;
+            l_done = false;
+            l_failed = None;
+            l_shards = mine;
+          })
+  in
+  let doms =
+    if domains_used <= 1 then [||]
+    else
+      Array.init (domains_used - 1) (fun k ->
+          let lane = lanes.(k + 1) in
+          Domain.spawn (fun () -> worker_loop t lane ~clock:busy_clock ~busy))
+  in
+  let stop_workers () =
+    if Array.length doms > 0 then begin
+      for l = 1 to Array.length lanes - 1 do
+        lane_quit lanes.(l)
+      done;
+      Array.iter Domain.join doms;
+      (* Hand every pool back to the coordinator so post-run inspection
+         (digests, clears, further sequential runs) fires cleanly. *)
+      Array.iter Engine.adopt_owned t.engines
+    end
+  in
+  let finish () =
+    t.running <- false;
+    t.all_rounds <- t.all_rounds + !rounds;
+    t.all_messages <- t.all_messages + t.injected;
+    t.last_stats <-
+      Some
+        {
+          rounds = !rounds;
+          messages = t.injected;
+          controls_fired = t.fired_controls;
+          per_shard_events =
+            Array.mapi
+              (fun i e -> Engine.executed e - start_events.(i))
+              t.engines;
+          per_shard_busy_s = busy;
+          wall_s = wall_clock () -. wall0;
+          domains_used;
+        }
+  in
+  Fun.protect ~finally:(fun () -> stop_workers (); finish ())
+  @@ fun () ->
+  let continue = ref true in
+  while !continue do
+    drain_inbox t;
+    let tmin = fire_controls t ~until in
+    if tmin > until && ctrl_min t > until then begin
+      (* Quiescent below the horizon: park every clock at [until],
+         exactly as a monolithic [Engine.run ~until] would. *)
+      Array.iter (fun e -> Engine.run ~until e) t.engines;
+      continue := false
+    end
+    else begin
+      incr rounds;
+      if Task_guard.active () then Task_guard.on_event ();
+      let target = window_target t ~until ~tmin in
+      if domains_used <= 1 then
+        for i = 0 to n - 1 do
+          run_engine_seq target i
+        done
+      else begin
+        for l = 1 to domains_used - 1 do
+          lane_go lanes.(l) ~target
+        done;
+        lane_run t lanes.(0) ~clock:busy_clock ~busy ~target;
+        for l = 1 to domains_used - 1 do
+          lane_await lanes.(l)
+        done;
+        let worst =
+          Array.fold_left
+            (fun acc lane ->
+              match (lane.l_failed, acc) with
+              | None, acc -> acc
+              | Some _, None -> lane.l_failed
+              | Some (i, _), Some (j, _) -> if i < j then lane.l_failed else acc)
+            None lanes
+        in
+        match worst with
+        | Some (_, exn) -> raise exn
+        | None -> ()
+      end
+    end
+  done
+
+let run_stats ?mode ?max_events ?clock t ~until =
+  run ?mode ?max_events ?clock t ~until;
+  match t.last_stats with Some s -> s | None -> assert false

@@ -1,0 +1,465 @@
+open Pcc_sim
+open Pcc_scenario
+
+(* ------------------------------------------------------------------ *)
+(* Partitioner: pure, deterministic, respects the minimum cut delay. *)
+
+let test_partition_fuse () =
+  (* 0 -1us- 1 -5ms- 2: the fast edge can never be cut. *)
+  let input =
+    {
+      Partition.nodes = 3;
+      edges = [ (0, 1, 1e-6); (1, 2, 0.005) ];
+      routes = [ [ 0; 1; 2 ] ];
+    }
+  in
+  let r = Partition.partition ~shards:3 input in
+  Alcotest.(check int) "fast edge fused" r.Partition.shard_of.(0)
+    r.Partition.shard_of.(1);
+  Alcotest.(check bool) "slow edge cut" true
+    (r.Partition.shard_of.(1) <> r.Partition.shard_of.(2));
+  Alcotest.(check int) "one cut link" 1 r.Partition.cut_links
+
+let test_partition_deterministic () =
+  let input =
+    {
+      Partition.nodes = 8;
+      edges =
+        List.init 7 (fun i -> (i, i + 1, if i mod 2 = 0 then 0.002 else 0.0001));
+      routes = [ [ 0; 1; 2; 3 ]; [ 4; 5; 6; 7 ]; [ 2; 3; 4 ] ];
+    }
+  in
+  let a = Partition.partition ~shards:4 input in
+  let b = Partition.partition ~shards:4 input in
+  Alcotest.(check (array int)) "same assignment" a.Partition.shard_of
+    b.Partition.shard_of;
+  (* No fused pair may be split. *)
+  List.iter
+    (fun (s, d, delay) ->
+      if delay < 0.0005 then
+        Alcotest.(check int)
+          (Printf.sprintf "edge %d-%d kept together" s d)
+          a.Partition.shard_of.(s) a.Partition.shard_of.(d))
+    input.Partition.edges
+
+let test_partition_validation () =
+  let reject name thunk =
+    Alcotest.(check bool) name true
+      (try
+         ignore (thunk ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  let input =
+    { Partition.nodes = 2; edges = [ (0, 1, 0.01) ]; routes = [ [ 0; 1 ] ] }
+  in
+  reject "zero shards" (fun () -> Partition.partition ~shards:0 input);
+  reject "zero nodes" (fun () ->
+      Partition.partition ~shards:1 { input with Partition.nodes = 0 });
+  reject "edge out of range" (fun () ->
+      Partition.partition ~shards:1
+        { input with Partition.edges = [ (0, 5, 0.01) ] });
+  reject "route out of range" (fun () ->
+      Partition.partition ~shards:1
+        { input with Partition.routes = [ [ 0; 9 ] ] })
+
+let test_partition_clusters () =
+  (* Four chained dumbbells with 1 ms inter-cluster links must spread
+     over all four shards. *)
+  let head c = 2 * c and tail c = (2 * c) + 1 in
+  let edges =
+    List.init 4 (fun c -> (head c, tail c, 0.005))
+    @ List.init 3 (fun c -> (tail c, head (c + 1), 0.001))
+  in
+  let routes =
+    List.concat
+      (List.init 4 (fun c -> List.init 8 (fun _ -> [ head c; tail c ])))
+  in
+  let r = Partition.partition ~shards:4 { Partition.nodes = 8; edges; routes } in
+  Alcotest.(check int) "all four shards populated" 4 r.Partition.shards_used
+
+(* ------------------------------------------------------------------ *)
+(* Hub mechanics: channels, floors, controls. *)
+
+let test_channel_validation () =
+  let hub = Shard.create ~shards:2 () in
+  let reject name thunk =
+    Alcotest.(check bool) name true
+      (try
+         ignore (thunk ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  reject "zero floor" (fun () ->
+      Shard.channel hub ~src:0 ~dst:1 ~floor:0. ~inject:(fun ~arrival:_ ~sent:_ () ->
+          ()));
+  reject "equal shards" (fun () ->
+      Shard.channel hub ~src:1 ~dst:1 ~floor:0.001
+        ~inject:(fun ~arrival:_ ~sent:_ () -> ()));
+  reject "shard out of range" (fun () ->
+      Shard.channel hub ~src:0 ~dst:2 ~floor:0.001
+        ~inject:(fun ~arrival:_ ~sent:_ () -> ()))
+
+let test_send_floor () =
+  let hub = Shard.create ~shards:2 () in
+  let ch =
+    Shard.channel hub ~src:0 ~dst:1 ~floor:0.001 ~inject:(fun ~arrival:_ ~sent:_ () ->
+        ())
+  in
+  Alcotest.(check bool) "below-floor send rejected" true
+    (try
+       Shard.send ch ~now:0. ~arrival:0.0005 ();
+       false
+     with Shard.Shard_error _ -> true);
+  (* At exactly now + floor the send is legal. *)
+  Shard.send ch ~now:0. ~arrival:0.001 ()
+
+let test_control_ordering () =
+  (* A control at time tau runs after every event strictly before tau
+     and before any event at or >= tau; same-time controls run in
+     registration order. *)
+  let hub = Shard.create ~shards:2 () in
+  let log = ref [] in
+  let push tag = log := tag :: !log in
+  Engine.post (Shard.engine hub 0) ~at:0.5 (fun () -> push "ev@0.5");
+  Engine.post (Shard.engine hub 1) ~at:1.0 (fun () -> push "ev@1.0");
+  Engine.post (Shard.engine hub 0) ~at:1.5 (fun () -> push "ev@1.5");
+  Shard.at hub ~time:1.0 (fun () -> push "ctrl-a@1.0");
+  Shard.at hub ~time:1.0 (fun () -> push "ctrl-b@1.0");
+  (* A control may re-arm itself. *)
+  Shard.at hub ~time:0.25 (fun () ->
+      push "ctrl@0.25";
+      Shard.at hub ~time:1.25 (fun () -> push "ctrl@1.25"));
+  Shard.run hub ~until:2.0;
+  Alcotest.(check (list string)) "ordering"
+    [
+      "ctrl@0.25"; "ev@0.5"; "ctrl-a@1.0"; "ctrl-b@1.0"; "ev@1.0"; "ctrl@1.25";
+      "ev@1.5";
+    ]
+    (List.rev !log)
+
+let test_clocks_parked () =
+  let hub = Shard.create ~shards:3 () in
+  Shard.run hub ~until:4.0;
+  Array.iter
+    (fun e -> Alcotest.(check (float 0.)) "clock at until" 4.0 (Engine.now e))
+    (Shard.engines hub)
+
+let test_channel_delivery_order () =
+  (* Messages buffered out of order are injected in canonical (arrival,
+     sent, chan, seq) order and fire at their exact arrival instants. *)
+  let hub = Shard.create ~shards:2 () in
+  let dst = Shard.engine hub 1 in
+  let got = ref [] in
+  let ch =
+    Shard.channel hub ~src:0 ~dst:1 ~floor:0.01
+      ~inject:(fun ~arrival ~sent v ->
+        Engine.post_from dst ~sent ~at:arrival (fun () ->
+            got := (v, Engine.now dst) :: !got))
+  in
+  (* Sender-side events emit messages with staggered arrivals. *)
+  let src = Shard.engine hub 0 in
+  Engine.post src ~at:0.0 (fun () ->
+      Shard.send ch ~now:0.0 ~arrival:0.05 "b";
+      Shard.send ch ~now:0.0 ~arrival:0.02 "a");
+  Shard.run hub ~until:1.0;
+  Alcotest.(check (list string)) "arrival order" [ "a"; "b" ]
+    (List.rev_map fst !got);
+  List.iter
+    (fun (v, t) ->
+      Alcotest.(check (float 0.)) ("arrival instant " ^ v)
+        (if v = "a" then 0.02 else 0.05)
+        t)
+    !got
+
+(* ------------------------------------------------------------------ *)
+(* Pool ownership under domains. *)
+
+let test_pool_double_release () =
+  let p = Pool.create ~dummy:0 () in
+  Pool.set_fire p (fun _ -> ());
+  let ev = Pool.event p 7 in
+  ev ();
+  Alcotest.check_raises "second fire raises" Pool.Double_release ev
+
+let test_pool_cross_domain () =
+  let p = Pool.create ~dummy:0 () in
+  Pool.set_fire p (fun _ -> ());
+  let ev = Pool.event p 7 in
+  let raised =
+    Domain.join
+      (Domain.spawn (fun () ->
+           try
+             ev ();
+             false
+           with Pool.Cross_domain_release -> true))
+  in
+  Alcotest.(check bool) "foreign fire rejected" true raised;
+  (* The slot is still checked out — the rejected fire released
+     nothing — and the owner can still run it. *)
+  Alcotest.(check int) "slot still live" 1 (Pool.in_use p);
+  ev ();
+  Alcotest.(check int) "owner fire drains" 0 (Pool.in_use p)
+
+let test_pool_adopt_handoff () =
+  let p = Pool.create ~dummy:0 () in
+  let hits = ref 0 in
+  Pool.set_fire p (fun v -> hits := !hits + v);
+  let ev = Pool.event p 5 in
+  let ok =
+    Domain.join
+      (Domain.spawn (fun () ->
+           Pool.adopt p;
+           ev ();
+           Pool.in_use p = 0))
+  in
+  Alcotest.(check bool) "adopted domain fires" true ok;
+  Alcotest.(check int) "fire ran" 5 !hits;
+  (* Hand the pool back to this domain, as Shard.run does at exit. *)
+  Pool.adopt p;
+  let ev2 = Pool.event p 1 in
+  ev2 ();
+  Alcotest.(check int) "owner again" 6 !hits
+
+let test_pool_no_leak_sharded () =
+  (* A pooled boundary channel (the Topology wiring pattern): the
+     coordinator checks payloads in, the destination shard fires them.
+     After the run every slot must be back. *)
+  let hub = Shard.create ~shards:2 () in
+  let dst = Shard.engine hub 1 in
+  let pool = Pool.create ~dummy:(-1) () in
+  let seen = ref 0 in
+  Pool.set_fire pool (fun _ -> incr seen);
+  Engine.add_owned dst (fun () -> Pool.adopt pool);
+  let ch =
+    Shard.channel hub ~src:0 ~dst:1 ~floor:0.001
+      ~inject:(fun ~arrival ~sent v ->
+        Engine.post_from dst ~sent ~at:arrival (Pool.event pool v))
+  in
+  let src = Shard.engine hub 0 in
+  let n = 500 in
+  for i = 0 to n - 1 do
+    let at = 0.001 *. float_of_int i in
+    Engine.post src ~at (fun () ->
+        Shard.send ch ~now:(Engine.now src) ~arrival:(Engine.now src +. 0.002) i)
+  done;
+  Shard.run hub ~until:2.0;
+  Alcotest.(check int) "every message delivered" n !seen;
+  Alcotest.(check int) "no slot leaked" 0 (Pool.in_use pool);
+  (* Same workload through domains: the worker adopts via add_owned,
+     the coordinator re-adopts at run end. *)
+  seen := 0;
+  for i = 0 to n - 1 do
+    let at = 2.0 +. (0.001 *. float_of_int i) in
+    Engine.post src ~at (fun () ->
+        Shard.send ch ~now:(Engine.now src) ~arrival:(Engine.now src +. 0.002) i)
+  done;
+  Shard.run ~mode:(Shard.Parallel 2) hub ~until:5.0;
+  Alcotest.(check int) "parallel: every message delivered" n !seen;
+  Alcotest.(check int) "parallel: no slot leaked" 0 (Pool.in_use pool);
+  let ev = Pool.event pool 1 in
+  ev ();
+  Alcotest.(check bool) "coordinator owns pools again" true (!seen = n + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: byte-identical state at every shard count and mode. *)
+
+let topo_digest hub topo =
+  let buf = Buffer.create 1024 in
+  Array.iteri
+    (fun i (f : Topology.built_flow) ->
+      Printf.bprintf buf "f%d g=%d fct=%s srtt=%h\n" i
+        (Topology.goodput_bytes f)
+        (match f.Topology.fct with
+        | Some v -> Printf.sprintf "%h" v
+        | None -> "-")
+        (f.Topology.sender.Pcc_net.Sender.srtt ()))
+    (Topology.flows topo);
+  Printf.bprintf buf "events=%d" (Shard.executed hub);
+  Buffer.contents buf
+
+let clustered ~shards ~seed ~n =
+  let hub = Shard.create ~shards () in
+  let topo =
+    Pcc_experiments.Exp_manyflow.clustered_topology hub ~rng:(Rng.create seed)
+      ~clusters:4 ~n ~bandwidth:(Units.gbps 10.) ~rtt:0.01
+  in
+  (hub, topo)
+
+let test_clustered_digest () =
+  let run ~shards ~mode =
+    let hub, topo = clustered ~shards ~seed:11 ~n:48 in
+    Shard.run ~mode hub ~until:3.0;
+    topo_digest hub topo
+  in
+  let d1 = run ~shards:1 ~mode:Shard.Sequential in
+  let d2 = run ~shards:2 ~mode:Shard.Sequential in
+  let d4 = run ~shards:4 ~mode:Shard.Sequential in
+  let d4p = run ~shards:4 ~mode:(Shard.Parallel 4) in
+  Alcotest.(check string) "1 vs 2 shards" d1 d2;
+  Alcotest.(check string) "1 vs 4 shards" d1 d4;
+  Alcotest.(check string) "sequential vs parallel" d4 d4p
+
+let test_fanin_digest () =
+  let run shards =
+    let hub = Shard.create ~shards () in
+    let topo =
+      Pcc_experiments.Exp_manyflow.topology_sharded hub ~rng:(Rng.create 3)
+        ~n:64 ~bandwidth:(Units.gbps 10.) ~rtt:0.01
+    in
+    Shard.run hub ~until:3.0;
+    topo_digest hub topo
+  in
+  Alcotest.(check string) "fanin 1 vs 2 shards" (run 1) (run 2)
+
+let run_scenario_sharded ~shards (s : Scenario.t) =
+  let hub = Shard.create ~shards () in
+  let b = Scenario.build_sharded hub s in
+  Shard.run hub ~until:s.Scenario.duration;
+  b.Scenario.stop ();
+  topo_digest hub b.Scenario.topo
+
+let test_scenario_differential () =
+  (* Randomized differential over generated scenarios (dumbbells, chains,
+     reverse paths; faults and cross traffic included): 1-shard and
+     4-shard builds must agree bit for bit. *)
+  let master = Rng.create 2024 in
+  let checked = ref 0 in
+  let attempts = ref 0 in
+  while !checked < 6 && !attempts < 60 do
+    incr attempts;
+    let s = Scenario.generate ~rng:master () in
+    if Scenario.shard_applicable s then begin
+      let d1 = run_scenario_sharded ~shards:1 s in
+      let d4 = run_scenario_sharded ~shards:4 s in
+      Alcotest.(check string) (Scenario.describe s) d1 d4;
+      incr checked
+    end
+  done;
+  Alcotest.(check bool) "enough scenarios checked" true (!checked >= 6)
+
+let test_scenario_with_faults_differential () =
+  (* Force the fault path: keep generating until a scenario carries a
+     non-empty schedule, then compare shard counts. *)
+  let master = Rng.create 77 in
+  let found = ref 0 in
+  let attempts = ref 0 in
+  while !found < 2 && !attempts < 80 do
+    incr attempts;
+    let s = Scenario.generate ~rng:master () in
+    if Scenario.shard_applicable s && s.Scenario.faults <> [] then begin
+      let d1 = run_scenario_sharded ~shards:1 s in
+      let d3 = run_scenario_sharded ~shards:3 s in
+      Alcotest.(check string)
+        ("faulted " ^ Scenario.describe s)
+        d1 d3;
+      incr found
+    end
+  done;
+  Alcotest.(check bool) "fault scenarios found" true (!found >= 2)
+
+let test_dynamics_rejected () =
+  let master = Rng.create 5 in
+  let rec find n =
+    if n = 0 then None
+    else
+      let s = Scenario.generate ~rng:master () in
+      if s.Scenario.dynamics <> None then Some s else find (n - 1)
+  in
+  match find 200 with
+  | None -> Alcotest.fail "no dynamics scenario generated"
+  | Some s ->
+    Alcotest.(check bool) "not shard_applicable" false
+      (Scenario.shard_applicable s);
+    let hub = Shard.create ~shards:2 () in
+    Alcotest.(check bool) "build_sharded rejects" true
+      (try
+         ignore (Scenario.build_sharded hub s);
+         false
+       with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Counters and trace aggregation across shard domains. *)
+
+let test_total_executed_aggregates () =
+  let before = Engine.total_executed () in
+  let hub, _topo = clustered ~shards:4 ~seed:9 ~n:16 in
+  Shard.run ~mode:(Shard.Parallel 2) hub ~until:1.0;
+  let delta = Engine.total_executed () - before in
+  Alcotest.(check int) "process-wide counter covers all shards"
+    (Shard.executed hub) delta;
+  Alcotest.(check bool) "ran a real workload" true (Shard.executed hub > 1000)
+
+let test_sharded_trace_identical () =
+  let export shards =
+    let c = Pcc_trace.Collector.create ~capacity:200_000 () in
+    Pcc_trace.Collector.install c;
+    Fun.protect ~finally:Pcc_trace.Collector.uninstall @@ fun () ->
+    let hub, _topo = clustered ~shards ~seed:21 ~n:12 in
+    Shard.run hub ~until:1.5;
+    Alcotest.(check int) "ring did not wrap" 0
+      (Pcc_trace.Collector.dropped c);
+    Pcc_trace.Export.chrome_json ~canonical:true c
+  in
+  let j1 = export 1 in
+  let j4 = export 4 in
+  Alcotest.(check bool) "trace JSON non-trivial" true
+    (String.length j1 > 1000);
+  Alcotest.(check bool) "canonical trace byte-identical across shard counts"
+    true (String.equal j1 j4)
+
+let test_shardflow_row () =
+  match
+    Pcc_experiments.Exp_manyflow.run_sharded ~scale:0.04 ~seed:7 ()
+  with
+  | [ r ] ->
+    Alcotest.(check bool) "digests identical" true
+      r.Pcc_experiments.Exp_manyflow.s_identical;
+    Alcotest.(check bool) "several shards populated" true
+      (r.Pcc_experiments.Exp_manyflow.s_populated >= 2)
+  | _ -> Alcotest.fail "expected one shardflow row"
+
+let suites =
+  [
+    ( "shard.partition",
+      [
+        Alcotest.test_case "fuses fast edges" `Quick test_partition_fuse;
+        Alcotest.test_case "deterministic" `Quick test_partition_deterministic;
+        Alcotest.test_case "validation" `Quick test_partition_validation;
+        Alcotest.test_case "clusters spread" `Quick test_partition_clusters;
+      ] );
+    ( "shard.hub",
+      [
+        Alcotest.test_case "channel validation" `Quick test_channel_validation;
+        Alcotest.test_case "send floor" `Quick test_send_floor;
+        Alcotest.test_case "control ordering" `Quick test_control_ordering;
+        Alcotest.test_case "clocks parked" `Quick test_clocks_parked;
+        Alcotest.test_case "delivery order" `Quick test_channel_delivery_order;
+      ] );
+    ( "shard.pool",
+      [
+        Alcotest.test_case "double release" `Quick test_pool_double_release;
+        Alcotest.test_case "cross-domain release" `Quick test_pool_cross_domain;
+        Alcotest.test_case "adopt hand-off" `Quick test_pool_adopt_handoff;
+        Alcotest.test_case "no leak across sharded run" `Quick
+          test_pool_no_leak_sharded;
+      ] );
+    ( "shard.determinism",
+      [
+        Alcotest.test_case "clustered digests" `Quick test_clustered_digest;
+        Alcotest.test_case "fanin digests" `Quick test_fanin_digest;
+        Alcotest.test_case "scenario differential" `Slow
+          test_scenario_differential;
+        Alcotest.test_case "faulted differential" `Slow
+          test_scenario_with_faults_differential;
+        Alcotest.test_case "dynamics rejected" `Quick test_dynamics_rejected;
+        Alcotest.test_case "shardflow row" `Slow test_shardflow_row;
+      ] );
+    ( "shard.aggregation",
+      [
+        Alcotest.test_case "total_executed" `Quick
+          test_total_executed_aggregates;
+        Alcotest.test_case "canonical trace export" `Slow
+          test_sharded_trace_identical;
+      ] );
+  ]
