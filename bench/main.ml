@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- --only fig7,fig9
      dune exec bench/main.exe -- --jobs 4     -- fan out over 4 domains
      dune exec bench/main.exe -- --micro      -- bechamel micro-benchmarks
+     dune exec bench/main.exe -- --controllers -- controller-family section
      dune exec bench/main.exe -- --list
 
    Experiment runs write a machine-readable BENCH_pcc.json (see --out and
@@ -91,6 +92,9 @@ let micro () =
         prev_avg_rtt = 0.03;
         rtt_early = 0.03;
         rtt_late = 0.031;
+        min_rtt = 0.03;
+        rtt_samples = 500;
+        prev_class = -1;
       }
   in
   let utility_bench () = ignore (utility.Pcc_core.Utility.eval metrics) in
@@ -458,6 +462,107 @@ let shard_bench ~seed counts =
     counts
 
 (* ------------------------------------------------------------------ *)
+(* Controller-family bench (--controllers): every rate controller solo
+   on the same 30 Mbps bottleneck for a fixed simulated window, with a
+   trace collector installed to count the control plane's work —
+   gradient steps (Vivace-family decisions), utility-class switches
+   (Proteus), and the mean per-MI utility. Wall time and engine events
+   make the section double as a perf gate over the controller hot
+   paths: a controller that stops deciding (zero MIs or zero gradient
+   steps) fails scripts/check_bench.sh even if the simulation still
+   moves packets. *)
+
+type controller_bench_record = {
+  c_name : string;
+  c_wall : float;
+  c_events : int;
+  c_goodput : float;  (* bits/s over the whole run *)
+  c_mis : int;  (* monitor intervals completed *)
+  c_mean_utility : float;
+  c_gradient_steps : int;
+  c_utility_switches : int;
+}
+
+let controller_bench_duration = 20.
+
+let controller_bench_names =
+  [
+    "pcc";
+    "pcc-vivace";
+    "pcc-proteus";
+    "pcc-proteus-scavenger";
+    "pcc-proteus-hybrid";
+  ]
+
+let controller_bench ~seed =
+  let open Pcc_scenario in
+  Printf.printf
+    "\n== controller family (solo 30 Mbps bottleneck, %.0f simulated s) ==\n%!"
+    controller_bench_duration;
+  List.map
+    (fun name ->
+      let spec =
+        match Transport.of_name name with
+        | Ok s -> s
+        | Error m -> failwith ("--controllers: " ^ m)
+      in
+      (* A private collector per run: counts must not bleed across
+         controllers (or into a --trace collector). *)
+      let collector = Pcc_trace.Collector.create ~capacity:(1 lsl 19) () in
+      Pcc_trace.Collector.install collector;
+      let engine = Pcc_sim.Engine.create () in
+      let rng = Pcc_sim.Rng.create seed in
+      let bw = Pcc_sim.Units.mbps 30. in
+      let rtt = 0.03 in
+      let path =
+        Path.build engine ~rng ~bandwidth:bw ~rtt
+          ~buffer:(Pcc_sim.Units.bdp_bytes ~rate:bw ~rtt)
+          ~flows:[ Path.flow spec ] ()
+      in
+      let e0 = Pcc_sim.Engine.total_executed () in
+      Gc.compact ();
+      let t0 = now_s () in
+      Pcc_sim.Engine.run ~until:controller_bench_duration engine;
+      let wall = now_s () -. t0 in
+      let events = Pcc_sim.Engine.total_executed () - e0 in
+      Pcc_trace.Collector.uninstall ();
+      let goodput =
+        float_of_int (Path.goodput_bytes (Path.flows path).(0) * 8)
+        /. controller_bench_duration
+      in
+      let mis = ref 0 in
+      let usum = ref 0. in
+      let grads = ref 0 in
+      let switches = ref 0 in
+      Array.iter
+        (fun (e : Pcc_trace.Event.record) ->
+          match e.kind with
+          | Pcc_trace.Event.Mi_end ->
+            incr mis;
+            usum := !usum +. e.a
+          | Pcc_trace.Event.Gradient_step -> incr grads
+          | Pcc_trace.Event.Utility_switch -> incr switches
+          | _ -> ())
+        (Pcc_trace.Collector.events collector);
+      let mean_u = if !mis > 0 then !usum /. float_of_int !mis else 0. in
+      Printf.printf
+        "%-22s %8.2f Mbps  %4d MIs  mean u %10.3f  %5d gradient steps  %3d \
+         switches  %6.2fs wall (%5.2fM ev/s)\n%!"
+        name (goodput /. 1e6) !mis mean_u !grads !switches wall
+        (if wall > 0. then float_of_int events /. wall /. 1e6 else 0.);
+      {
+        c_name = name;
+        c_wall = wall;
+        c_events = events;
+        c_goodput = goodput;
+        c_mis = !mis;
+        c_mean_utility = mean_u;
+        c_gradient_steps = !grads;
+        c_utility_switches = !switches;
+      })
+    controller_bench_names
+
+(* ------------------------------------------------------------------ *)
 (* BENCH_pcc.json: a hand-rolled writer (no JSON dependency). *)
 
 type bench_record = {
@@ -486,7 +591,7 @@ let json_escape s =
   Buffer.contents buf
 
 let write_bench_json ~path ~scale ~seed ~jobs ~total_wall ?(scheduler = [])
-    ?(sharding = []) records =
+    ?(sharding = []) ?(controllers = []) records =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -518,6 +623,25 @@ let write_bench_json ~path ~scale ~seed ~jobs ~total_wall ?(scheduler = [])
       sharding;
     p "    ]\n";
     p "  },\n"
+  end;
+  if controllers <> [] then begin
+    p "  \"controllers\": [\n";
+    List.iteri
+      (fun i r ->
+        p "    {\n";
+        p "      \"name\": \"%s\",\n" (json_escape r.c_name);
+        p "      \"wall_s\": %.6f,\n" r.c_wall;
+        p "      \"events\": %d,\n" r.c_events;
+        p "      \"events_per_sec\": %.1f,\n"
+          (if r.c_wall > 0. then float_of_int r.c_events /. r.c_wall else 0.);
+        p "      \"goodput_mbps\": %.3f,\n" (r.c_goodput /. 1e6);
+        p "      \"mis\": %d,\n" r.c_mis;
+        p "      \"mean_utility\": %.6f,\n" r.c_mean_utility;
+        p "      \"gradient_steps\": %d,\n" r.c_gradient_steps;
+        p "      \"utility_switches\": %d\n" r.c_utility_switches;
+        p "    }%s\n" (if i = List.length controllers - 1 then "" else ","))
+      controllers;
+    p "  ],\n"
   end;
   if scheduler <> [] then begin
     p "  \"scheduler\": [\n";
@@ -576,6 +700,7 @@ let () =
   let trace_dir = ref None in
   let run_micro = ref false in
   let run_sched = ref false in
+  let run_controllers = ref false in
   let shard_counts = ref [] in
   let list_only = ref false in
   let rec parse = function
@@ -604,6 +729,9 @@ let () =
     | "--sched" :: rest ->
       run_sched := true;
       parse rest
+    | "--controllers" :: rest ->
+      run_controllers := true;
+      parse rest
     | "--shards" :: v :: rest ->
       (match
          List.map int_of_string_opt (String.split_on_char ',' v)
@@ -622,8 +750,8 @@ let () =
       Printf.eprintf
         "unknown argument %s\n\
          usage: main.exe [--scale S] [--seed N] [--only a,b|none] [--jobs N] \
-         [--out FILE] [--trace DIR] [--micro] [--sched] [--shards 1,2,4] \
-         [--list]\n"
+         [--out FILE] [--trace DIR] [--micro] [--sched] [--controllers] \
+         [--shards 1,2,4] [--list]\n"
         arg;
       exit 2
   in
@@ -766,6 +894,9 @@ let () =
         Exp_registry.all
     in
     let scheduler = if !run_sched then sched_bench () else [] in
+    let controllers =
+      if !run_controllers then controller_bench ~seed:!seed else []
+    in
     let sharding =
       if !shard_counts = [] then []
       else shard_bench ~seed:!seed !shard_counts
@@ -782,7 +913,7 @@ let () =
     let total_wall = now_s () -. t_start in
     (match pool with Some p -> Runner.shutdown p | None -> ());
     write_bench_json ~path:!out ~scale:!scale ~seed:!seed ~jobs:!jobs
-      ~total_wall ~scheduler ~sharding records;
+      ~total_wall ~scheduler ~sharding ~controllers records;
     Printf.printf "\n[bench results written to %s]\n%!" !out;
     (match (collector, !trace_dir) with
     | Some c, Some dir ->

@@ -813,7 +813,7 @@ let exp_cmd names scale seed jobs dump_dir trace_out list_exps deadline
 (* Scenario fuzzing *)
 
 let fuzz_cmd runs seed corpus deep_every shard_every shards shrink_budget
-    replay replay_dir =
+    transports replay replay_dir =
   Pcc_experiments.Cli_validate.(
     guarded
       [
@@ -824,6 +824,31 @@ let fuzz_cmd runs seed corpus deep_every shard_every shards shrink_budget
         non_negative_i "--shrink-budget" shrink_budget;
       ])
   @@ fun () ->
+  let menu_result =
+    match transports with
+    | None -> Ok None
+    | Some spec -> (
+      let names =
+        List.filter
+          (fun s -> s <> "")
+          (String.split_on_char ',' spec |> List.map String.trim)
+      in
+      if names = [] then Error "--transports: empty transport list"
+      else
+        match
+          List.find_map
+            (fun n ->
+              match Pcc_scenario.Transport.of_name n with
+              | Ok _ -> None
+              | Error m -> Some m)
+            names
+        with
+        | Some m -> Error ("--transports: " ^ m)
+        | None -> Ok (Some names))
+  in
+  match menu_result with
+  | Error m -> `Error (false, "error: " ^ m)
+  | Ok menu ->
   match
     try Ok (Pcc_fuzz.Driver.synth_of_env ())
     with Invalid_argument m -> Error m
@@ -865,7 +890,8 @@ let fuzz_cmd runs seed corpus deep_every shard_every shards shrink_budget
     | None, None -> (
       let summary =
         Pcc_fuzz.Driver.fuzz ~synth ~deep_every ~shard_every ~shards
-          ~shrink_budget ?corpus_dir:corpus ~log:print_endline ~runs ~seed ()
+          ~shrink_budget ?corpus_dir:corpus ?menu ~log:print_endline ~runs
+          ~seed ()
       in
       match summary.Pcc_fuzz.Driver.failed with
       | [] -> `Ok ()
@@ -1256,6 +1282,17 @@ let fuzz_term =
       & info [ "shrink-budget" ] ~docv:"N"
           ~doc:"Oracle invocations the minimizer may spend per failure.")
   in
+  let transports_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "transports" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated transport names restricting the generator's \
+             menu (e.g. \
+             $(b,pcc,pcc-vivace,pcc-proteus,pcc-proteus-scavenger) for a \
+             controllers-only campaign). Default: every known transport.")
+  in
   let replay_arg =
     Arg.(
       value
@@ -1277,8 +1314,8 @@ let fuzz_term =
   Term.(
     ret
       (const fuzz_cmd $ runs_arg $ fuzz_seed_arg $ corpus_arg $ deep_every_arg
-     $ shard_every_arg $ shards_arg $ shrink_budget_arg $ replay_arg
-     $ replay_dir_arg))
+     $ shard_every_arg $ shards_arg $ shrink_budget_arg $ transports_arg
+     $ replay_arg $ replay_dir_arg))
 
 let cmds =
   [

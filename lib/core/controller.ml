@@ -1,5 +1,26 @@
 open Pcc_sim
 
+type vivace_config = {
+  viv_eps : float;
+  theta : float;
+  amp_max : int;
+  omega0 : float;
+  omega_delta : float;
+  omega_max : float;
+}
+
+let default_vivace =
+  {
+    viv_eps = 0.05;
+    theta = 1.0;
+    amp_max = 30;
+    omega0 = 0.05;
+    omega_delta = 0.1;
+    omega_max = 0.5;
+  }
+
+type algorithm = Allegro | Vivace of vivace_config
+
 type config = {
   eps_min : float;
   eps_max : float;
@@ -7,6 +28,7 @@ type config = {
   init_rate : float;
   min_rate : float;
   max_rate : float;
+  algorithm : algorithm;
 }
 
 let default_config =
@@ -17,6 +39,7 @@ let default_config =
     init_rate = 2. *. float_of_int (Units.mss * 8) /. 0.05;
     min_rate = Units.kbps 50.;
     max_rate = Units.gbps 20.;
+    algorithm = Allegro;
   }
 
 type phase = Starting | Decision | Adjusting
@@ -62,6 +85,14 @@ type t = {
   mutable adj_falls : int;  (* consecutive utility falls at current step *)
   mutable adj_planned_rate : float;  (* rate of the last planned step *)
   mutable adj_prev : (float * float) option;  (* last accepted (rate, u) *)
+  (* Vivace state *)
+  mutable viv_dir : int;  (* −1 / 0 (no step yet) / +1 *)
+  mutable viv_amp : int;  (* confidence amplifier m *)
+  mutable viv_omega : float;  (* dynamic change boundary ω *)
+  (* Utility bookkeeping (all delivered results) *)
+  mutable util_sum : float;
+  mutable util_count : int;
+  mutable gradient_steps : int;
 }
 
 let create ?(config = default_config) ~rng () =
@@ -75,7 +106,12 @@ let create ?(config = default_config) ~rng () =
     notify = (fun _ -> ());
     trace_id = -1;
     trace_now = (fun () -> 0.);
-    eps = config.eps_min;
+    eps =
+      (* Vivace probes at a fixed ±ε; Allegro's granularity escalation
+         never touches it because decide is bypassed. *)
+      (match config.algorithm with
+      | Allegro -> config.eps_min
+      | Vivace vc -> vc.viv_eps);
     decisions = 0;
     start_prev_u = None;
     start_best = None;
@@ -89,12 +125,26 @@ let create ?(config = default_config) ~rng () =
     adj_falls = 0;
     adj_planned_rate = 0.;
     adj_prev = None;
+    viv_dir = 0;
+    viv_amp = 1;
+    viv_omega =
+      (match config.algorithm with
+      | Allegro -> 0.
+      | Vivace vc -> vc.omega0);
+    util_sum = 0.;
+    util_count = 0;
+    gradient_steps = 0;
   }
 
 let rate t = t.base
 let phase t = t.ph
 let eps t = t.eps
 let decisions t = t.decisions
+let gradient_steps t = t.gradient_steps
+
+let mean_utility t =
+  if t.util_count = 0 then 0. else t.util_sum /. float_of_int t.util_count
+
 let on_rate_change t f = t.notify <- f
 
 let set_trace t ~id ~now =
@@ -120,7 +170,10 @@ let set_base t r =
     t.notify r
   end
 
-let npairs t = if t.cfg.rct then 2 else 1
+let npairs t =
+  match t.cfg.algorithm with
+  | Vivace _ -> 1 (* one ±ε probe pair per gradient step *)
+  | Allegro -> if t.cfg.rct then 2 else 1
 
 let enter_decision t =
   t.ph <- Decision;
@@ -129,6 +182,15 @@ let enter_decision t =
     Array.init (npairs t) (fun _ ->
         { up_first = Rng.bool t.rng; up_u = None; down_u = None });
   t.assigned <- 0
+
+(* Starting always hands off to the probing state; which decision logic
+   runs on the probe results depends on the algorithm. *)
+let exit_starting t =
+  t.eps <-
+    (match t.cfg.algorithm with
+    | Allegro -> t.cfg.eps_min
+    | Vivace vc -> vc.viv_eps);
+  enter_decision t
 
 let enter_adjusting t ~dir ~first:(rate0, u0) =
   (* rate0 was already tested by the winning trials, so the first step of
@@ -216,7 +278,58 @@ let decide t =
     enter_decision t
   end
 
+(* Vivace's gradient-ascent update (NSDI 2018 §4): finish one ±ε probe
+   pair, estimate the utility gradient, take a step θ·m·γ whose size is
+   amplified by m consecutive same-direction steps and clamped to the
+   dynamic change boundary ±ω·base; ω inflates while the clamp binds and
+   collapses back to ω₀ the moment the gradient flips or fits. *)
+let vivace_decide t vc =
+  t.decisions <- t.decisions + 1;
+  let p = t.pairs.(0) in
+  let get o = match o with Some v -> v | None -> 0. in
+  let u_plus = get p.up_u and u_minus = get p.down_u in
+  let base_mbps = Float.max 1e-9 (t.base /. 1e6) in
+  let gamma = (u_plus -. u_minus) /. (2. *. vc.viv_eps *. base_mbps) in
+  if gamma = 0. then begin
+    (* A flat gradient carries no direction: forget momentum, re-probe. *)
+    t.viv_dir <- 0;
+    t.viv_amp <- 1;
+    t.viv_omega <- vc.omega0;
+    enter_decision t
+  end
+  else begin
+    let up = gamma > 0. in
+    let dir = if up then 1 else -1 in
+    if t.viv_dir = dir then
+      t.viv_amp <- min vc.amp_max (t.viv_amp + 1)
+    else begin
+      t.viv_amp <- 1;
+      t.viv_omega <- vc.omega0
+    end;
+    t.viv_dir <- dir;
+    let step_mbps = vc.theta *. float_of_int t.viv_amp *. gamma in
+    let bound_mbps = t.viv_omega *. base_mbps in
+    let clamped = Float.abs step_mbps > bound_mbps in
+    let step_mbps =
+      if clamped then Float.copy_sign bound_mbps step_mbps else step_mbps
+    in
+    if clamped then
+      t.viv_omega <- Float.min vc.omega_max (t.viv_omega +. vc.omega_delta)
+    else t.viv_omega <- vc.omega0;
+    let next = clamp t (t.base +. (step_mbps *. 1e6)) in
+    t.gradient_steps <- t.gradient_steps + 1;
+    if Pcc_trace.Collector.enabled () then
+      Pcc_trace.Collector.emit Pcc_trace.Event.Gradient_step
+        ~time:(t.trace_now ()) ~id:t.trace_id ~a:gamma ~b:next
+        ~i:
+          (Pcc_trace.Event.pack_gradient_info ~up ~clamped ~amp:t.viv_amp);
+    enter_decision t;
+    set_base t next
+  end
+
 let on_result t (r : Monitor.result) =
+  t.util_sum <- t.util_sum +. r.Monitor.utility;
+  t.util_count <- t.util_count + 1;
   match Hashtbl.find_opt t.plan r.Monitor.id with
   | None -> ()
   | Some (tag, role) ->
@@ -237,8 +350,7 @@ let on_result t (r : Monitor.result) =
           t.start_falls <- t.start_falls + 1;
           t.start_prev_u <- Some r.Monitor.utility;
           if t.start_falls >= 2 then begin
-            t.eps <- t.cfg.eps_min;
-            enter_decision t;
+            exit_starting t;
             match t.start_best with
             | Some (br, _) -> set_base t br
             | None -> set_base t (r.Monitor.rate /. 2.)
@@ -255,7 +367,11 @@ let on_result t (r : Monitor.result) =
           Array.for_all
             (fun p -> p.up_u <> None && p.down_u <> None)
             t.pairs
-        then decide t
+        then begin
+          match t.cfg.algorithm with
+          | Vivace vc -> vivace_decide t vc
+          | Allegro -> decide t
+        end
       | R_adjust { step; prev_rate } ->
         (* Only the current step's first result drives the ladder; later
            results for an already-decided step are stale. *)

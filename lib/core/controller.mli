@@ -17,6 +17,28 @@
     Results for MIs planned by a superseded phase are ignored (they were
     sent before the phase change took effect). *)
 
+type vivace_config = {
+  viv_eps : float;  (** Probe amplitude ε: trials at base·(1±ε). *)
+  theta : float;  (** Gradient-to-Mbps conversion factor θ. *)
+  amp_max : int;  (** Confidence amplifier cap. *)
+  omega0 : float;  (** Initial change boundary ω₀ (rate fraction). *)
+  omega_delta : float;  (** ω growth per consecutive clamped step. *)
+  omega_max : float;  (** ω ceiling. *)
+}
+
+val default_vivace : vivace_config
+(** ε = 0.05, θ = 1, m ≤ 30, ω₀ = 0.05 growing by 0.1 to 0.5 — the
+    shape of the NSDI 2018 defaults, scaled to this simulator's Mbps
+    utility magnitudes. *)
+
+type algorithm =
+  | Allegro  (** §3.2's trial/decision/adjusting state machine. *)
+  | Vivace of vivace_config
+      (** Gradient ascent with confidence amplification and a dynamic
+          change boundary (PCC Vivace, NSDI 2018). Reuses Allegro's
+          Starting phase; afterwards alternates one ±ε probe pair with
+          one gradient step, never entering Adjusting. *)
+
 type config = {
   eps_min : float;  (** Trial granularity step, paper: 0.01. *)
   eps_max : float;  (** Granularity cap, paper: 0.05. *)
@@ -24,11 +46,12 @@ type config = {
   init_rate : float;  (** Starting rate, bits/s (paper: 2·MSS/RTT). *)
   min_rate : float;  (** Control floor, bits/s. *)
   max_rate : float;  (** Control ceiling, bits/s. *)
+  algorithm : algorithm;  (** Which rate-update rule drives the flow. *)
 }
 
 val default_config : config
 (** ε ∈ [0.01, 0.05], RCT on, init 0.48 Mbps (2 MSS / 50 ms),
-    floor 50 kbps, ceiling 20 Gbps. *)
+    floor 50 kbps, ceiling 20 Gbps, Allegro. *)
 
 type phase = Starting | Decision | Adjusting
 (** Exposed for tests and rate-evolution traces. *)
@@ -65,3 +88,10 @@ val eps : t -> float
 
 val decisions : t -> int
 (** Number of completed decision rounds (conclusive or not). *)
+
+val gradient_steps : t -> int
+(** Number of Vivace gradient steps taken (0 under Allegro). *)
+
+val mean_utility : t -> float
+(** Mean utility over every MI result delivered to this controller
+    (0 before the first result) — the bench's per-controller summary. *)

@@ -80,8 +80,10 @@ type t = {
   mutable next_id : int;
   mutable rtt_est : float;
   mutable rtt_latest : float;
+  mutable rtt_min : float;  (* lifetime minimum RTT sample (∞ before any) *)
   mutable have_rtt : bool;
   mutable last_avg_rtt : float option;
+  mutable last_class : int;  (* last utility class seen (-1 before any) *)
   mutable running : bool;
   (* In-order release of evaluated results. *)
   ready : (int, result) Hashtbl.t;
@@ -105,8 +107,10 @@ let create engine cfg ~rng ~utility ~rate_for_mi ~on_result ~on_mi_losses =
     next_id = 0;
     rtt_est = cfg.initial_rtt;
     rtt_latest = cfg.initial_rtt;
+    rtt_min = Float.infinity;
     have_rtt = false;
     last_avg_rtt = None;
+    last_class = -1;
     running = false;
     ready = Hashtbl.create 16;
     discarded = Hashtbl.create 16;
@@ -231,6 +235,11 @@ let evaluate t (mi : mi) =
         prev_avg_rtt = prev_rtt_for_utility;
         rtt_early;
         rtt_late;
+        min_rtt =
+          (if t.rtt_min < Float.infinity then t.rtt_min
+           else rtt_for_utility);
+        rtt_samples = mi.rtt_cnt;
+        prev_class = t.last_class;
       }
   in
   let result =
@@ -253,6 +262,20 @@ let evaluate t (mi : mi) =
     Pcc_trace.Collector.emit Pcc_trace.Event.Mi_end
       ~time:(Engine.now t.engine) ~id:t.trace_id ~a:result.utility ~b:loss
       ~i:mi.mi_id;
+  (* Class-switching utilities (Proteus): trace the moment the class in
+     force changes, e.g. a scavenger flipping from probing to yielding. *)
+  (match t.utility.Utility.classify with
+  | Some classify ->
+    let cls = classify metrics in
+    if t.last_class >= 0 && cls <> t.last_class then
+      if Pcc_trace.Collector.enabled () then
+        Pcc_trace.Collector.emit Pcc_trace.Event.Utility_switch
+          ~time:(Engine.now t.engine) ~id:t.trace_id
+          ~a:(float_of_int cls)
+          ~b:(float_of_int t.last_class)
+          ~i:mi.mi_id;
+    t.last_class <- cls
+  | None -> ());
   if losses <> [] then t.on_mi_losses (List.sort compare losses);
   Hashtbl.replace t.ready result.id result;
   release_ready t
@@ -401,6 +424,7 @@ let on_ack t ~seq ~rtt ~size =
   (match rtt with
   | Some sample ->
     t.rtt_latest <- sample;
+    if sample < t.rtt_min then t.rtt_min <- sample;
     if t.have_rtt then t.rtt_est <- (0.9 *. t.rtt_est) +. (0.1 *. sample)
     else begin
       t.rtt_est <- sample;

@@ -14,11 +14,16 @@ let default_config =
     utility = Utility.safe ();
   }
 
-let config_with ?utility ?rct ?eps_min ?eps_max ?mi_rtt ?init_rate () =
+let config_with ?utility ?rct ?eps_min ?eps_max ?mi_rtt ?init_rate ?algorithm
+    () =
   let c = default_config in
   let controller =
     {
       c.controller with
+      algorithm =
+        (match algorithm with
+        | Some a -> a
+        | None -> c.controller.Controller.algorithm);
       rct = (match rct with Some v -> v | None -> c.controller.Controller.rct);
       eps_min =
         (match eps_min with Some v -> v | None -> c.controller.Controller.eps_min);

@@ -26,6 +26,7 @@ val config_with :
   ?eps_max:float ->
   ?mi_rtt:float * float ->
   ?init_rate:float ->
+  ?algorithm:Controller.algorithm ->
   unit ->
   config
 (** Convenience for experiment sweeps over the interesting knobs. *)

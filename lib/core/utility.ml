@@ -7,6 +7,9 @@ type metrics = {
   prev_avg_rtt : float;
   rtt_early : float;
   rtt_late : float;
+  min_rtt : float;
+  rtt_samples : int;
+  prev_class : int;
 }
 
 (* Lower confidence bound of the per-MI loss rate: with only a handful of
@@ -21,7 +24,11 @@ let loss_lcb loss samples =
     Float.max 0. (loss -. sqrt (loss *. (1. -. loss) /. n))
   end
 
-type t = { name : string; eval : metrics -> float }
+type t = {
+  name : string;
+  eval : metrics -> float;
+  classify : (metrics -> int) option;
+}
 
 let mbps x = x /. 1e6
 
@@ -33,6 +40,7 @@ let sigmoid alpha y =
 let safe ?(alpha = 100.) ?(loss_threshold = 0.05) ?(conservative = true) () =
   {
     name = "safe";
+    classify = None;
     eval =
       (fun m ->
         let l_cut = if conservative then loss_lcb m.loss m.samples else m.loss in
@@ -43,12 +51,14 @@ let safe ?(alpha = 100.) ?(loss_threshold = 0.05) ?(conservative = true) () =
 let loss_resilient () =
   {
     name = "loss-resilient";
+    classify = None;
     eval = (fun m -> mbps m.throughput *. (1. -. m.loss));
   }
 
 let latency ?(alpha = 100.) ?(loss_threshold = 0.05) () =
   {
     name = "latency";
+    classify = None;
     eval =
       (fun m ->
         let rtt = Float.max m.avg_rtt 1e-6 in
@@ -69,22 +79,150 @@ let latency ?(alpha = 100.) ?(loss_threshold = 0.05) () =
 let simple () =
   {
     name = "simple";
+    classify = None;
     eval = (fun m -> mbps m.throughput -. (mbps m.rate *. m.loss));
   }
+
+(* RTT gradient in seconds/second from the within-MI trend. The MI
+   duration estimate mirrors the sender's default MI length (~1.1 RTT,
+   split in half by the early/late sample windows). *)
+let drtt_dt m =
+  let dur = Float.max 1e-6 (0.5 *. (m.avg_rtt *. 2.2)) in
+  (m.rtt_late -. m.rtt_early) /. dur
+
+let vivace_eval ~exponent ~latency_coeff ~loss_coeff m =
+  let x = mbps m.rate in
+  (x ** exponent)
+  -. (latency_coeff *. x *. Float.max 0. (drtt_dt m))
+  -. (loss_coeff *. x *. m.loss)
 
 let vivace ?(exponent = 0.9) ?(latency_coeff = 900.) ?(loss_coeff = 11.35) ()
     =
   {
     name = "vivace";
-    eval =
-      (fun m ->
-        let x = mbps m.rate in
-        let dur = Float.max 1e-6 (0.5 *. (m.avg_rtt *. 2.2)) in
-        (* RTT gradient in seconds/second from the within-MI trend. *)
-        let drtt_dt = (m.rtt_late -. m.rtt_early) /. dur in
-        (x ** exponent)
-        -. (latency_coeff *. x *. Float.max 0. drtt_dt)
-        -. (loss_coeff *. x *. m.loss));
+    classify = None;
+    eval = vivace_eval ~exponent ~latency_coeff ~loss_coeff;
   }
 
-let custom ~name eval = { name; eval }
+let class_probe = 0
+let class_suspect = 1
+let class_yield = 3
+
+(* The scavenger's congestion sentinel: any sustained RTT inflation or
+   non-noise loss reads as "a primary is present". The loss side uses the
+   lower confidence bound so one unlucky drop in a short MI does not
+   trigger a yield. *)
+let congested ?(rtt_slope = 0.005) ?(loss_cut = 0.015) m =
+  drtt_dt m > rtt_slope || loss_lcb m.loss m.samples > loss_cut
+
+(* Proteus orders utility classes by aggressiveness: a primary must keep
+   pressing through queueing that makes a scavenger cede. Vivace's
+   default b=900 flips the gradient at dRTT/dt ≈ 0.0007 s/s for a
+   30 Mbps flow — more timid than the scavenger's own yield trigger, so
+   a b=900 "primary" crashes on its start-up overshoot and then cannot
+   climb back into a scavenger-saturated link (at low rates the latency
+   term is pure probe noise). b=10 tolerates queue growth two orders of
+   magnitude past [rtt_slope]: the primary presses until it holds a
+   visible standing queue at the bottleneck, which is precisely the
+   persistence signal the scavenger's sentinel pins itself on — a
+   gradient-sharing primary that kept queues empty would be
+   indistinguishable from an idle link to a yielded scavenger. *)
+let proteus_primary ?exponent ?(latency_coeff = 10.) ?loss_coeff () =
+  let u = vivace ?exponent ~latency_coeff ?loss_coeff () in
+  { u with name = "proteus-primary" }
+
+let proteus_scavenger ?(exponent = 0.9) ?(latency_coeff = 900.)
+    ?(loss_coeff = 11.35) ?(rtt_slope = 0.005) ?(loss_cut = 0.015)
+    ?(yield_floor = 2e6) () =
+  (* Hysteresis via [prev_class], in both directions, with no state
+     beyond the class integer itself.
+
+     Entry is debounced: a congested MI makes the flow a fresh suspect,
+     and a second congested MI within the next two confirms the yield
+     (suspect decays fresh → stale → probe through clean MIs). The
+     one-clean-MI grace matters because the controller probes in ±ε
+     pairs: competing at a saturated bottleneck, the flow's own −ε half
+     dips the link below capacity and reads clean even though every +ε
+     half congests, so a strict two-in-a-row rule would never confirm.
+     Solo, the signature of hovering at capacity is
+     [+ε congested; −ε clean; base clean] — the base-rate MI sits below
+     capacity too, so the suspect decays and the flow hovers under its
+     ordinary Vivace dynamics instead of self-yielding.
+
+     Exit is a clean-streak countdown encoded in the class value: a
+     confirmed yield starts at [yield_hi] and must observe [exit_clean]
+     consecutive MIs that are neither congested nor holding a standing
+     queue before probing resumes; any hot MI resets the countdown. The
+     standing-queue test ([avg_rtt] elevated over the path's observed
+     [min_rtt]) covers primaries that park a queue at the bottleneck
+     without growing it further. A false self-yield (the flow briefly
+     overdriving an empty link) sees the queue drain within an MI or
+     two and exits after ~[exit_clean] MIs, having ceded little. *)
+  let suspect_fresh = class_suspect + 1 in
+  let exit_clean = 6 in
+  let yield_hi = class_yield + exit_clean - 1 in
+  (* The standing-queue test only trusts MIs with real RTT samples:
+     during a retransmission storm Karn's rule suppresses samples and
+     every RTT statistic is a frozen estimator fallback — treating that
+     guess as a hot queue would pin the flow in yield with no way to
+     gather the fresh evidence needed to leave it. *)
+  let hot m =
+    congested ~rtt_slope ~loss_cut m
+    || (m.rtt_samples > 0 && m.avg_rtt > 1.1 *. m.min_rtt)
+  in
+  let scavenger_class m =
+    if m.prev_class >= class_yield then
+      if hot m then yield_hi
+      else if m.prev_class = class_yield then class_probe
+      else m.prev_class - 1
+    else if congested ~rtt_slope ~loss_cut m then
+      if m.prev_class >= class_suspect then yield_hi else suspect_fresh
+    else if m.prev_class = suspect_fresh then class_suspect
+    else class_probe
+  in
+  {
+    name = "proteus-scavenger";
+    classify = Some scavenger_class;
+    eval =
+      (fun m ->
+        if scavenger_class m >= class_yield then
+          (* Steeply decreasing in rate: the gradient controller sees a
+             strictly better utility at any lower rate and walks the
+             scavenger down. The gain keeps the gradient above the
+             controller's change boundary (and above RTT-sample noise),
+             so every yield step is a full ω·base back-off and the
+             boundary widens each decision — the descent compounds
+             instead of creeping down 1 Mbps per decision while the
+             primary waits. Below [yield_floor] the objective is flat
+             (zero gradient), so the descent parks there rather than
+             crashing to the sender's absolute minimum, where the flow
+             could not even drain a retransmission backlog. *)
+          let x = Float.max (mbps m.rate) (mbps yield_floor) in
+          -.(10. *. (x ** exponent))
+          -. (latency_coeff *. x *. Float.max 0. (drtt_dt m))
+          -. (loss_coeff *. x *. m.loss)
+        else vivace_eval ~exponent ~latency_coeff ~loss_coeff m);
+  }
+
+let proteus_hybrid ?(floor_rate = 2e6) ?exponent ?latency_coeff ?loss_coeff
+    ?rtt_slope ?loss_cut () =
+  let primary = proteus_primary ?exponent ?latency_coeff ?loss_coeff () in
+  let scav =
+    proteus_scavenger ?exponent ?latency_coeff ?loss_coeff ?rtt_slope
+      ?loss_cut ~yield_floor:floor_rate ()
+  in
+  {
+    name = "proteus-hybrid";
+    classify =
+      Some
+        (fun m ->
+          if m.rate <= floor_rate then class_probe
+          else Option.get scav.classify m);
+    eval =
+      (fun m ->
+        (* Below the floor the flow demands its share like a primary;
+           past it, the surplus is scavenged. *)
+        if m.rate <= floor_rate then primary.eval m else scav.eval m);
+  }
+
+let custom ~name eval = { name; eval; classify = None }

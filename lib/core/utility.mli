@@ -19,11 +19,31 @@ type metrics = {
   prev_avg_rtt : float;  (** Same, for the preceding MI. *)
   rtt_early : float;  (** Mean of the MI's first few RTT samples. *)
   rtt_late : float;  (** Mean of the MI's last few RTT samples. *)
+  min_rtt : float;
+      (** Minimum RTT observed over the connection's lifetime — the
+          monitor's estimate of the un-queued path RTT. [avg_rtt]
+          elevated over it means a standing queue at the bottleneck. *)
+  rtt_samples : int;
+      (** RTT samples actually taken in the MI. [0] means every RTT
+          statistic above is an estimator fallback, not a measurement
+          (e.g. all of the MI's acks were for retransmissions, which
+          carry no sample under Karn's rule). *)
+  prev_class : int;
+      (** The utility class in force for the previous evaluated MI, or
+          [-1] before any (and always [-1] for single-class utilities).
+          Maintained by the monitor; lets class-switching utilities
+          implement hysteresis while staying pure functions. *)
 }
 
 type t = {
   name : string;
   eval : metrics -> float;  (** Higher is better. *)
+  classify : (metrics -> int) option;
+      (** For class-switching utilities (Proteus): map an MI's metrics to
+          the utility class in force for that MI. [None] for single-class
+          utilities. The monitor traces class changes as
+          [Utility_switch] events; classes are small ints
+          ({!class_probe}, {!class_yield}). *)
 }
 
 val safe :
@@ -70,6 +90,90 @@ val vivace :
     gradient term reacts before queues fill. Included as a
     forward-compatible objective; the reproduction benchmarks all use
     {!safe}. *)
+
+(** {1 Proteus utility classes}
+
+    PCC Proteus (SIGCOMM 2020) selects a utility class per flow. A
+    {e primary} competes for its share like Vivace; a {e scavenger}
+    probes only while the path is uncongested and flips to a
+    monotone-decreasing "yield" objective the moment RTT inflation or
+    loss says a primary is present, so the gradient controller walks it
+    down and the primary keeps the bottleneck; a {e hybrid} defends a
+    floor rate like a primary and scavenges the surplus. *)
+
+val class_probe : int
+(** Class code: probing for bandwidth (the default class). *)
+
+val class_suspect : int
+(** Class code: a congested MI was seen recently while probing; a second
+    congested MI while suspect confirms the yield
+    ({!proteus_scavenger}'s entry debounce). Suspicion spans two class
+    codes ([class_suspect] and [class_suspect + 1]) encoding its age — a
+    fresh suspect survives one clean MI before decaying back to
+    {!class_probe}. Evaluated with the probing objective. *)
+
+val class_yield : int
+(** Class code: yielding to a competing primary. Every class
+    [>= class_yield] is a yield state: a confirmed yield starts several
+    steps above [class_yield] and counts down one per clean MI, so the
+    class value encodes the remaining clean-streak length required
+    before probing resumes (see {!proteus_scavenger}). *)
+
+val proteus_primary :
+  ?exponent:float -> ?latency_coeff:float -> ?loss_coeff:float -> unit -> t
+(** The Vivace objective with an aggressive latency coefficient
+    ([latency_coeff] defaults to 10 rather than Vivace's 900): a primary
+    keeps pressing through queue growth that makes a {!proteus_scavenger}
+    cede — Proteus orders its utility classes by aggressiveness, and the
+    scavenger's congestion sentinel can only detect a competitor that
+    out-ranks it. Single-class ([classify = None]). *)
+
+val proteus_scavenger :
+  ?exponent:float ->
+  ?latency_coeff:float ->
+  ?loss_coeff:float ->
+  ?rtt_slope:float ->
+  ?loss_cut:float ->
+  ?yield_floor:float ->
+  unit ->
+  t
+(** Scavenger: the Vivace objective while the path is clean; once two
+    MIs within a three-MI window show the within-MI RTT slope above
+    [rtt_slope] (default 0.005 s/s) or the loss lower confidence bound
+    above [loss_cut] (default 0.015), the utility becomes steeply
+    decreasing in rate so every gradient step down is a full
+    change-boundary back-off and the flow collapses to [yield_floor]
+    (default 2 Mbps), below which the yield objective is flat and the
+    descent parks.
+
+    Both transitions are debounced via [metrics.prev_class]. Entry takes
+    two congested MIs with at most one clean MI between them: at a
+    saturated bottleneck the controller's own −ε probe half dips the
+    link below capacity and reads clean, so a strict two-in-a-row rule
+    would never confirm against a competing primary, while the solo
+    hovering signature ([+ε congested; −ε clean; base clean]) decays
+    back to probing without a yield. Exit is a clean-streak
+    countdown encoded in the class value: probing resumes only after
+    several consecutive MIs with no congestion signal {e and} no
+    standing queue ([avg_rtt] within 10% of [min_rtt]); any hot MI
+    resets the streak. A competing primary holds a standing queue even
+    when the RTT slope reads flat, so the scavenger stays pinned at its
+    minimum rate for the primary's lifetime, while a false self-yield
+    on an otherwise empty link drains within an MI or two and exits
+    cheaply. *)
+
+val proteus_hybrid :
+  ?floor_rate:float ->
+  ?exponent:float ->
+  ?latency_coeff:float ->
+  ?loss_coeff:float ->
+  ?rtt_slope:float ->
+  ?loss_cut:float ->
+  unit ->
+  t
+(** Hybrid: primary behaviour at or below [floor_rate] (default 2 Mbps),
+    scavenger behaviour above it — the flow defends a minimum rate and
+    scavenges any surplus. *)
 
 val custom : name:string -> (metrics -> float) -> t
 (** Escape hatch for application-defined objectives. *)

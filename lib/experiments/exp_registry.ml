@@ -147,6 +147,15 @@ let all : entry list =
       (fun ?pool ?policy ~scale ~seed () ->
         Exp_common.render_table
           (Exp_ablation.table (Exp_ablation.run ?pool ?policy ~scale ~seed ())));
+    simple "controllers"
+      "Controller family: Allegro/Vivace/Proteus/CUBIC head-to-head and \
+       scavenger-vs-primary sharing"
+      (fun ?pool ?policy ~scale ~seed () ->
+        let head, phases =
+          Exp_controllers.run ?pool ?policy ~scale ~seed ()
+        in
+        Exp_common.render_table (Exp_controllers.table head)
+        ^ Exp_common.render_table (Exp_controllers.phase_table phases));
     simple "manyflow" "Scale: 10k-flow fan-in stress (scheduler and pooling)"
       (fun ?pool ?policy ~scale ~seed () ->
         Exp_common.render_table

@@ -19,13 +19,13 @@ let shard_oracle = function
   | _ -> false
 
 let fuzz ?(synth = fun _ -> None) ?(deep_every = 8) ?(shard_every = 4)
-    ?(shards = 4) ?(shrink_budget = 300) ?corpus_dir ?(log = fun _ -> ())
-    ~runs ~seed () =
+    ?(shards = 4) ?(shrink_budget = 300) ?corpus_dir ?menu
+    ?(log = fun _ -> ()) ~runs ~seed () =
   let failed = ref [] in
   for run = 0 to runs - 1 do
     let run_seed = Pcc_experiments.Runner.derive_seed ~master:seed ~index:run in
     let rng = Rng.create run_seed in
-    let scenario = Scenario.generate ~rng () in
+    let scenario = Scenario.generate ?menu ~rng () in
     let deep = deep_every > 0 && run mod deep_every = 0 in
     let shard = shard_every > 0 && run mod shard_every = 0 in
     match Oracle.test ~synth ~deep ~shard ~shards scenario with

@@ -30,12 +30,16 @@ val fuzz :
   ?shards:int ->
   ?shrink_budget:int ->
   ?corpus_dir:string ->
+  ?menu:string list ->
   ?log:(string -> unit) ->
   runs:int ->
   seed:int ->
   unit ->
   summary
-(** Run a campaign. [deep_every] (default 8) enables the expensive
+(** Run a campaign. [menu] restricts generated flows to a subset of
+    {!Pcc_scenario.Transport.all_names} (the nightly controllers axis
+    fuzzes just the PCC family); default is the full menu.
+    [deep_every] (default 8) enables the expensive
     supervisor/checkpoint differentials on every Nth run (0 disables
     them); shrinking a deep-oracle failure re-enables them for the
     minimizer's checks. [shard_every] (default 4) likewise enables the

@@ -197,7 +197,14 @@ let shard_preview ~shards (s : t) =
 (* Serialization *)
 
 let magic = "PCCSCN"
-let version = 1
+
+(* Version history:
+   1 — initial format.
+   2 — identical layout; marks the extended transport vocabulary
+       (pcc-vivace as a true Vivace controller, the pcc-proteus family)
+       so an old binary rejects a new blob at the header instead of
+       failing later in Transport.of_name. *)
+let version = 2
 
 let rec write_queue w (q : Topology.queue_kind) =
   let open Persist.Writer in
@@ -363,7 +370,9 @@ let to_string t =
 let of_string s =
   let open Persist.Reader in
   let r = of_string ~magic s in
-  if version r <> 1 then
+  (* v1 blobs parse unchanged: the layout never moved, only the transport
+     name vocabulary grew. *)
+  if version r <> 1 && version r <> 2 then
     raise
       (Persist.Corrupt
          (Printf.sprintf "unsupported scenario version %d" (version r)));
@@ -478,8 +487,8 @@ let gen_link rng ~src ~dst =
 
 let transport_menu = Array.of_list Transport.all_names
 
-let gen_flow rng ~duration ~shape ~hops =
-  let transport = Rng.pick rng transport_menu in
+let gen_flow rng ~menu ~duration ~shape ~hops =
+  let transport = Rng.pick rng menu in
   let route, rev_route =
     match shape with
     | `Dumbbell -> ([ 0; 1 ], None)
@@ -515,7 +524,20 @@ let gen_flow rng ~duration ~shape ~hops =
   in
   { transport; route; rev_route; rev_lossy; start_at; stop_at; size; extra_rtt }
 
-let generate ~rng () =
+let generate ?menu ~rng () =
+  let menu =
+    match menu with
+    | None -> transport_menu
+    | Some names ->
+      if names = [] then invalid_arg "Scenario.generate: empty transport menu";
+      List.iter
+        (fun n ->
+          match Transport.of_name n with
+          | Ok _ -> ()
+          | Error m -> invalid_arg ("Scenario.generate: " ^ m))
+        names;
+      Array.of_list names
+  in
   let duration = round_to ~decimals:2 (Rng.uniform rng 2. 6.) in
   let shape =
     match Rng.int rng 4 with
@@ -532,7 +554,7 @@ let generate ~rng () =
   in
   let n_flows = 1 + Rng.int rng 4 in
   let flows =
-    List.init n_flows (fun _ -> gen_flow rng ~duration ~shape ~hops)
+    List.init n_flows (fun _ -> gen_flow rng ~menu ~duration ~shape ~hops)
   in
   (* Sub-streams are split unconditionally so the draw order stays fixed
      whether or not the feature is enabled. *)

@@ -117,15 +117,19 @@ val shard_preview : shards:int -> t -> int
 (** {1 Serialization} *)
 
 val to_string : t -> string
-(** Versioned binary encoding via {!Pcc_sim.Persist.Writer}. *)
+(** Versioned binary encoding via {!Pcc_sim.Persist.Writer}. The current
+    version is 2: layout-identical to version 1, but written by binaries
+    whose transport vocabulary includes the Vivace/Proteus controllers,
+    so an older reader rejects the blob at its header. *)
 
 val of_string : string -> t
-(** @raise Pcc_sim.Persist.Corrupt on bad magic, an unsupported version
+(** Accepts versions 1 and 2 (same layout).
+    @raise Pcc_sim.Persist.Corrupt on bad magic, an unsupported version
     or a malformed encoding. *)
 
 (** {1 Generation} *)
 
-val generate : rng:Pcc_sim.Rng.t -> unit -> t
+val generate : ?menu:string list -> rng:Pcc_sim.Rng.t -> unit -> t
 (** Draw a random-but-valid scenario: a dumbbell, 2–4-hop chain or
     congested-reverse-path shape; 1–4 flows with transports from the
     full {!Transport.all_names} menu, random routes, start/stop times,
@@ -135,4 +139,10 @@ val generate : rng:Pcc_sim.Rng.t -> unit -> t
     link perturbation. The result always satisfies {!build}'s
     validation — the generator's envelope is the fuzzer's input space.
     All values are drawn from [rng] in a fixed order, so a seed
-    determines the scenario. *)
+    determines the scenario.
+
+    [menu] restricts the transports flows are drawn from (e.g. the
+    nightly controllers axis fuzzing only the PCC family); it defaults
+    to {!Transport.all_names}. The same seed with a different menu
+    yields a different scenario — determinism holds per (seed, menu).
+    @raise Invalid_argument if [menu] is empty or has an unknown name. *)

@@ -11,7 +11,15 @@ let sabul = Sabul
 let pcp = Pcp
 
 let name = function
-  | Pcc cfg -> "pcc/" ^ cfg.Pcc_core.Pcc_sender.utility.Pcc_core.Utility.name
+  | Pcc cfg ->
+    let algo =
+      match
+        cfg.Pcc_core.Pcc_sender.controller.Pcc_core.Controller.algorithm
+      with
+      | Pcc_core.Controller.Allegro -> "pcc"
+      | Pcc_core.Controller.Vivace _ -> "vivace"
+    in
+    algo ^ "/" ^ cfg.Pcc_core.Pcc_sender.utility.Pcc_core.Utility.name
   | Tcp { variant; pacing; _ } -> variant ^ if pacing then "+pacing" else ""
   | Sabul -> "sabul"
   | Pcp -> "pcp"
@@ -40,11 +48,45 @@ let of_name s =
               ())
          ())
   | "pcc-vivace" ->
+    (* The full Vivace sender: gradient-ascent controller driving the
+       latency-aware Vivace utility. *)
     Ok
       (pcc
          ~config:
            (Pcc_core.Pcc_sender.config_with
               ~utility:(Pcc_core.Utility.vivace ())
+              ~algorithm:
+                (Pcc_core.Controller.Vivace Pcc_core.Controller.default_vivace)
+              ())
+         ())
+  | "pcc-proteus" ->
+    Ok
+      (pcc
+         ~config:
+           (Pcc_core.Pcc_sender.config_with
+              ~utility:(Pcc_core.Utility.proteus_primary ())
+              ~algorithm:
+                (Pcc_core.Controller.Vivace Pcc_core.Controller.default_vivace)
+              ())
+         ())
+  | "pcc-proteus-scavenger" ->
+    Ok
+      (pcc
+         ~config:
+           (Pcc_core.Pcc_sender.config_with
+              ~utility:(Pcc_core.Utility.proteus_scavenger ())
+              ~algorithm:
+                (Pcc_core.Controller.Vivace Pcc_core.Controller.default_vivace)
+              ())
+         ())
+  | "pcc-proteus-hybrid" ->
+    Ok
+      (pcc
+         ~config:
+           (Pcc_core.Pcc_sender.config_with
+              ~utility:(Pcc_core.Utility.proteus_hybrid ())
+              ~algorithm:
+                (Pcc_core.Controller.Vivace Pcc_core.Controller.default_vivace)
               ())
          ())
   | "sabul" -> Ok sabul
@@ -57,7 +99,17 @@ let of_name s =
   | s -> Error ("unknown transport " ^ s)
 
 let all_names =
-  [ "pcc"; "pcc-latency"; "pcc-resilient"; "pcc-vivace"; "sabul"; "pcp" ]
+  [
+    "pcc";
+    "pcc-latency";
+    "pcc-resilient";
+    "pcc-vivace";
+    "pcc-proteus";
+    "pcc-proteus-scavenger";
+    "pcc-proteus-hybrid";
+    "sabul";
+    "pcp";
+  ]
   @ Pcc_tcp.Registry.variants
   @ List.map (fun v -> "paced-" ^ v) Pcc_tcp.Registry.variants
 

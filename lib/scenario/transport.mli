@@ -22,9 +22,11 @@ val name : spec -> string
 
 val of_name : string -> (spec, string) result
 (** The CLI/scenario-file vocabulary: ["pcc"], ["pcc-latency"],
-    ["pcc-resilient"], ["pcc-vivace"], ["sabul"], ["pcp"], any
-    {!Pcc_tcp.Registry} variant name, or ["paced-<variant>"]. The error
-    is a human-readable message. *)
+    ["pcc-resilient"], ["pcc-vivace"] (the gradient-ascent Vivace
+    controller), ["pcc-proteus"] / ["pcc-proteus-scavenger"] /
+    ["pcc-proteus-hybrid"] (Vivace controller with the Proteus utility
+    classes), ["sabul"], ["pcp"], any {!Pcc_tcp.Registry} variant name,
+    or ["paced-<variant>"]. The error is a human-readable message. *)
 
 val all_names : string list
 (** Every name {!of_name} accepts, in a stable order. *)

@@ -11,6 +11,8 @@ type kind =
   | Flow_start
   | Flow_stop
   | Flow_complete
+  | Gradient_step
+  | Utility_switch
 
 type scope = Engine_scope | Link_scope | Flow_scope
 
@@ -18,7 +20,7 @@ let scope_of_kind = function
   | Dispatch -> Engine_scope
   | Enqueue | Drop | Queue_sample -> Link_scope
   | Mi_start | Mi_end | Mi_discard | Rate_change | Cwnd | Flow_start
-  | Flow_stop | Flow_complete ->
+  | Flow_stop | Flow_complete | Gradient_step | Utility_switch ->
     Flow_scope
 
 let cat_engine = 1
@@ -32,7 +34,9 @@ let cat_default = cat_all land lnot cat_engine
 let cat_of_kind = function
   | Dispatch -> cat_engine
   | Enqueue | Drop | Queue_sample -> cat_link
-  | Mi_start | Mi_end | Mi_discard | Rate_change -> cat_pcc
+  | Mi_start | Mi_end | Mi_discard | Rate_change | Gradient_step
+  | Utility_switch ->
+    cat_pcc
   | Cwnd -> cat_tcp
   | Flow_start | Flow_stop | Flow_complete -> cat_flow
 
@@ -59,6 +63,8 @@ let kind_name = function
   | Flow_start -> "flow-start"
   | Flow_stop -> "flow-stop"
   | Flow_complete -> "flow-complete"
+  | Gradient_step -> "gradient"
+  | Utility_switch -> "utility-switch"
 
 let all_kinds =
   [|
@@ -74,6 +80,8 @@ let all_kinds =
     Flow_start;
     Flow_stop;
     Flow_complete;
+    Gradient_step;
+    Utility_switch;
   |]
 
 let int_of_kind = function
@@ -89,6 +97,8 @@ let int_of_kind = function
   | Flow_start -> 9
   | Flow_stop -> 10
   | Flow_complete -> 11
+  | Gradient_step -> 12
+  | Utility_switch -> 13
 
 let kind_of_int n =
   if n < 0 || n >= Array.length all_kinds then
@@ -99,6 +109,14 @@ let kind_of_int n =
 let pack_rate_info ~phase ~step = (step lsl 2) lor (phase land 3)
 let rate_phase packed = packed land 3
 let rate_step packed = packed lsr 2
+
+(* direction bit 0, boundary-clamp bit 1, confidence amplifier above. *)
+let pack_gradient_info ~up ~clamped ~amp =
+  (amp lsl 2) lor (if clamped then 2 else 0) lor (if up then 1 else 0)
+
+let gradient_up packed = packed land 1 = 1
+let gradient_clamped packed = packed land 2 = 2
+let gradient_amp packed = packed lsr 2
 
 type record = {
   time : float;

@@ -44,6 +44,18 @@ type kind =
   | Flow_complete
       (** A sized flow finished. [id] = flow, [a] = flow completion
           time (s). *)
+  | Gradient_step
+      (** A Vivace controller took one gradient-ascent step. [id] = flow,
+          [a] = the measured utility gradient (utility units per Mbps),
+          [b] = the new base rate (bits/s), [i] = direction, boundary
+          clamp and confidence amplifier packed by
+          {!pack_gradient_info}. *)
+  | Utility_switch
+      (** A Proteus utility changed class (e.g. a scavenger moving
+          between probing and yielding). [id] = flow, [a] = the class it
+          switched to (as a float of {!Pcc_core.Utility} class codes),
+          [b] = the class it left, [i] = the MI id whose metrics
+          triggered the switch. *)
 
 type scope = Engine_scope | Link_scope | Flow_scope
 (** The id space a record's [id] field indexes. *)
@@ -90,6 +102,14 @@ val pack_rate_info : phase:int -> step:int -> int
 
 val rate_phase : int -> int
 val rate_step : int -> int
+
+val pack_gradient_info : up:bool -> clamped:bool -> amp:int -> int
+(** [up] is the step direction, [clamped] whether the step hit the
+    dynamic change boundary, [amp] the confidence amplifier m. *)
+
+val gradient_up : int -> bool
+val gradient_clamped : int -> bool
+val gradient_amp : int -> int
 
 type record = {
   time : float;  (** Simulated seconds. *)

@@ -164,6 +164,22 @@ let chrome_json ?(canonical = false) c =
              "{\"name\":\"cwnd:%s\",\"cat\":\"tcp\",\"ph\":\"C\",\"pid\":1,\"ts\":%s,\"args\":{\"pkts\":%s}}"
              (r.label Event.Flow_scope e.id)
              t (num e.a))
+      | Event.Gradient_step ->
+        let tid = announce Event.Flow_scope e.id in
+        entry
+          (Printf.sprintf
+             "{\"name\":\"gradient\",\"cat\":\"pcc\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"args\":{\"gamma\":%s,\"mbps\":%s,\"dir\":\"%s\",\"amp\":%d,\"clamped\":%b}}"
+             tid t (num e.a)
+             (num (e.b /. 1e6))
+             (if Event.gradient_up e.i then "up" else "down")
+             (Event.gradient_amp e.i)
+             (Event.gradient_clamped e.i))
+      | Event.Utility_switch ->
+        let tid = announce Event.Flow_scope e.id in
+        entry
+          (Printf.sprintf
+             "{\"name\":\"utility-switch\",\"cat\":\"pcc\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"args\":{\"to\":%s,\"from\":%s,\"mi\":%d}}"
+             tid t (num e.a) (num e.b) e.i)
       | Event.Flow_start | Event.Flow_stop | Event.Flow_complete ->
         let tid = announce Event.Flow_scope e.id in
         let name =
@@ -242,6 +258,18 @@ let decision_log ?(canonical = false) c =
         line "t=%.9f %s complete fct=%s s\n" e.time
           (r.label Event.Flow_scope e.id)
           (num e.a)
+      | Event.Gradient_step ->
+        line "t=%.9f %s gradient %s -> %s Mbps (%s, m=%d%s)\n" e.time
+          (r.label Event.Flow_scope e.id)
+          (num e.a)
+          (num (e.b /. 1e6))
+          (if Event.gradient_up e.i then "up" else "down")
+          (Event.gradient_amp e.i)
+          (if Event.gradient_clamped e.i then ", clamped" else "")
+      | Event.Utility_switch ->
+        line "t=%.9f %s utility class %s -> %s (mi %d)\n" e.time
+          (r.label Event.Flow_scope e.id)
+          (num e.b) (num e.a) e.i
       | Event.Dispatch | Event.Enqueue | Event.Drop | Event.Queue_sample
       | Event.Cwnd ->
         ())
@@ -281,8 +309,11 @@ let csv_series ?(canonical = false) c =
         push ("cwnd:" ^ r.label Event.Flow_scope e.id) (e.time, e.a)
       | Event.Enqueue | Event.Drop | Event.Queue_sample ->
         push ("queue:" ^ r.label Event.Link_scope e.id) (e.time, e.a)
+      | Event.Gradient_step ->
+        push ("gradient:" ^ r.label Event.Flow_scope e.id) (e.time, e.a)
       | Event.Dispatch | Event.Mi_start | Event.Mi_discard
-      | Event.Flow_start | Event.Flow_stop | Event.Flow_complete ->
+      | Event.Flow_start | Event.Flow_stop | Event.Flow_complete
+      | Event.Utility_switch ->
         ())
     events;
   List.rev_map

@@ -28,6 +28,14 @@
 # 4-shard run must sustain at least MIN_SHARD_SPEEDUP (default 2.0)
 # times the 1-shard events/sec. Few-core hosts record their honest
 # numbers and skip the speedup gate.
+#
+# When the fresh run carries a "controllers" section (bench
+# --controllers), its gate checks that each controller's control plane
+# actually ran: every controller must complete monitor intervals and
+# execute events, every gradient-ascent controller (vivace / proteus
+# family) must record gradient steps, and the Proteus scavenger must
+# record utility-class switches (its start-up overshoot always forces
+# at least one probe->yield->probe round trip).
 set -euo pipefail
 
 usage="usage: check_bench.sh BASELINE.json FRESH.json [MAX_REGRESSION] [MAX_REGRESSION_EACH]"
@@ -173,4 +181,46 @@ if jq -e '.sharding' "$fresh" >/dev/null 2>&1; then
   } | tee -a "${GITHUB_STEP_SUMMARY:-/dev/null}"
 fi
 
-[ "$ok" = yes ] && [ -z "$slow" ] && [ "$shard_ok" = yes ]
+# --- Controller-family gate (fresh file only) ----------------------
+ctrl_ok=yes
+if jq -e '.controllers' "$fresh" >/dev/null 2>&1; then
+  dead=$(jq -r \
+    '[.controllers[] | select(.events == 0 or .mis == 0) | .name] | join(", ")' \
+    "$fresh")
+  no_grad=$(jq -r \
+    '[.controllers[]
+      | select((.name | test("vivace|proteus")) and .gradient_steps == 0)
+      | .name] | join(", ")' "$fresh")
+  no_switch=$(jq -r \
+    '[.controllers[]
+      | select((.name | test("scavenger")) and .utility_switches == 0)
+      | .name] | join(", ")' "$fresh")
+  [ -n "$dead" ] && ctrl_ok=no
+  [ -n "$no_grad" ] && ctrl_ok=no
+  [ -n "$no_switch" ] && ctrl_ok=no
+  {
+    echo ""
+    echo "## Controller-family gate"
+    echo ""
+    echo "| controller | goodput Mbps | MIs | mean utility | gradient steps | switches |"
+    echo "|---|---:|---:|---:|---:|---:|"
+    jq -r '.controllers[]
+      | "| \(.name) | \(.goodput_mbps) | \(.mis) | \(.mean_utility) | \(.gradient_steps) | \(.utility_switches) |"' \
+      "$fresh"
+    echo ""
+    if [ -n "$dead" ]; then
+      echo "**Controllers with no monitor intervals or no events: $dead.**"
+    fi
+    if [ -n "$no_grad" ]; then
+      echo "**Gradient controllers with zero gradient steps: $no_grad.**"
+    fi
+    if [ -n "$no_switch" ]; then
+      echo "**Scavengers with zero utility-class switches: $no_switch.**"
+    fi
+    if [ "$ctrl_ok" = yes ]; then
+      echo "All controllers decided: MIs, gradient steps and class switches present."
+    fi
+  } | tee -a "${GITHUB_STEP_SUMMARY:-/dev/null}"
+fi
+
+[ "$ok" = yes ] && [ -z "$slow" ] && [ "$shard_ok" = yes ] && [ "$ctrl_ok" = yes ]

@@ -2,9 +2,21 @@ open Pcc_core
 
 let metrics ?(rate = 10e6) ?(throughput = 10e6) ?(loss = 0.) ?(samples = 1000)
     ?(avg_rtt = 0.03) ?(prev_avg_rtt = 0.03) ?(rtt_early = 0.03)
-    ?(rtt_late = 0.03) () =
+    ?(rtt_late = 0.03) ?min_rtt ?rtt_samples ?(prev_class = -1) () =
   Utility.
-    { rate; throughput; loss; samples; avg_rtt; prev_avg_rtt; rtt_early; rtt_late }
+    {
+      rate;
+      throughput;
+      loss;
+      samples;
+      avg_rtt;
+      prev_avg_rtt;
+      rtt_early;
+      rtt_late;
+      min_rtt = Option.value min_rtt ~default:avg_rtt;
+      rtt_samples = Option.value rtt_samples ~default:samples;
+      prev_class;
+    }
 
 let eval u m = u.Utility.eval m
 
@@ -95,6 +107,114 @@ let test_vivace_properties () =
   Alcotest.(check bool) "loss punished" true
     (eval u (metrics ~loss:0.1 ~throughput:9e6 ()) < flat)
 
+(* A congested MI: within-MI RTT slope well above the scavenger's
+   default 0.005 s/s trigger ((0.032-0.03)/(0.5*0.03*2.2) ≈ 0.06). *)
+let congested ?(prev_class = -1) () =
+  metrics ~rtt_late:0.032 ~prev_class ()
+
+let clean ?(prev_class = -1) () = metrics ~prev_class ()
+
+let test_proteus_scavenger_entry_debounce () =
+  let u = Utility.proteus_scavenger () in
+  let classify = Option.get u.Utility.classify in
+  let probe = Utility.class_probe in
+  (* One congested MI: suspect, not yet a yield. *)
+  let s1 = classify (congested ~prev_class:probe ()) in
+  Alcotest.(check bool) "one congested MI makes a suspect" true
+    (s1 > probe && s1 < Utility.class_yield);
+  (* A second congested MI confirms. *)
+  Alcotest.(check bool) "second congested MI confirms the yield" true
+    (classify (congested ~prev_class:s1 ()) >= Utility.class_yield);
+  (* The grace window: one clean MI decays the suspect without clearing
+     it (the -ε probe half of a pair at a saturated link reads clean),
+     and the next congested MI still confirms. *)
+  let stale = classify (clean ~prev_class:s1 ()) in
+  Alcotest.(check int) "one clean MI decays fresh to stale"
+    Utility.class_suspect stale;
+  Alcotest.(check bool) "still confirms from a stale suspect" true
+    (classify (congested ~prev_class:stale ()) >= Utility.class_yield);
+  (* Two clean MIs clear the suspicion entirely. *)
+  Alcotest.(check int) "two clean MIs decay to probe" probe
+    (classify (clean ~prev_class:stale ()))
+
+let test_proteus_scavenger_exit_countdown () =
+  let u = Utility.proteus_scavenger () in
+  let classify = Option.get u.Utility.classify in
+  let s1 = classify (congested ~prev_class:Utility.class_probe ()) in
+  let hi = classify (congested ~prev_class:s1 ()) in
+  (* Clean MIs count the yield down one class per MI until probing
+     resumes. *)
+  let rec drain c n =
+    if c >= Utility.class_yield then
+      drain (classify (clean ~prev_class:c ())) (n + 1)
+    else (c, n)
+  in
+  let final, steps = drain hi 0 in
+  Alcotest.(check int) "countdown ends at probe" Utility.class_probe final;
+  Alcotest.(check bool) "exit needs a multi-MI clean streak" true (steps >= 3);
+  (* Any hot MI resets the countdown to the top... *)
+  let mid = classify (clean ~prev_class:hi ()) in
+  Alcotest.(check int) "clean MI decrements" (hi - 1) mid;
+  Alcotest.(check int) "congested MI resets the countdown" hi
+    (classify (congested ~prev_class:mid ()));
+  (* ...including a standing queue with a flat RTT slope (a primary
+     parked at the bottleneck): avg RTT elevated over the lifetime
+     minimum, with real samples behind it. *)
+  Alcotest.(check int) "standing queue pins the yield" hi
+    (classify
+       (metrics ~avg_rtt:0.05 ~rtt_early:0.05 ~rtt_late:0.05 ~min_rtt:0.03
+          ~prev_class:mid ()));
+  (* ...but estimator fallbacks do not pin: with zero RTT samples in the
+     MI (Karn's rule during a retransmission storm) the elevated avg is
+     a frozen guess, and the countdown must keep moving. *)
+  Alcotest.(check int) "Karn fallback does not pin" (mid - 1)
+    (classify
+       (metrics ~avg_rtt:0.05 ~rtt_early:0.05 ~rtt_late:0.05 ~min_rtt:0.03
+          ~rtt_samples:0 ~prev_class:mid ()))
+
+let test_proteus_yield_objective_shape () =
+  let u = Utility.proteus_scavenger () in
+  let yielding rate =
+    (* prev_class at the countdown top + still congested: the yield
+       objective is in force. *)
+    eval u (metrics ~rate ~throughput:rate ~rtt_late:0.032 ~prev_class:8 ())
+  in
+  Alcotest.(check bool) "decreasing in rate above the floor" true
+    (yielding 10e6 > yielding 20e6 && yielding 20e6 > yielding 30e6);
+  Alcotest.(check (float 1e-9)) "flat below the 2 Mbps floor"
+    (yielding 1e6) (yielding 2e6);
+  (* While probing, the scavenger is plain Vivace. *)
+  let viv = Utility.vivace () in
+  Alcotest.(check (float 1e-9)) "probe class evaluates as Vivace"
+    (eval viv (clean ())) (eval u (clean ()))
+
+let test_proteus_primary_presses_through_queueing () =
+  (* The class ordering that makes Proteus work: queue growth that turns
+     Vivace's utility negative leaves the primary's positive, so the
+     primary keeps pressing exactly where a scavenger (or plain Vivace)
+     backs off. *)
+  let m = metrics ~rate:20e6 ~throughput:20e6 ~rtt_late:0.032 () in
+  Alcotest.(check bool) "vivace cedes" true (eval (Utility.vivace ()) m < 0.);
+  Alcotest.(check bool) "primary presses" true
+    (eval (Utility.proteus_primary ()) m > 0.)
+
+let test_proteus_hybrid_floor () =
+  let u = Utility.proteus_hybrid () in
+  let classify = Option.get u.Utility.classify in
+  (* Below the floor rate the hybrid acts as a primary: probe class and
+     a positive utility even under the congestion signal. *)
+  Alcotest.(check int) "below the floor: probe class" Utility.class_probe
+    (classify (metrics ~rate:1e6 ~throughput:1e6 ~rtt_late:0.032 ~prev_class:8 ()));
+  Alcotest.(check bool) "below the floor: presses like a primary" true
+    (eval u (metrics ~rate:1e6 ~throughput:1e6 ~rtt_late:0.032 ()) > 0.);
+  (* Above it, the scavenger machinery is live: a congested MI on a
+     suspect flow confirms the yield. *)
+  Alcotest.(check bool) "above the floor: scavenger confirm" true
+    (classify
+       (metrics ~rate:10e6 ~throughput:10e6 ~rtt_late:0.032
+          ~prev_class:Utility.class_suspect ())
+    >= Utility.class_yield)
+
 let test_custom_utility () =
   let u = Utility.custom ~name:"const" (fun _ -> 42.) in
   Alcotest.(check string) "name" "const" u.Utility.name;
@@ -146,6 +266,16 @@ let suites =
         Alcotest.test_case "latency level" `Quick test_latency_prefers_low_rtt_level;
         Alcotest.test_case "simple" `Quick test_simple_utility;
         Alcotest.test_case "vivace" `Quick test_vivace_properties;
+        Alcotest.test_case "proteus entry debounce" `Quick
+          test_proteus_scavenger_entry_debounce;
+        Alcotest.test_case "proteus exit countdown" `Quick
+          test_proteus_scavenger_exit_countdown;
+        Alcotest.test_case "proteus yield objective" `Quick
+          test_proteus_yield_objective_shape;
+        Alcotest.test_case "proteus primary aggressiveness" `Quick
+          test_proteus_primary_presses_through_queueing;
+        Alcotest.test_case "proteus hybrid floor" `Quick
+          test_proteus_hybrid_floor;
         Alcotest.test_case "custom" `Quick test_custom_utility;
         q prop_safe_monotone_in_throughput;
         q prop_loss_lcb_bounded;
