@@ -307,11 +307,17 @@ let topo_pending topo =
   | Some h -> Shard.pending h
   | None -> Engine.pending (Topology.engine topo)
 
+(* Sharded runs buffer their whole report and print it only on success,
+   so a degradation-ladder retry can discard a half-written table and
+   the final stdout stays byte-identical to a clean run; monolithic
+   runs stream as before. [echo] is that sink, and [kout] its printf. *)
+let kout echo fmt = Printf.ksprintf echo fmt
+
 (* After a sharded run, one line of per-shard balance. The reporting
    loops drive [Topology.run] in interval slices and [Shard.last_stats]
    covers only the final slice, so the line reads the hub's lifetime
    counters and each engine's cumulative executed count instead. *)
-let report_shard_balance topo =
+let report_shard_balance ~echo topo =
   match Topology.hub topo with
   | None -> ()
   | Some h ->
@@ -319,14 +325,14 @@ let report_shard_balance topo =
     let total = Array.fold_left ( + ) 0 per in
     let mean = float_of_int total /. float_of_int (Array.length per) in
     let worst = Array.fold_left max 0 per in
-    Printf.printf
+    kout echo
       "shards: %d; %d barrier rounds, %d boundary messages; per-shard events \
        [%s], balance %.2f (max/mean)\n"
       (Array.length per) (Shard.total_rounds h) (Shard.total_messages h)
       (String.concat "; " (Array.to_list (Array.map string_of_int per)))
       (if total = 0 then 1. else float_of_int worst /. mean)
 
-let topo_report_aggregate ~duration ~interval topo =
+let topo_report_aggregate ~echo ~mode ~clock ~duration ~interval topo =
   let flows = Topology.flows topo in
   let n = Array.length flows in
   let total_bytes () =
@@ -338,29 +344,114 @@ let topo_report_aggregate ~duration ~interval topo =
         if f.Topology.fct <> None then a + 1 else a)
       0 flows
   in
-  Printf.printf "\n%8s %10s %12s %14s %12s\n" "time" "completed" "agg Mbps"
+  kout echo "\n%8s %10s %12s %14s %12s\n" "time" "completed" "agg Mbps"
     "total events" "pending";
   let last = ref 0 in
   let steps = int_of_float (duration /. interval) in
   for i = 1 to steps do
-    Topology.run topo ~until:(float_of_int i *. interval);
+    Topology.run ~mode ?clock topo ~until:(float_of_int i *. interval);
     let b = total_bytes () in
-    Printf.printf "%7.1fs %6d/%-4d %12.2f %14d %12d\n%!"
+    kout echo "%7.1fs %6d/%-4d %12.2f %14d %12d\n"
       (float_of_int i *. interval)
       (completed ()) n
       (float_of_int ((b - !last) * 8) /. interval /. 1e6)
       (topo_executed topo) (topo_pending topo);
     last := b
   done;
-  Printf.printf
-    "\n%d/%d flows completed; %.1f MB delivered; %d events executed\n"
+  kout echo "\n%d/%d flows completed; %.1f MB delivered; %d events executed\n"
     (completed ()) n
     (float_of_int (total_bytes ()) /. 1e6)
     (topo_executed topo);
-  report_shard_balance topo
+  report_shard_balance ~echo topo
+
+let topo_report_perflow ~echo ~mode ~clock ~duration ~interval topo =
+  let flows = Topology.flows topo in
+  kout echo "\n%8s" "time";
+  Array.iter
+    (fun (f : Topology.built_flow) ->
+      kout echo " %14s" f.Topology.def.Topology.label)
+    flows;
+  kout echo "\n";
+  let last = Array.make (Array.length flows) 0 in
+  let steps = int_of_float (duration /. interval) in
+  for i = 1 to steps do
+    Topology.run ~mode ?clock topo ~until:(float_of_int i *. interval);
+    kout echo "%7.1fs" (float_of_int i *. interval);
+    Array.iteri
+      (fun j f ->
+        let b = Topology.goodput_bytes f in
+        kout echo " %9.2f Mbps"
+          (float_of_int ((b - last.(j)) * 8) /. interval /. 1e6);
+        last.(j) <- b)
+      flows;
+    kout echo "\n"
+  done;
+  kout echo "\naverages over the full run:\n";
+  Array.iteri
+    (fun j (f : Topology.built_flow) ->
+      let min_cap =
+        List.fold_left
+          (fun acc id ->
+            Float.min acc (Pcc_net.Link.bandwidth (Topology.link_at topo id)))
+          infinity
+          (Topology.route_links topo ~flow:j)
+      in
+      kout echo "  %-14s %8.2f Mbps (route cap %.1f Mbps, srtt %.1f ms)\n"
+        f.Topology.def.Topology.label
+        (float_of_int (Topology.goodput_bytes f * 8) /. duration /. 1e6)
+        (min_cap /. 1e6)
+        (f.Topology.sender.Pcc_net.Sender.srtt () *. 1e3))
+    flows;
+  report_shard_balance ~echo topo
+
+(* Build-independent drive-and-report: the same bytes whether [echo]
+   streams to stdout (monolithic) or fills a buffer (sharded). *)
+let topo_drive ~echo ~mode ~clock ~describe ~check_invariants ~duration
+    ~interval topo =
+  if Array.length (Topology.flows topo) > 16 then begin
+    kout echo "%d nodes, %d links, %d flows\n" (Topology.num_nodes topo)
+      (Topology.num_links topo)
+      (Array.length (Topology.flows topo));
+    if not describe then begin
+      if check_invariants then ignore (Invariant.attach_topology topo);
+      topo_report_aggregate ~echo ~mode ~clock ~duration ~interval topo
+    end
+  end
+  else begin
+    echo (Topology.describe topo);
+    if not describe then begin
+      if check_invariants then ignore (Invariant.attach_topology topo);
+      topo_report_perflow ~echo ~mode ~clock ~duration ~interval topo
+    end
+  end
+
+(* The exact single-shard command a forensics bundle names: same
+   scenario parameters, sequential 1-shard hub, no chaos. Display names
+   that don't round-trip through [Transport.of_name] (the default
+   "pcc/safe") are omitted — the sharded shapes generate their own flow
+   population and never read [--transport]. *)
+let topo_repro ~transports ~shape ~flows_n ~bw_mbps ~rtt_ms ~duration ~seed =
+  String.concat " "
+    ([ "pcc_sim"; "topo"; "--shape"; shape ]
+    @ List.concat_map
+        (fun t ->
+          let n = Transport.name t in
+          match Transport.of_name n with
+          | Ok _ -> [ "-t"; n ]
+          | Error _ -> [])
+        transports
+    @ [
+        Printf.sprintf "--flows %d" flows_n;
+        Printf.sprintf "--bw %g" bw_mbps;
+        Printf.sprintf "--rtt %g" rtt_ms;
+        Printf.sprintf "--duration %g" duration;
+        Printf.sprintf "--seed %d" seed;
+        "--shards 1";
+      ])
 
 let topo_cmd transports shape flows_n bw_mbps rtt_ms duration seed interval
-    describe check_invariants shards =
+    describe check_invariants shards domains no_fallback shard_chaos
+    forensics_dir =
   Pcc_experiments.Cli_validate.(
     guarded
       [
@@ -370,6 +461,7 @@ let topo_cmd transports shape flows_n bw_mbps rtt_ms duration seed interval
         positive_f "--interval" interval;
         positive_i "--flows" flows_n;
         non_negative_i "--shards" shards;
+        non_negative_i "--domains" domains;
         (if check_invariants && shards > 0 then
            Error
              "error: --check-invariants is incompatible with --shards (the \
@@ -377,80 +469,146 @@ let topo_cmd transports shape flows_n bw_mbps rtt_ms duration seed interval
               are validated by the fuzz differential and the determinism CI \
               job instead)"
          else Ok ());
+        (if domains > 1 && shards = 0 && shape <> "clusters" then
+           Error "error: --domains drives the sharded hub; pass --shards N"
+         else Ok ());
       ])
   @@ fun () ->
-  let bandwidth = Units.mbps bw_mbps in
-  let rtt = rtt_ms /. 1000. in
-  let engine = Engine.create () in
-  (* --shards 0 (the default) builds the classic monolithic topology;
-     "clusters" is inherently sharded, so give it a 1-shard hub rather
-     than reject it. *)
-  let hub =
-    if shards > 0 then Some (Shard.create ~shards ())
-    else if shape = "clusters" then Some (Shard.create ~shards:1 ())
-    else None
-  in
-  let rng = Rng.create seed in
   match
-    topo_shape ~engine ~hub ~rng ~bandwidth ~rtt ~flows_n transports shape
+    match shard_chaos with
+    | None -> Ok ()
+    | Some spec -> (
+      try Ok (Shard.set_default_chaos (Shard.chaos_of_string spec))
+      with Invalid_argument m -> Error m)
   with
-  | exception Invalid_argument msg -> `Error (false, "error: " ^ msg)
-  | Error msg -> `Error (false, msg)
-  | Ok topo when Array.length (Topology.flows topo) > 16 ->
-    Printf.printf "%d nodes, %d links, %d flows\n" (Topology.num_nodes topo)
-      (Topology.num_links topo)
-      (Array.length (Topology.flows topo));
-    if describe then `Ok ()
-    else begin
-      if check_invariants then ignore (Invariant.attach_topology topo);
-      topo_report_aggregate ~duration ~interval topo;
-      `Ok ()
+  | Error m -> `Error (false, "error: " ^ m)
+  | Ok () -> (
+    if no_fallback then Degrade.set_fallback false;
+    let bandwidth = Units.mbps bw_mbps in
+    let rtt = rtt_ms /. 1000. in
+    (* --shards 0 (the default) builds the classic monolithic topology;
+       "clusters" is inherently sharded, so give it a 1-shard hub rather
+       than reject it. *)
+    if shards = 0 && shape <> "clusters" then begin
+      let engine = Engine.create () in
+      let rng = Rng.create seed in
+      match
+        topo_shape ~engine ~hub:None ~rng ~bandwidth ~rtt ~flows_n transports
+          shape
+      with
+      | exception Invalid_argument msg -> `Error (false, "error: " ^ msg)
+      | Error msg -> `Error (false, msg)
+      | Ok topo ->
+        let echo s =
+          print_string s;
+          flush stdout
+        in
+        topo_drive ~echo ~mode:Shard.Sequential ~clock:None ~describe
+          ~check_invariants ~duration ~interval topo;
+        `Ok ()
     end
-  | Ok topo ->
-    print_string (Topology.describe topo);
-    if describe then `Ok ()
     else begin
-      if check_invariants then ignore (Invariant.attach_topology topo);
-      let flows = Topology.flows topo in
-      Printf.printf "\n%8s" "time";
-      Array.iter
-        (fun (f : Topology.built_flow) ->
-          Printf.printf " %14s" f.Topology.def.Topology.label)
-        flows;
-      Printf.printf "\n";
-      let last = Array.make (Array.length flows) 0 in
-      let steps = int_of_float (duration /. interval) in
-      for i = 1 to steps do
-        Topology.run topo ~until:(float_of_int i *. interval);
-        Printf.printf "%7.1fs" (float_of_int i *. interval);
-        Array.iteri
-          (fun j f ->
-            let b = Topology.goodput_bytes f in
-            Printf.printf " %9.2f Mbps"
-              (float_of_int ((b - last.(j)) * 8) /. interval /. 1e6);
-            last.(j) <- b)
-          flows;
-        Printf.printf "\n%!"
-      done;
-      Printf.printf "\naverages over the full run:\n";
-      Array.iteri
-        (fun j (f : Topology.built_flow) ->
-          let min_cap =
-            List.fold_left
-              (fun acc id ->
-                Float.min acc (Pcc_net.Link.bandwidth (Topology.link_at topo id)))
-              infinity
-              (Topology.route_links topo ~flow:j)
-          in
-          Printf.printf "  %-14s %8.2f Mbps (route cap %.1f Mbps, srtt %.1f ms)\n"
-            f.Topology.def.Topology.label
-            (float_of_int (Topology.goodput_bytes f * 8) /. duration /. 1e6)
-            (min_cap /. 1e6)
-            (f.Topology.sender.Pcc_net.Sender.srtt () *. 1e3))
-        flows;
-      report_shard_balance topo;
-      `Ok ()
-    end
+      (* Sharded: each degradation-ladder rung rebuilds the whole
+         simulation from the seed on a fresh hub and reports into a
+         buffer, printed only when a rung completes — the byte-identical
+         contract then makes a degraded run's stdout indistinguishable
+         from a clean one's. *)
+      Printexc.record_backtrace true;
+      let shards_n = max 1 shards in
+      let current =
+        ref { Degrade.shards = shards_n; domains = max 1 domains }
+      in
+      let attempt (a : Degrade.attempt) =
+        current := a;
+        let buf = Buffer.create 4096 in
+        let echo = Buffer.add_string buf in
+        let engine = Engine.create () in
+        let hub = Shard.create ~shards:a.Degrade.shards () in
+        let mode, clock =
+          if a.Degrade.domains > 1 then begin
+            Shard.configure ~wedge_grace:2.0 ~sleep:Unix.sleepf hub;
+            (Shard.Parallel a.Degrade.domains, Some Unix.gettimeofday)
+          end
+          else (Shard.Sequential, None)
+        in
+        let rng = Rng.create seed in
+        match
+          topo_shape ~engine ~hub:(Some hub) ~rng ~bandwidth ~rtt ~flows_n
+            transports shape
+        with
+        | Error msg -> Error msg
+        | Ok topo ->
+          topo_drive ~echo ~mode ~clock ~describe ~check_invariants ~duration
+            ~interval topo;
+          Ok (Buffer.contents buf)
+      in
+      let steps_taken = ref [] in
+      let report (s : Degrade.step) =
+        steps_taken := s :: !steps_taken;
+        Printf.eprintf
+          "pcc_sim: topo: shard %d %s at barrier round %d on the %d-shard / \
+           %d-domain rung (%s); retrying narrower (%.2fs lost)\n%!"
+          s.Degrade.shard
+          (if s.Degrade.wedged then "wedged" else "crashed")
+          s.Degrade.round s.Degrade.attempt.Degrade.shards
+          s.Degrade.attempt.Degrade.domains s.Degrade.exn_text
+          s.Degrade.wall_s
+      in
+      let plan = Degrade.plan ~domains:(max 1 domains) ~shards:shards_n () in
+      match Degrade.run ~clock:Unix.gettimeofday ~report ~plan attempt with
+      | exception Invalid_argument msg -> `Error (false, "error: " ^ msg)
+      | exception Shard.Lane_failure { shard; round; wedged; origin; backtrace }
+        ->
+        let ladder =
+          List.rev_map
+            (fun (s : Degrade.step) ->
+              Printf.sprintf
+                "%d shard(s) / %d domain(s): shard %d %s at barrier round %d: \
+                 %s"
+                s.Degrade.attempt.Degrade.shards
+                s.Degrade.attempt.Degrade.domains s.Degrade.shard
+                (if s.Degrade.wedged then "wedged" else "crashed")
+                s.Degrade.round s.Degrade.exn_text)
+            !steps_taken
+        in
+        let bundle =
+          Pcc_experiments.Forensics.write_shard_bundle ~dir:forensics_dir
+            {
+              Pcc_experiments.Forensics.label = "topo-" ^ shape;
+              seed = Some seed;
+              repro =
+                Some
+                  (topo_repro ~transports ~shape ~flows_n ~bw_mbps ~rtt_ms
+                     ~duration ~seed);
+              shards = !current.Degrade.shards;
+              domains = !current.Degrade.domains;
+              shard;
+              round;
+              wedged;
+              exn_text = Printexc.to_string origin;
+              backtrace;
+              ladder;
+            }
+        in
+        Option.iter
+          (fun d ->
+            Printf.eprintf "pcc_sim: topo: forensics bundle in %s/\n%!" d)
+          bundle;
+        `Error
+          ( false,
+            Printf.sprintf "error: shard %d %s at barrier round %d: %s" shard
+              (if wedged then "wedged" else "crashed")
+              round (Printexc.to_string origin) )
+      | { Degrade.value = Error msg; _ } -> `Error (false, msg)
+      | { Degrade.value = Ok out; steps; attempt = a } ->
+        if steps <> [] then
+          Printf.eprintf
+            "pcc_sim: topo: degradation ladder settled at %d shard(s) / %d \
+             domain(s) after %d failed rung(s)\n%!"
+            a.Degrade.shards a.Degrade.domains (List.length steps);
+        print_string out;
+        `Ok ()
+    end)
 
 (* ------------------------------------------------------------------ *)
 (* Tracing *)
@@ -612,7 +770,8 @@ let selftest_entry : Pcc_experiments.Exp_registry.entry =
   }
 
 let exp_cmd names scale seed jobs dump_dir trace_out list_exps deadline
-    max_events retries backoff forensics forensic_trace checkpoint resume =
+    max_events retries backoff forensics forensic_trace checkpoint resume
+    no_fallback shard_chaos =
   let open Pcc_experiments in
   if list_exps then begin
     List.iter
@@ -633,6 +792,16 @@ let exp_cmd names scale seed jobs dump_dir trace_out list_exps deadline
           non_negative_f "--backoff" backoff;
         ])
     @@ fun () ->
+    match
+      match shard_chaos with
+      | None -> Ok ()
+      | Some spec -> (
+        try Ok (Shard.set_default_chaos (Shard.chaos_of_string spec))
+        with Invalid_argument m -> Error m)
+    with
+    | Error m -> `Error (false, "error: " ^ m)
+    | Ok () ->
+    if no_fallback then Degrade.set_fallback false;
     (* Tracing records into domain-local state, so a traced run must stay
        in this domain: force the fan-out to be sequential. *)
     let jobs =
@@ -792,11 +961,27 @@ let exp_cmd names scale seed jobs dump_dir trace_out list_exps deadline
         | [] -> `Ok ()
         | failures ->
           let shown = List.filteri (fun i _ -> i < 6) failures in
+          (* A shard-lane failure names its shard and barrier round in
+             the one-line summary instead of a bare "crashed". *)
+          let lane_prefix = "Shard.Lane_failure: " in
           let names =
             List.map
               (fun (o : Supervisor.outcome) ->
-                Printf.sprintf "%s (%s)" o.Supervisor.label
-                  (Supervisor.status_name o.Supervisor.status))
+                let status_text =
+                  match o.Supervisor.status with
+                  | Supervisor.Crashed { Supervisor.exn_text; _ }
+                    when String.starts_with ~prefix:lane_prefix exn_text -> (
+                    let rest =
+                      String.sub exn_text
+                        (String.length lane_prefix)
+                        (String.length exn_text - String.length lane_prefix)
+                    in
+                    match String.index_opt rest ':' with
+                    | Some i -> String.sub rest 0 i
+                    | None -> rest)
+                  | s -> Supervisor.status_name s
+                in
+                Printf.sprintf "%s (%s)" o.Supervisor.label status_text)
               shown
           in
           let suffix =
@@ -812,14 +997,15 @@ let exp_cmd names scale seed jobs dump_dir trace_out list_exps deadline
 (* ------------------------------------------------------------------ *)
 (* Scenario fuzzing *)
 
-let fuzz_cmd runs seed corpus deep_every shard_every shards shrink_budget
-    transports replay replay_dir =
+let fuzz_cmd runs seed corpus deep_every shard_every chaos_every shards
+    shrink_budget transports replay replay_dir =
   Pcc_experiments.Cli_validate.(
     guarded
       [
         non_negative_i "--runs" runs;
         non_negative_i "--deep-every" deep_every;
         non_negative_i "--shard-every" shard_every;
+        non_negative_i "--chaos-every" chaos_every;
         at_least "--shards" 2 shards;
         non_negative_i "--shrink-budget" shrink_budget;
       ])
@@ -889,9 +1075,9 @@ let fuzz_cmd runs seed corpus deep_every shard_every shards shrink_budget
       | exception Sys_error m -> `Error (false, "error: " ^ m))
     | None, None -> (
       let summary =
-        Pcc_fuzz.Driver.fuzz ~synth ~deep_every ~shard_every ~shards
-          ~shrink_budget ?corpus_dir:corpus ?menu ~log:print_endline ~runs
-          ~seed ()
+        Pcc_fuzz.Driver.fuzz ~synth ~deep_every ~shard_every ~chaos_every
+          ~shards ~shrink_budget ?corpus_dir:corpus ?menu ~log:print_endline
+          ~runs ~seed ()
       in
       match summary.Pcc_fuzz.Driver.failed with
       | [] -> `Ok ()
@@ -1037,11 +1223,56 @@ let topo_term =
              classic single-engine topology. Incompatible with \
              $(b,--check-invariants).")
   in
+  let domains_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Fan the hub's windows out over up to $(docv) worker domains \
+             (clamped to the shard count), with the out-of-band wedge \
+             watchdog armed. 0 or 1 (the default) executes windows \
+             sequentially. Output stays byte-identical at every value.")
+  in
+  let no_fallback_arg =
+    Arg.(
+      value & flag
+      & info [ "no-fallback" ]
+          ~doc:
+            "Disable the degradation ladder: the first shard-lane failure \
+             exits nonzero immediately (after writing its forensics bundle) \
+             instead of transparently retrying the run at half the width.")
+  in
+  let shard_chaos_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "shard-chaos" ] ~docv:"SPEC"
+          ~doc:
+            "Deterministic fault injection into the sharded runtime: \
+             comma-separated $(b,crash=SHARD:ROUND) and/or \
+             $(b,wedge=SHARD:ROUND) fire in that shard's window at that \
+             lifetime barrier round. Equivalent to \
+             $(b,PCC_TEST_SHARD_CRASH) / $(b,PCC_TEST_SHARD_WEDGE); the \
+             flag wins over the environment. Chaos never fires on a 1-shard \
+             hub, so the ladder's final rung always runs clean.")
+  in
+  let topo_forensics_arg =
+    Arg.(
+      value & opt string "forensics"
+      & info [ "forensics" ] ~docv:"DIR"
+          ~doc:
+            "Directory for the crash-forensics bundle written when a sharded \
+             run fails its last ladder rung (or its first, under \
+             $(b,--no-fallback)): exception, backtrace, seed, shard, barrier \
+             round, the degradation steps taken, and the exact single-shard \
+             repro command.")
+  in
   Term.(
     ret
       (const topo_cmd $ transports_arg $ shape_arg $ flows_arg $ bw_arg
      $ rtt_arg $ duration_arg $ seed_arg $ interval_arg $ describe_arg
-     $ check_invariants_arg $ shards_arg))
+     $ check_invariants_arg $ shards_arg $ domains_arg $ no_fallback_arg
+     $ shard_chaos_arg $ topo_forensics_arg))
 
 let game_term =
   let senders =
@@ -1170,12 +1401,33 @@ let exp_term =
              checkpointing continues into the same file. Requires the same \
              --seed, --scale and experiment selection.")
   in
+  let no_fallback_arg =
+    Arg.(
+      value & flag
+      & info [ "no-fallback" ]
+          ~doc:
+            "Disable the shard degradation ladder: a sharded experiment's \
+             first lane failure fails the task (named in the exit summary \
+             with its shard and barrier round) instead of transparently \
+             retrying at half the width.")
+  in
+  let shard_chaos_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "shard-chaos" ] ~docv:"SPEC"
+          ~doc:
+            "Deterministic fault injection into sharded experiments: \
+             comma-separated $(b,crash=SHARD:ROUND) and/or \
+             $(b,wedge=SHARD:ROUND), as in $(b,pcc_sim topo). Equivalent to \
+             $(b,PCC_TEST_SHARD_CRASH) / $(b,PCC_TEST_SHARD_WEDGE).")
+  in
   Term.(
     ret
       (const exp_cmd $ names_arg $ scale_arg $ seed_arg $ jobs_arg $ dump_arg
      $ trace_out_arg $ list_arg $ deadline_arg $ max_events_arg $ retries_arg
      $ backoff_arg $ forensics_arg $ forensic_trace_arg $ checkpoint_arg
-     $ resume_arg))
+     $ resume_arg $ no_fallback_arg $ shard_chaos_arg))
 
 let trace_term =
   let shape_arg =
@@ -1268,6 +1520,17 @@ let fuzz_term =
              $(b,--shards)-shard hub, bit-identical digests required) on \
              every $(docv)th scenario (0 disables it).")
   in
+  let chaos_every_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "chaos-every" ] ~docv:"N"
+          ~doc:
+            "Run the chaos-ladder differential (a deterministic lane crash \
+             injected into the $(b,--shards)-shard run must complete via \
+             the degradation ladder with a digest bit-identical to the \
+             clean 1-shard run) on every $(docv)th scenario (0 disables \
+             it).")
+  in
   let shards_arg =
     Arg.(
       value & opt int 4
@@ -1314,8 +1577,8 @@ let fuzz_term =
   Term.(
     ret
       (const fuzz_cmd $ runs_arg $ fuzz_seed_arg $ corpus_arg $ deep_every_arg
-     $ shard_every_arg $ shards_arg $ shrink_budget_arg $ transports_arg
-     $ replay_arg $ replay_dir_arg))
+     $ shard_every_arg $ chaos_every_arg $ shards_arg $ shrink_budget_arg
+     $ transports_arg $ replay_arg $ replay_dir_arg))
 
 let cmds =
   [

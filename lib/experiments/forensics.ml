@@ -1,0 +1,85 @@
+(* Crash-forensics bundles.
+
+   Shared between the supervisor (per-task bundles for a failed sweep)
+   and the CLI (a bundle for a sharded run whose degradation ladder was
+   exhausted or disabled). Bundle IO must never take the caller down
+   with it: every writer swallows [Sys_error] and reports [None]. *)
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Sys.mkdir d 0o755 with Sys_error _ -> ()
+    end
+  in
+  go dir
+
+let sanitize label =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '-')
+    label
+
+(* The failing domain's trace ring, in every export format the repo
+   reads: chrome trace for timelines, the decision log for controller
+   forensics, csv for plotting. *)
+let write_trace ~dir c =
+  Pcc_trace.Export.write_chrome_json
+    ~path:(Filename.concat dir "trace.json")
+    c;
+  Pcc_trace.Export.write_decision_log
+    ~path:(Filename.concat dir "decisions.log")
+    c;
+  Pcc_metrics.Series_io.write_multi_series
+    ~path:(Filename.concat dir "trace.csv")
+    (Pcc_trace.Export.csv_series c)
+
+type shard_failure = {
+  label : string;
+  seed : int option;
+  repro : string option;  (* exact single-shard repro command *)
+  shards : int;  (* width of the failed attempt *)
+  domains : int;
+  shard : int;
+  round : int;
+  wedged : bool;
+  exn_text : string;
+  backtrace : string;
+  ladder : string list;  (* one line per degradation step, ladder order *)
+}
+
+let write_shard_bundle ~dir ?collector (f : shard_failure) =
+  try
+    let id =
+      Printf.sprintf "shard-%s"
+        (sanitize (if f.label = "" then "run" else f.label))
+    in
+    let bundle = Filename.concat dir id in
+    mkdir_p bundle;
+    let oc = open_out (Filename.concat bundle "report.txt") in
+    let p fmt = Printf.fprintf oc fmt in
+    p "kind: shard-lane-failure\n";
+    p "task: %s\n" (if f.label = "" then "(unlabelled)" else f.label);
+    p "shard: %d\n" f.shard;
+    p "barrier-round: %d\n" f.round;
+    p "mode: %d shard(s) / %d domain(s)\n" f.shards f.domains;
+    p "failure: %s\n" (if f.wedged then "wedged" else "crashed");
+    (match f.seed with
+    | Some s -> p "seed: %d\n" s
+    | None -> p "seed: (not recorded)\n");
+    (match f.repro with
+    | Some r -> p "repro: %s\n" r
+    | None -> p "repro: (not recorded)\n");
+    p "exception: %s\n" f.exn_text;
+    List.iter (fun l -> p "ladder: %s\n" l) f.ladder;
+    if f.backtrace <> "" then begin
+      p "backtrace:\n";
+      String.split_on_char '\n' f.backtrace
+      |> List.iter (fun l -> if l <> "" then p "    %s\n" l)
+    end;
+    close_out oc;
+    (match collector with Some c -> write_trace ~dir:bundle c | None -> ());
+    Some bundle
+  with Sys_error _ -> None

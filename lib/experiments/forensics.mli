@@ -1,0 +1,36 @@
+(** Crash-forensics bundles, shared by {!Supervisor} (per-task bundles
+    for failed sweep tasks) and the CLI (a bundle for a sharded run
+    whose degradation ladder was exhausted or disabled). All writers
+    swallow [Sys_error] — forensics must never take the run down. *)
+
+val mkdir_p : string -> unit
+(** [mkdir p] with parents; existing directories are fine. *)
+
+val sanitize : string -> string
+(** Map a task label onto a filesystem-safe slug. *)
+
+val write_trace : dir:string -> Pcc_trace.Collector.t -> unit
+(** Dump a collector's ring into [dir] as [trace.json] (chrome),
+    [decisions.log] and [trace.csv]. *)
+
+type shard_failure = {
+  label : string;
+  seed : int option;
+  repro : string option;  (** Exact single-shard repro command. *)
+  shards : int;  (** Width of the failed attempt. *)
+  domains : int;
+  shard : int;  (** From {!Pcc_sim.Shard.Lane_failure}. *)
+  round : int;
+  wedged : bool;
+  exn_text : string;
+  backtrace : string;
+  ladder : string list;
+      (** One line per degradation step already taken, ladder order. *)
+}
+
+val write_shard_bundle :
+  dir:string -> ?collector:Pcc_trace.Collector.t -> shard_failure ->
+  string option
+(** Write [<dir>/shard-<label>/report.txt] (plus the trace dump when a
+    collector is supplied). Returns the bundle directory, or [None]
+    when the write failed. *)

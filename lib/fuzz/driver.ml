@@ -14,12 +14,15 @@ type summary = { runs : int; failed : failure_report list }
 let deep_oracle = function "supervisor-jobs" | "checkpoint" -> true | _ -> false
 
 let shard_oracle = function
-  | "shard-differential" | "shard-build" | "shard-livelock" | "shard-crash" ->
+  | "shard-differential" | "shard-build" | "shard-livelock" | "shard-crash"
+  | "chaos-ladder" ->
     true
   | _ -> false
 
+let chaos_oracle = function "chaos-ladder" -> true | _ -> false
+
 let fuzz ?(synth = fun _ -> None) ?(deep_every = 8) ?(shard_every = 4)
-    ?(shards = 4) ?(shrink_budget = 300) ?corpus_dir ?menu
+    ?(chaos_every = 4) ?(shards = 4) ?(shrink_budget = 300) ?corpus_dir ?menu
     ?(log = fun _ -> ()) ~runs ~seed () =
   let failed = ref [] in
   for run = 0 to runs - 1 do
@@ -28,7 +31,8 @@ let fuzz ?(synth = fun _ -> None) ?(deep_every = 8) ?(shard_every = 4)
     let scenario = Scenario.generate ?menu ~rng () in
     let deep = deep_every > 0 && run mod deep_every = 0 in
     let shard = shard_every > 0 && run mod shard_every = 0 in
-    match Oracle.test ~synth ~deep ~shard ~shards scenario with
+    let chaos = chaos_every > 0 && run mod chaos_every = 0 in
+    match Oracle.test ~synth ~deep ~shard ~chaos ~shards scenario with
     | None -> ()
     | Some failure ->
       log
@@ -37,6 +41,7 @@ let fuzz ?(synth = fun _ -> None) ?(deep_every = 8) ?(shard_every = 4)
            failure.Oracle.detail);
       let deep_shrink = deep_oracle failure.Oracle.oracle in
       let shard_shrink = shard_oracle failure.Oracle.oracle in
+      let chaos_shrink = chaos_oracle failure.Oracle.oracle in
       (* A sharded-differential failure only reproduces while the
          candidate still spans more than one shard: a shrink step that
          collapses the topology onto a single shard makes the N-shard
@@ -45,8 +50,8 @@ let fuzz ?(synth = fun _ -> None) ?(deep_every = 8) ?(shard_every = 4)
       let check cand =
         if shard_shrink && Scenario.shard_preview ~shards cand < 2 then None
         else
-          Oracle.test ~synth ~deep:deep_shrink ~shard:shard_shrink ~shards
-            cand
+          Oracle.test ~synth ~deep:deep_shrink ~shard:shard_shrink
+            ~chaos:chaos_shrink ~shards cand
       in
       let shrunk, shrink_checks =
         Shrink.minimize ~budget:shrink_budget ~check
@@ -60,8 +65,8 @@ let fuzz ?(synth = fun _ -> None) ?(deep_every = 8) ?(shard_every = 4)
          header matches its own payload. *)
       let final_detail =
         match
-          Oracle.test ~synth ~deep:deep_shrink ~shard:shard_shrink ~shards
-            shrunk
+          Oracle.test ~synth ~deep:deep_shrink ~shard:shard_shrink
+            ~chaos:chaos_shrink ~shards shrunk
         with
         | Some f when f.Oracle.oracle = failure.Oracle.oracle ->
           f.Oracle.detail
@@ -93,7 +98,10 @@ let fuzz ?(synth = fun _ -> None) ?(deep_every = 8) ?(shard_every = 4)
 
 let replay ?(synth = fun _ -> None) ?(shards = 4) path =
   let r = Corpus.load path in
-  match Oracle.test ~synth ~deep:true ~shard:true ~shards r.Corpus.scenario with
+  match
+    Oracle.test ~synth ~deep:true ~shard:true ~chaos:true ~shards
+      r.Corpus.scenario
+  with
   | None -> Ok ()
   | Some f -> Error f
 
@@ -101,7 +109,8 @@ let replay_dir ?synth ?(shards = 4) ?(log = fun _ -> ()) dir =
   List.filter_map
     (fun (path, (r : Corpus.repro)) ->
       match
-        Oracle.test ?synth ~deep:true ~shard:true ~shards r.Corpus.scenario
+        Oracle.test ?synth ~deep:true ~shard:true ~chaos:true ~shards
+          r.Corpus.scenario
       with
       | None ->
         log (Printf.sprintf "replay %s: ok (was %s)" path r.Corpus.oracle);

@@ -27,6 +27,7 @@ val fuzz :
   ?synth:(Pcc_scenario.Scenario.t -> string option) ->
   ?deep_every:int ->
   ?shard_every:int ->
+  ?chaos_every:int ->
   ?shards:int ->
   ?shrink_budget:int ->
   ?corpus_dir:string ->
@@ -47,7 +48,11 @@ val fuzz :
     on every Nth run; shrinking a shard-oracle failure keeps it enabled
     and additionally rejects shrink candidates whose partition collapses
     onto a single shard ({!Pcc_scenario.Scenario.shard_preview}), so the
-    minimized repro still exercises the cross-shard protocol. [log]
+    minimized repro still exercises the cross-shard protocol.
+    [chaos_every] (default 4) likewise enables the chaos-ladder
+    differential ({!Oracle.chaos_ladder_check}) on every Nth run; a
+    chaos-ladder failure shrinks under the same shard-collapse
+    rejection. [log]
     (default silent) receives one line per failure and a closing summary
     line. *)
 

@@ -311,6 +311,13 @@ let wrapper_check (s : Scenario.t) (base : stats) =
    above and the hub protocol's own determinism is what this one
    polices. *)
 
+let livelock_detail ~time ~events kind =
+  Printf.sprintf "%s at t=%.6f after %d events"
+    (match kind with
+    | Engine.Stall -> "stall"
+    | Engine.Budget -> "event budget exhausted")
+    time events
+
 let run_hub ~shards (s : Scenario.t) : (stats, failure) result =
   let hub = Shard.create ~shards () in
   match Scenario.build_sharded hub s with
@@ -331,15 +338,21 @@ let run_hub ~shards (s : Scenario.t) : (stats, failure) result =
               built.Scenario.topo;
         }
     | exception Engine.Livelock { time; events; kind } ->
+      (* The global [max_events] budget propagates unwrapped. *)
       Error
         {
           oracle = "shard-livelock";
-          detail =
-            Printf.sprintf "%s at t=%.6f after %d events"
-              (match kind with
-              | Engine.Stall -> "stall"
-              | Engine.Budget -> "event budget exhausted")
-              time events;
+          detail = livelock_detail ~time ~events kind;
+        }
+    | exception
+        Shard.Lane_failure
+          { origin = Engine.Livelock { time; events; kind }; _ } ->
+      (* A stall inside one shard's window arrives wrapped since the
+         hub's containment abort; classify it the same way. *)
+      Error
+        {
+          oracle = "shard-livelock";
+          detail = livelock_detail ~time ~events kind;
         }
     | exception exn ->
       Error { oracle = "shard-crash"; detail = Printexc.to_string exn })
@@ -372,6 +385,65 @@ let shard_check ~shards (s : Scenario.t) =
                 "%d-shard digest differs from the 1-shard hub run" shards;
           }
       else None
+
+(* --------------------------------------------------------------- *)
+(* Chaos-ladder differential: inject a deterministic lane crash into
+   the N-shard hub run and require the degradation ladder to finish
+   with a digest bit-identical to a clean 1-shard run — the property
+   that makes degraded results trustworthy. The crash targets shard 1
+   at lifetime round 2, so it fires at every rung wider than one shard
+   and the ladder must walk all the way down to sequential. *)
+
+let chaos_spec = { Shard.crash = Some (1, 2); wedge = None }
+
+(* Unlike [run_hub], lets [Shard.Lane_failure] escape so the ladder can
+   catch it; everything else is converted to a failure value. *)
+let chaos_run ~shards (s : Scenario.t) =
+  let hub = Shard.create ~shards () in
+  Shard.configure ~chaos:chaos_spec hub;
+  match Scenario.build_sharded hub s with
+  | exception Invalid_argument m ->
+    Error { oracle = "chaos-ladder"; detail = "build: " ^ m }
+  | built ->
+    Shard.run ~max_events hub ~until:s.Scenario.duration;
+    built.Scenario.stop ();
+    let events = Shard.executed hub in
+    Ok
+      (digest_gen ~events
+         ~now:(Engine.now (Shard.engine hub 0))
+         built.Scenario.topo)
+
+let chaos_ladder_check ~shards (s : Scenario.t) =
+  if shards < 2 || not (Scenario.shard_applicable s) then None
+  else begin
+    let fail detail = Some { oracle = "chaos-ladder"; detail } in
+    match run_hub ~shards:1 s with
+    | Error f ->
+      fail
+        (Printf.sprintf "clean 1-shard run failed: %s: %s" f.oracle f.detail)
+    | Ok clean -> (
+      match
+        (* [enabled:true]: the oracle must exercise the ladder even when
+           the process default was switched off. *)
+        Degrade.run ~enabled:true
+          ~plan:(Degrade.plan ~shards ())
+          (fun (a : Degrade.attempt) -> chaos_run ~shards:a.Degrade.shards s)
+      with
+      | exception exn -> fail ("ladder failed: " ^ Printexc.to_string exn)
+      | { Degrade.value = Error f; _ } -> fail (f.oracle ^ ": " ^ f.detail)
+      | { Degrade.value = Ok digest; attempt; steps } ->
+        if steps = [] then
+          (* The scenario quiesced before round 2, so the injected crash
+             never fired: vacuous, not a failure. *)
+          None
+        else if String.equal digest clean.digest then None
+        else
+          fail
+            (Printf.sprintf
+               "degraded run (%d step(s), finished at %d shard(s)) digest \
+                differs from the clean 1-shard run"
+               (List.length steps) attempt.Degrade.shards))
+  end
 
 (* --------------------------------------------------------------- *)
 (* Deep differentials: cost real wall-clock (domain spawns, temp-file
@@ -455,7 +527,7 @@ let deep_checks s base =
 (* --------------------------------------------------------------- *)
 
 let test ?(synth = fun _ -> None) ?(deep = true) ?(shard = false)
-    ?(shards = 4) (s : Scenario.t) =
+    ?(chaos = false) ?(shards = 4) (s : Scenario.t) =
   match run_once s with
   | Error f -> Some f
   | Ok base -> (
@@ -537,4 +609,9 @@ let test ?(synth = fun _ -> None) ?(deep = true) ?(shard = false)
                 if shard then shard_check ~shards s else None
               with
               | Some f -> Some f
-              | None -> if deep then deep_checks s base else None)))))))
+              | None -> (
+                match
+                  if chaos then chaos_ladder_check ~shards s else None
+                with
+                | Some f -> Some f
+                | None -> if deep then deep_checks s base else None))))))))

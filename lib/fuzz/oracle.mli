@@ -40,7 +40,11 @@
     - sharded execution: rebuilding the scenario on a 1-shard and an
       N-shard {!Pcc_sim.Shard} hub produces bit-identical digests (hub
       runs attach no invariant checker, so this compares hub-vs-hub and
-      polices the conservative-parallel protocol itself).
+      polices the conservative-parallel protocol itself);
+    - chaos ladder: an N-shard hub run with an injected deterministic
+      lane crash must complete via the {!Pcc_sim.Degrade} ladder with a
+      digest bit-identical to a clean 1-shard run — degraded results
+      are trustworthy results.
 
     The digest deliberately includes float bit patterns ([%h]) so "close
     enough" drift counts as a failure. *)
@@ -83,10 +87,20 @@ val shard_check :
     {!Pcc_scenario.Scenario.shard_applicable} (link dynamics mutate cut
     delays mid-run, which would invalidate the partition's lookahead). *)
 
+val chaos_ladder_check :
+  shards:int -> Pcc_scenario.Scenario.t -> failure option
+(** The chaos-ladder differential (oracle ["chaos-ladder"]): inject a
+    crash on shard 1 at barrier round 2 into the [shards]-shard hub run
+    and require {!Pcc_sim.Degrade.run} to walk the ladder down to the
+    chaos-free sequential rung with a digest bit-identical to a clean
+    1-shard run. Vacuously passes when the scenario quiesces before the
+    crash round; applicability gating as {!shard_check}. *)
+
 val test :
   ?synth:(Pcc_scenario.Scenario.t -> string option) ->
   ?deep:bool ->
   ?shard:bool ->
+  ?chaos:bool ->
   ?shards:int ->
   Pcc_scenario.Scenario.t ->
   failure option
@@ -99,4 +113,6 @@ val test :
     filesystem; the fuzz loop only enables it on a deterministic subset
     of runs. [shard] (default [false]) additionally runs
     {!shard_check} at [shards] (default 4); the fuzz loop enables it
-    every [shard_every]-th run. *)
+    every [shard_every]-th run. [chaos] (default [false]) additionally
+    runs {!chaos_ladder_check} at the same width; the fuzz loop enables
+    it every [chaos_every]-th run. *)

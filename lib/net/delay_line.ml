@@ -37,6 +37,7 @@ let create engine ?(loss = 0.) ?rng ~delay () =
   in
   Pool.set_fire t.inflight (fun p -> t.receiver p);
   Engine.add_owned engine (fun () -> Pool.adopt t.inflight);
+  Engine.add_reclaim engine (fun () -> Pool.clear t.inflight);
   t
 
 let set_receiver t f = t.receiver <- f

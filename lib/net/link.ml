@@ -89,6 +89,11 @@ let create engine ?(name = "link") ?(loss = 0.) ?(jitter = 0.) ~rng ~bandwidth
   Engine.add_owned engine (fun () ->
       Pool.adopt t.propagating_pool;
       Pool.adopt t.tx_pool);
+  (* On a sharded abort, in-flight records' release events never fire;
+     the hub reclaims them instead of leaking (see Engine.add_reclaim). *)
+  Engine.add_reclaim engine (fun () ->
+      Pool.clear t.propagating_pool;
+      Pool.clear t.tx_pool);
   t
 
 let set_receiver t f = t.receiver <- f

@@ -120,6 +120,7 @@ let wire_channel hub ~src_shard ~dst_shard ~src_engine ~dst_engine ~floor
   let pool = Pool.create ~dummy:dummy_packet () in
   Pool.set_fire pool deliver;
   Engine.add_owned dst_engine (fun () -> Pool.adopt pool);
+  Engine.add_reclaim dst_engine (fun () -> Pool.clear pool);
   let ch =
     Shard.channel hub ~src:src_shard ~dst:dst_shard ~floor
       ~inject:(fun ~arrival ~sent p ->

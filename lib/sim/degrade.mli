@@ -1,0 +1,77 @@
+(** Deterministic degradation ladder over sharded execution width.
+
+    {!Shard.run}'s byte-identical contract makes this sound: a seeded
+    simulation produces the same output at any shard count and in any
+    execution mode, so a run that aborts with {!Shard.Lane_failure} can
+    be transparently rebuilt and retried narrower —
+    [Parallel n -> Parallel n/2 -> ... -> Sequential] — without
+    changing its result. Chaos injection is gated off at one shard, so
+    injected faults always complete at the bottom rung; a genuine
+    deterministic bug fails every rung and surfaces as the last rung's
+    failure, with full forensics.
+
+    The caller supplies the rebuild-and-run function: a failed rung's
+    hub is poisoned and its scenario state part-executed, so each
+    attempt must reconstruct the simulation from its seed.
+
+    See DESIGN.md §15 "Failure model and the degradation ladder". *)
+
+type attempt = {
+  shards : int;  (** Hub width to build at this rung. *)
+  domains : int;
+      (** Execution domains for this rung ([1] means sequential). *)
+}
+
+type step = {
+  attempt : attempt;  (** The rung that failed. *)
+  shard : int;
+  round : int;
+  wedged : bool;
+  exn_text : string;  (** Printed origin exception. *)
+  backtrace : string;
+  wall_s : float;
+      (** Wall time the failed rung consumed — the overhead this
+          degradation step cost (zero without [clock]). *)
+}
+
+type 'a outcome = {
+  value : 'a;
+  attempt : attempt;  (** The rung that succeeded. *)
+  steps : step list;  (** Failed rungs, in ladder order. *)
+}
+
+val plan : ?domains:int -> shards:int -> unit -> attempt list
+(** The ladder for a requested width: shard counts halve down to a
+    final sequential 1-shard rung; each rung's [domains] is the
+    requested [domains] (default 1) clamped to its width.
+    [plan ~domains:4 ~shards:4 ()] is
+    [[{4;4}; {2;2}; {1;1}]]. @raise Invalid_argument on
+    [shards < 1] or [domains < 1]. *)
+
+val run :
+  ?enabled:bool ->
+  ?clock:(unit -> float) ->
+  ?report:(step -> unit) ->
+  plan:attempt list ->
+  (attempt -> 'a) ->
+  'a outcome
+(** [run ~plan f] applies [f] to each rung in turn, catching only
+    {!Shard.Lane_failure}: any other exception — including a guard
+    timeout escaping on the calling domain — propagates immediately.
+    Each caught failure is counted in the per-domain tally, passed to
+    [report], and recorded as a {!step}; the last rung's failure is
+    never caught, so an exhausted ladder re-raises it. [enabled]
+    (default {!fallback_enabled}) set to [false] disables the ladder
+    entirely — the first failure propagates, which is what the CLI's
+    [--no-fallback] wants. @raise Invalid_argument on an empty plan. *)
+
+val set_fallback : bool -> unit
+(** Process-wide default for [run]'s [enabled] (initially [true]);
+    the CLI's [--no-fallback] clears it. *)
+
+val fallback_enabled : unit -> bool
+
+val take_tally : unit -> int
+(** Degradation steps recorded on the calling domain since the last
+    call, and reset the counter — the supervisor brackets each task
+    with this to account it as [degraded]. *)

@@ -48,6 +48,11 @@ type t = {
       (* Domain-adoption thunks (typically [Pool.adopt] closures) run by
          [adopt_owned] when a sharded runner moves this engine's window
          execution onto a worker domain. *)
+  mutable reclaim : (unit -> unit) list;
+      (* Abort-path reclamation thunks (typically [Pool.clear] closures)
+         run by [reclaim_owned] when a sharded runner aborts a window
+         after a lane failure: checked-out pooled records whose release
+         events will never fire must be reclaimed, not leaked. *)
 }
 
 type timer = Handle.t
@@ -111,6 +116,7 @@ let create ?(now = 0.) ?(stall_budget = default_stall_budget)
     stall_count = 0;
     executed = 0;
     owned = [];
+    reclaim = [];
   }
 
 let scheduler t = match t.q with Q_heap _ -> Heap | Q_wheel _ -> Wheel
@@ -196,6 +202,8 @@ let pending t = q_size t
 let next_time t = q_peek_time t
 let add_owned t f = t.owned <- f :: t.owned
 let adopt_owned t = List.iter (fun f -> f ()) t.owned
+let add_reclaim t f = t.reclaim <- f :: t.reclaim
+let reclaim_owned t = List.iter (fun f -> f ()) t.reclaim
 
 let set_stall_budget t n =
   if n <= 0 then invalid_arg "Engine.set_stall_budget: must be positive";

@@ -160,6 +160,21 @@ val adopt_owned : t -> unit
     window a domain executes and again by the coordinator after a
     parallel run, handing ownership back. *)
 
+val add_reclaim : t -> (unit -> unit) -> unit
+(** Register an abort-path reclamation thunk — typically
+    [fun () -> Pool.clear p] for a {!Pool} whose release events this
+    engine dispatches. When a sharded run aborts after a lane failure,
+    in-flight pooled records' release events will never fire;
+    {!Shard.run}'s abort path replays this registry (after
+    {!adopt_owned}) so those records are reclaimed rather than leaked.
+    Never run on the success path: across incremental [run] calls a pool
+    legitimately holds in-flight records. *)
+
+val reclaim_owned : t -> unit
+(** Run every thunk registered with {!add_reclaim}. Called only by the
+    sharded runner's abort path; the engine and its pools must be
+    considered dead for simulation purposes afterwards. *)
+
 val set_stall_budget : t -> int -> unit
 (** Adjust the livelock watchdog's per-instant event budget.
     @raise Invalid_argument if the budget is not positive. *)

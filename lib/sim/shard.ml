@@ -44,7 +44,15 @@
    any shard count. The residual caveat is the double coincidence of a
    boundary event and an unrelated local event agreeing in BOTH arrival
    and send instant, float-bit exact; the fuzz differential polices
-   it. *)
+   it.
+
+   Failure containment (DESIGN.md §15): any exception escaping a
+   shard's window — including injected chaos and a watchdog-abandoned
+   wedge — aborts the run cleanly (channels drained, pools reclaimed,
+   hub poisoned) and surfaces as one structured {!Lane_failure} naming
+   the shard and barrier round. The byte-identical contract is what
+   makes the degradation ladder in {!Degrade} sound: a retry at any
+   narrower width reproduces the same output. *)
 
 type message = {
   m_arrival : float;
@@ -72,6 +80,76 @@ type stats = {
   domains_used : int;
 }
 
+(* ----- chaos injection ----- *)
+
+type chaos = {
+  crash : (int * int) option;  (* (shard, lifetime barrier round) *)
+  wedge : (int * int) option;
+}
+
+let no_chaos = { crash = None; wedge = None }
+
+let chaos_pair ~what spec =
+  let fail () =
+    invalid_arg
+      (Printf.sprintf
+         "%s: %S does not parse as <shard>:<round> (shard >= 0, round >= 1)"
+         what spec)
+  in
+  match String.index_opt spec ':' with
+  | None -> fail ()
+  | Some i -> (
+    let s = String.sub spec 0 i
+    and r = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match (int_of_string_opt s, int_of_string_opt r) with
+    | Some s, Some r when s >= 0 && r >= 1 -> (s, r)
+    | _ -> fail ())
+
+let chaos_of_env () =
+  let get name =
+    match Sys.getenv_opt name with
+    | None | Some "" -> None
+    | Some spec -> Some (chaos_pair ~what:name spec)
+  in
+  { crash = get "PCC_TEST_SHARD_CRASH"; wedge = get "PCC_TEST_SHARD_WEDGE" }
+
+let chaos_of_string spec =
+  let part acc part =
+    let part = String.trim part in
+    match String.index_opt part '=' with
+    | Some i -> (
+      let key = String.sub part 0 i
+      and v = String.sub part (i + 1) (String.length part - i - 1) in
+      match key with
+      | "crash" ->
+        { acc with crash = Some (chaos_pair ~what:"--shard-chaos crash" v) }
+      | "wedge" ->
+        { acc with wedge = Some (chaos_pair ~what:"--shard-chaos wedge" v) }
+      | _ ->
+        invalid_arg
+          (Printf.sprintf
+             "--shard-chaos: unknown key %S (want crash=<shard>:<round> or \
+              wedge=<shard>:<round>)"
+             key))
+    | None ->
+      invalid_arg
+        (Printf.sprintf
+           "--shard-chaos: %S is not key=<shard>:<round> (keys: crash, wedge)"
+           part)
+  in
+  List.fold_left part no_chaos (String.split_on_char ',' spec)
+
+(* Process-wide default, mirroring [Engine.set_default_scheduler]:
+   hubs are created deep inside experiments and scenario builders, so
+   chaos flows through this rather than a threaded parameter.
+   Resolution: explicit [set_default_chaos] (CLI) beats PCC_TEST_SHARD_*
+   in the environment beats none. *)
+let chaos_override = ref None
+let set_default_chaos c = chaos_override := Some c
+
+let default_chaos () =
+  match !chaos_override with Some c -> c | None -> chaos_of_env ()
+
 type t = {
   engines : Engine.t array;
   mutable chans : chan_state list;  (* registration order, newest first *)
@@ -83,6 +161,12 @@ type t = {
   mutable all_messages : int;
   mutable last_stats : stats option;
   mutable running : bool;
+  mutable poisoned : bool;  (* a lane failure aborted this hub *)
+  mutable chaos : chaos;
+  mutable lane_deadline : float option;
+  mutable lane_max_events : int option;
+  mutable wedge_grace : float option;
+  mutable sleep : (float -> unit) option;
 }
 
 type 'a channel = {
@@ -94,10 +178,38 @@ type 'a channel = {
 }
 
 exception Shard_error of string
+exception Chaos_crash of { shard : int; round : int }
+exception Lane_wedged of { shard : int; round : int; stale : float }
+
+exception
+  Lane_failure of {
+    shard : int;
+    round : int;
+    wedged : bool;
+    origin : exn;
+    backtrace : string;
+  }
 
 let () =
   Printexc.register_printer (function
     | Shard_error msg -> Some (Printf.sprintf "Shard_error: %s" msg)
+    | Chaos_crash { shard; round } ->
+      Some
+        (Printf.sprintf
+           "Shard.Chaos_crash: injected crash on shard %d at barrier round %d"
+           shard round)
+    | Lane_wedged { shard; round; stale } ->
+      Some
+        (Printf.sprintf
+           "Shard.Lane_wedged: shard %d wedged at barrier round %d \
+            (heartbeat stale %.2fs)"
+           shard round stale)
+    | Lane_failure { shard; round; wedged; origin; _ } ->
+      Some
+        (Printf.sprintf
+           "Shard.Lane_failure: shard %d %s at barrier round %d: %s" shard
+           (if wedged then "wedged" else "crashed")
+           round (Printexc.to_string origin))
     | _ -> None)
 
 let create ?scheduler ?on_error ~shards () =
@@ -114,8 +226,34 @@ let create ?scheduler ?on_error ~shards () =
     all_messages = 0;
     last_stats = None;
     running = false;
+    poisoned = false;
+    chaos = default_chaos ();
+    lane_deadline = None;
+    lane_max_events = None;
+    wedge_grace = None;
+    sleep = None;
   }
 
+let configure ?chaos ?lane_deadline ?lane_max_events ?wedge_grace ?sleep t =
+  (match lane_deadline with
+  | Some d when d <= 0. ->
+    invalid_arg "Shard.configure: lane_deadline must be positive"
+  | _ -> ());
+  (match lane_max_events with
+  | Some n when n <= 0 ->
+    invalid_arg "Shard.configure: lane_max_events must be positive"
+  | _ -> ());
+  (match wedge_grace with
+  | Some g when g <= 0. ->
+    invalid_arg "Shard.configure: wedge_grace must be positive"
+  | _ -> ());
+  Option.iter (fun c -> t.chaos <- c) chaos;
+  Option.iter (fun d -> t.lane_deadline <- Some d) lane_deadline;
+  Option.iter (fun n -> t.lane_max_events <- Some n) lane_max_events;
+  Option.iter (fun g -> t.wedge_grace <- Some g) wedge_grace;
+  Option.iter (fun s -> t.sleep <- Some s) sleep
+
+let poisoned t = t.poisoned
 let shards t = Array.length t.engines
 
 let engine t i =
@@ -278,41 +416,109 @@ let window_target t ~until ~tmin =
     let p = Float.pred cap in
     if p < tmin then tmin else p
 
+(* Chaos fires only on multi-shard hubs: the faults being modelled are
+   lane-level, and gating on [shards > 1] guarantees the ladder's final
+   1-shard rung always runs clean — injected chaos can never exhaust
+   the ladder (a genuine deterministic bug still fails every rung,
+   which is the correct outcome). *)
+let chaos_raise t ~shard ~round =
+  if Array.length t.engines > 1 then begin
+    (match t.chaos.crash with
+    | Some (s, r) when s = shard && r = round ->
+      raise (Chaos_crash { shard; round })
+    | _ -> ());
+    match t.chaos.wedge with
+    | Some (s, r) when s = shard && r = round ->
+      (* Without lanes there is nothing to wedge out-of-band: the
+         injection degenerates to a synchronous failure, which still
+         exercises the abort and ladder paths. *)
+      raise (Lane_wedged { shard; round; stale = 0. })
+    | _ -> ()
+  end
+
 (* ----- parallel lanes ----- *)
 
-type cmd = Go of float | Quit
+type cmd = Go of { target : float; round : int } | Quit
 
 type lane = {
   l_mutex : Mutex.t;
   l_cond : Condition.t;
   mutable l_cmd : cmd option;
   mutable l_done : bool;
-  mutable l_failed : (int * exn) option;  (* lowest shard index first *)
+  mutable l_failed : (int * exn * string) option;
+      (* (shard, origin, backtrace); first failure wins *)
   l_shards : int array;  (* shard indices this lane executes, ascending *)
+  l_beat : float Atomic.t;  (* wall-clock heartbeat for the watchdog *)
+  mutable l_abandoned : bool;  (* the watchdog gave up on this lane *)
+  mutable l_release : bool;  (* wakes a chaos-wedged lane *)
+  mutable l_recovered : bool;  (* an abandoned lane rejoined the protocol *)
 }
 
-let lane_run t lane ~clock ~busy ~target =
-  (try
-     Array.iter
-       (fun i ->
-         match lane.l_failed with
-         | Some _ -> ()
-         | None -> (
-           let e = t.engines.(i) in
-           let t0 = clock () in
-           (try Engine.run ~until:target e
-            with exn -> lane.l_failed <- Some (i, exn));
-           busy.(i) <- busy.(i) +. (clock () -. t0)))
-       lane.l_shards
-   with exn ->
-     (* Defensive: nothing above should raise outside the per-engine
-        handler, but a lane must never die without reporting. *)
-     if lane.l_failed = None then lane.l_failed <- Some (max_int, exn));
-  ()
+let lane_fail lane shard exn bt =
+  Mutex.lock lane.l_mutex;
+  if lane.l_failed = None then lane.l_failed <- Some (shard, exn, bt);
+  Mutex.unlock lane.l_mutex
 
-let worker_loop t lane ~clock ~busy =
+let lane_failed lane =
+  Mutex.lock lane.l_mutex;
+  let f = lane.l_failed in
+  Mutex.unlock lane.l_mutex;
+  f
+
+(* A chaos-wedged lane parks here, silent (no heartbeat), until the
+   watchdog abandons it — unlike a real wedge it then rejoins the
+   protocol so the test run can join its domain. *)
+let wedge_wait lane =
+  Mutex.lock lane.l_mutex;
+  while not lane.l_release do
+    Condition.wait lane.l_cond lane.l_mutex
+  done;
+  lane.l_recovered <- true;
+  Mutex.unlock lane.l_mutex
+
+let lane_run t lane ~clock ~busy ~target ~round ~blocking =
+  let n = Array.length t.engines in
+  try
+    Array.iter
+      (fun i ->
+        if lane_failed lane = None then begin
+          let e = t.engines.(i) in
+          let t0 = clock () in
+          (try
+             Atomic.set lane.l_beat t0;
+             (* Window-granularity deadline + heartbeat for this lane's
+                guard (installed by [worker_loop], or the caller's own
+                guard on lane 0). *)
+             Task_guard.stamp ();
+             (match t.chaos.wedge with
+             | Some (s, r) when n > 1 && s = i && r = round && blocking ->
+               wedge_wait lane
+             | _ -> ());
+             chaos_raise t ~shard:i ~round;
+             Engine.run ~until:target e
+           with exn -> lane_fail lane i exn (Printexc.get_backtrace ()));
+          busy.(i) <- busy.(i) +. (clock () -. t0)
+        end)
+      lane.l_shards
+  with exn ->
+    (* Defensive: nothing above should raise outside the per-engine
+       handler, but a lane must never die without reporting. *)
+    lane_fail lane lane.l_shards.(0) exn (Printexc.get_backtrace ())
+
+let worker_loop t lane ~clock ~busy ~blocking =
   (* Pools wired to this lane's engines must fire on this domain. *)
   Array.iter (fun i -> Engine.adopt_owned t.engines.(i)) lane.l_shards;
+  (* Install a per-lane guard whenever limits are configured, and also
+     whenever the watchdog is armed: the guard's every-512-events check
+     stamps [l_beat], so a long legitimate window never looks stale. *)
+  let guarded =
+    blocking || t.lane_deadline <> None || t.lane_max_events <> None
+  in
+  if guarded then
+    Task_guard.install ?deadline:t.lane_deadline
+      ?max_events:t.lane_max_events ~heartbeat:lane.l_beat ~clock ();
+  Fun.protect ~finally:(fun () -> if guarded then Task_guard.uninstall ())
+  @@ fun () ->
   let rec loop () =
     Mutex.lock lane.l_mutex;
     let rec await () =
@@ -328,8 +534,8 @@ let worker_loop t lane ~clock ~busy =
     Mutex.unlock lane.l_mutex;
     match cmd with
     | Quit -> ()
-    | Go target ->
-      lane_run t lane ~clock ~busy ~target;
+    | Go { target; round } ->
+      lane_run t lane ~clock ~busy ~target ~round ~blocking;
       Mutex.lock lane.l_mutex;
       lane.l_done <- true;
       Condition.signal lane.l_cond;
@@ -338,18 +544,22 @@ let worker_loop t lane ~clock ~busy =
   in
   loop ()
 
-let lane_go lane ~target =
+let lane_go lane ~target ~round =
   Mutex.lock lane.l_mutex;
-  lane.l_cmd <- Some (Go target);
+  lane.l_cmd <- Some (Go { target; round });
   Condition.signal lane.l_cond;
   Mutex.unlock lane.l_mutex
 
+(* Wakes on completion or on watchdog abandonment ([abandon_lane]
+   broadcasts the same condition). [l_done] is deliberately left set:
+   the watchdog reads it to tell a finished lane from a wedged one, so
+   the coordinator only clears it once the whole round is awaited (see
+   [await_lanes]). *)
 let lane_await lane =
   Mutex.lock lane.l_mutex;
-  while not lane.l_done do
+  while not (lane.l_done || lane.l_abandoned) do
     Condition.wait lane.l_cond lane.l_mutex
   done;
-  lane.l_done <- false;
   Mutex.unlock lane.l_mutex
 
 let lane_quit lane =
@@ -358,9 +568,40 @@ let lane_quit lane =
   Condition.signal lane.l_cond;
   Mutex.unlock lane.l_mutex
 
+(* The out-of-band watchdog gave up on a lane whose heartbeat went
+   stale. Record a synthetic wedge failure (blaming the chaos-targeted
+   shard when the staleness was injected, the lane's first shard
+   otherwise), then release the lane in case it is parked in
+   [wedge_wait]. A genuinely wedged domain never wakes; it is leaked,
+   exactly like the supervisor's abandoned workers. *)
+let abandon_lane t lane ~round ~stale =
+  Mutex.lock lane.l_mutex;
+  (* [l_done] re-checked under the mutex: the lane may have completed
+     between the watchdog's staleness probe and this call. *)
+  if (not lane.l_abandoned) && not lane.l_done then begin
+    let shard =
+      match t.chaos.wedge with
+      | Some (s, r)
+        when r = round && Array.exists (fun i -> i = s) lane.l_shards ->
+        s
+      | _ -> lane.l_shards.(0)
+    in
+    if lane.l_failed = None then
+      lane.l_failed <- Some (shard, Lane_wedged { shard; round; stale }, "");
+    lane.l_abandoned <- true;
+    lane.l_release <- true;
+    Condition.broadcast lane.l_cond
+  end;
+  Mutex.unlock lane.l_mutex
+
 (* ----- the run loop ----- *)
 
 let run ?(mode = Sequential) ?max_events ?clock t ~until =
+  if t.poisoned then
+    raise
+      (Shard_error
+         "Shard.run: hub was aborted by a lane failure; rebuild the \
+          simulation (the degradation ladder in Degrade does this)");
   if t.running then raise (Shard_error "Shard.run: hub already running");
   let n = Array.length t.engines in
   let wall_clock = match clock with Some c -> c | None -> fun () -> 0. in
@@ -377,6 +618,29 @@ let run ?(mode = Sequential) ?max_events ?clock t ~until =
       if max_events <> None || Pcc_trace.Collector.enabled () then 1
       else max 1 (min d n)
   in
+  (* The watchdog needs a real clock to compare heartbeats against and
+     a way to sleep between polls (injected: this library has no unix
+     dependency). Without all three ingredients lanes run unwatched,
+     exactly as before. *)
+  let watchdog =
+    if domains_used > 1 then
+      match (clock, t.sleep, t.wedge_grace) with
+      | Some c, Some sl, Some g -> Some (c, sl, g)
+      | _ -> None
+    else None
+  in
+  let blocking = watchdog <> None in
+  (* Guard the coordinator's own windows (lane 0, or everything in
+     sequential mode) with the configured lane limits — unless the
+     caller already installed a guard (the supervisor does), which then
+     keeps authority over this domain. *)
+  let own_guard =
+    (t.lane_deadline <> None || t.lane_max_events <> None)
+    && not (Task_guard.active ())
+  in
+  if own_guard then
+    Task_guard.install ?deadline:t.lane_deadline
+      ?max_events:t.lane_max_events ~clock:wall_clock ();
   let start_events = Array.map Engine.executed t.engines in
   let busy = Array.make n 0. in
   let wall0 = wall_clock () in
@@ -417,6 +681,10 @@ let run ?(mode = Sequential) ?max_events ?clock t ~until =
             l_done = false;
             l_failed = None;
             l_shards = mine;
+            l_beat = Atomic.make (wall_clock ());
+            l_abandoned = false;
+            l_release = false;
+            l_recovered = false;
           })
   in
   let doms =
@@ -424,23 +692,114 @@ let run ?(mode = Sequential) ?max_events ?clock t ~until =
     else
       Array.init (domains_used - 1) (fun k ->
           let lane = lanes.(k + 1) in
-          Domain.spawn (fun () -> worker_loop t lane ~clock:busy_clock ~busy))
+          Domain.spawn (fun () ->
+              worker_loop t lane ~clock:busy_clock ~busy ~blocking))
   in
+  (* The out-of-band watchdog runs on its own domain so the coordinator
+     can block on lane conditions at full speed: polling in the await
+     path would add a sleep to every barrier round. [wd_round] is the
+     round the coordinator is currently awaiting (0 between rounds —
+     idle lanes legitimately stop heartbeating and must not be
+     abandoned); an abandonment broadcasts the lane condition, waking
+     the coordinator. *)
+  let wd_round = Atomic.make 0 in
+  let wd_stop = Atomic.make false in
+  let watchdog_dom =
+    match watchdog with
+    | None -> None
+    | Some (wclock, sleep, grace) ->
+      Some
+        (Domain.spawn (fun () ->
+             let period = Float.max 0.0005 (grace /. 20.) in
+             while not (Atomic.get wd_stop) do
+               let round = Atomic.get wd_round in
+               if round > 0 then
+                 for l = 1 to domains_used - 1 do
+                   let lane = lanes.(l) in
+                   Mutex.lock lane.l_mutex;
+                   let busy_lane = (not lane.l_done) && not lane.l_abandoned in
+                   Mutex.unlock lane.l_mutex;
+                   if busy_lane then begin
+                     let stale = wclock () -. Atomic.get lane.l_beat in
+                     (* Re-read the round gate right before acting: the
+                        coordinator clears [wd_round] before resetting
+                        [l_done], so a lane that merely finished between
+                        our two reads can never be blamed. *)
+                     if stale > grace && Atomic.get wd_round = round then
+                       abandon_lane t lane ~round ~stale
+                   end
+                 done;
+               sleep period
+             done))
+  in
+  let stopped = ref false in
   let stop_workers () =
-    if Array.length doms > 0 then begin
-      for l = 1 to Array.length lanes - 1 do
-        lane_quit lanes.(l)
-      done;
-      Array.iter Domain.join doms;
-      (* Hand every pool back to the coordinator so post-run inspection
-         (digests, clears, further sequential runs) fires cleanly. *)
-      Array.iter Engine.adopt_owned t.engines
+    if not !stopped then begin
+      stopped := true;
+      Atomic.set wd_stop true;
+      Option.iter Domain.join watchdog_dom;
+      if Array.length doms > 0 then begin
+        for l = 1 to Array.length lanes - 1 do
+          lane_quit lanes.(l)
+        done;
+        Array.iteri
+          (fun k d ->
+            let lane = lanes.(k + 1) in
+            let joinable =
+              Mutex.lock lane.l_mutex;
+              let j = (not lane.l_abandoned) || lane.l_recovered in
+              Mutex.unlock lane.l_mutex;
+              j
+            in
+            (* An abandoned lane that never recovered is wedged in user
+               code and would block [join] forever: leak the domain,
+               like the supervisor leaks its abandoned workers. *)
+            if joinable then Domain.join d)
+          doms;
+        (* Hand every pool back to the coordinator so post-run
+           inspection (digests, clears, further sequential runs) fires
+           cleanly. *)
+        Array.iter Engine.adopt_owned t.engines
+      end
     end
+  in
+  (* Clean abort: quit and join the lanes, drop every buffered boundary
+     message (checkout of pooled records happens at injection, so the
+     buffers hold only plain closures), reclaim pooled records whose
+     release events will never fire, and poison the hub — its shards
+     stopped at different windows and can never be resumed coherently.
+     The single structured exception is what the supervisor, the
+     degradation ladder and the CLI all consume. *)
+  let abort ~round (shard, origin, backtrace) =
+    stop_workers ();
+    List.iter (fun cs -> cs.cs_buf <- []) t.chans;
+    Array.iter Engine.adopt_owned t.engines;
+    Array.iter Engine.reclaim_owned t.engines;
+    t.poisoned <- true;
+    let wedged = match origin with Lane_wedged _ -> true | _ -> false in
+    raise (Lane_failure { shard; round; wedged; origin; backtrace })
+  in
+  let await_lanes ~round =
+    if watchdog_dom <> None then Atomic.set wd_round round;
+    for l = 1 to domains_used - 1 do
+      lane_await lanes.(l)
+    done;
+    (* Order matters: take the watchdog off-round BEFORE clearing the
+       completion flags, so it never mistakes a just-finished lane (done
+       cleared, heartbeat going stale) for a wedged one. *)
+    if watchdog_dom <> None then Atomic.set wd_round 0;
+    for l = 1 to domains_used - 1 do
+      let lane = lanes.(l) in
+      Mutex.lock lane.l_mutex;
+      lane.l_done <- false;
+      Mutex.unlock lane.l_mutex
+    done
   in
   let finish () =
     t.running <- false;
     t.all_rounds <- t.all_rounds + !rounds;
     t.all_messages <- t.all_messages + t.injected;
+    if own_guard then Task_guard.uninstall ();
     t.last_stats <-
       Some
         {
@@ -470,32 +829,52 @@ let run ?(mode = Sequential) ?max_events ?clock t ~until =
     end
     else begin
       incr rounds;
-      if Task_guard.active () then Task_guard.on_event ();
+      (* Lifetime numbering: callers that drive the hub in interval
+         slices see one continuous round counter, so a chaos spec or a
+         forensics report names the same round either way. *)
+      let round = t.all_rounds + !rounds in
+      if Task_guard.active () then begin
+        Task_guard.on_event ();
+        Task_guard.stamp ()
+      end;
       let target = window_target t ~until ~tmin in
-      if domains_used <= 1 then
+      if domains_used <= 1 then begin
+        let failed = ref None in
         for i = 0 to n - 1 do
-          run_engine_seq target i
-        done
+          if !failed = None then
+            try
+              chaos_raise t ~shard:i ~round;
+              run_engine_seq target i
+            with
+            | Engine.Livelock { kind = Engine.Budget; _ } as b
+              when max_events <> None ->
+              (* The caller's global event budget, not a shard fault:
+                 propagate unwrapped, as every budgeted consumer (the
+                 fuzzer) expects. *)
+              raise b
+            | exn -> failed := Some (i, exn, Printexc.get_backtrace ())
+        done;
+        match !failed with Some f -> abort ~round f | None -> ()
+      end
       else begin
         for l = 1 to domains_used - 1 do
-          lane_go lanes.(l) ~target
+          Atomic.set lanes.(l).l_beat (wall_clock ());
+          lane_go lanes.(l) ~target ~round
         done;
-        lane_run t lanes.(0) ~clock:busy_clock ~busy ~target;
-        for l = 1 to domains_used - 1 do
-          lane_await lanes.(l)
-        done;
+        lane_run t lanes.(0) ~clock:busy_clock ~busy ~target ~round
+          ~blocking:false;
+        await_lanes ~round;
         let worst =
           Array.fold_left
             (fun acc lane ->
-              match (lane.l_failed, acc) with
+              match (lane_failed lane, acc) with
               | None, acc -> acc
-              | Some _, None -> lane.l_failed
-              | Some (i, _), Some (j, _) -> if i < j then lane.l_failed else acc)
+              | (Some _ as f), None -> f
+              | (Some (i, _, _) as f), Some (j, _, _) ->
+                if i < j then f else acc)
             None lanes
         in
-        match worst with
-        | Some (_, exn) -> raise exn
-        | None -> ()
+        match worst with Some f -> abort ~round f | None -> ()
       end
     end
   done

@@ -34,14 +34,85 @@
     exactly the same number of engine events as the same scenario on a
     1-shard hub, which keeps event-count digests comparable.
 
-    See DESIGN.md §13 "Sharded execution". *)
+    {b Failure containment.} Any exception escaping a shard's window —
+    a crashing event callback, a {!Task_guard} limit, injected {!chaos}
+    — aborts the run cleanly: workers are stopped, buffered boundary
+    messages dropped, pooled records reclaimed ({!Engine.reclaim_owned})
+    and the hub poisoned; the caller sees a single structured
+    {!Lane_failure} naming the shard and barrier round. Because a seeded
+    run is byte-identical at any width, the caller can transparently
+    rebuild and retry narrower — see {!Degrade}.
+
+    See DESIGN.md §13 "Sharded execution" and §15 "Failure model and
+    the degradation ladder". *)
 
 type t
 (** A hub: the shards, their channels, and pending controls. *)
 
 exception Shard_error of string
 (** Protocol violations: a {!send} below its channel's floor, a control
-    livelock, or re-entrant {!run}. *)
+    livelock, re-entrant {!run}, or a {!run} on a poisoned hub. *)
+
+exception Chaos_crash of { shard : int; round : int }
+(** The injected failure raised by a [crash] chaos spec. *)
+
+exception Lane_wedged of { shard : int; round : int; stale : float }
+(** A lane stopped heartbeating for longer than the configured grace
+    and was abandoned by the watchdog ([stale] is the observed
+    heartbeat age), or a [wedge] chaos spec fired on a hub without an
+    armed watchdog and degenerated to this synchronous failure
+    ([stale = 0.]). *)
+
+exception
+  Lane_failure of {
+    shard : int;  (** Shard whose window failed (lowest index wins). *)
+    round : int;  (** Lifetime barrier round, as {!total_rounds} counts. *)
+    wedged : bool;  (** [true] when the origin is {!Lane_wedged}. *)
+    origin : exn;  (** The underlying exception. *)
+    backtrace : string;  (** Its backtrace; [""] when unavailable. *)
+  }
+(** The single exception a failed sharded run raises after its clean
+    abort. [Engine.Livelock {kind = Budget}] under a caller-supplied
+    [max_events] is {e not} wrapped — a global event budget is the
+    caller's own limit, not a shard fault. *)
+
+(** {1 Chaos injection}
+
+    Deterministic fault injection for exercising the containment and
+    degradation paths end to end: a spec names a shard and the lifetime
+    barrier round at which the fault fires. Chaos only fires on hubs
+    with more than one shard, so the ladder's final 1-shard rung always
+    runs clean. *)
+
+type chaos = {
+  crash : (int * int) option;
+      (** Raise {!Chaos_crash} in (shard, round)'s window. *)
+  wedge : (int * int) option;
+      (** Stop (shard, round)'s lane heartbeating until the watchdog
+          abandons it (synchronous {!Lane_wedged} when no watchdog is
+          armed). *)
+}
+
+val no_chaos : chaos
+
+val chaos_of_string : string -> chaos
+(** Parse a CLI spec: comma-separated [crash=<shard>:<round>] and/or
+    [wedge=<shard>:<round>]. @raise Invalid_argument on malformed
+    specs. *)
+
+val chaos_of_env : unit -> chaos
+(** Read [PCC_TEST_SHARD_CRASH] / [PCC_TEST_SHARD_WEDGE] (each a
+    [<shard>:<round>] pair; unset or empty means none).
+    @raise Invalid_argument on malformed values. *)
+
+val set_default_chaos : chaos -> unit
+(** Process-wide default applied to hubs created afterwards, mirroring
+    {!Engine.set_default_scheduler}: an explicit CLI override beats the
+    environment. *)
+
+val default_chaos : unit -> chaos
+(** The default a fresh hub starts with: {!set_default_chaos}'s value
+    when set, else {!chaos_of_env}. *)
 
 val create :
   ?scheduler:Engine.scheduler ->
@@ -50,7 +121,38 @@ val create :
   unit ->
   t
 (** [create ~shards ()] builds a hub of [shards] fresh engines (all on
-    the same queue backend). @raise Invalid_argument if [shards < 1]. *)
+    the same queue backend), with {!default_chaos} applied.
+    @raise Invalid_argument if [shards < 1]. *)
+
+val configure :
+  ?chaos:chaos ->
+  ?lane_deadline:float ->
+  ?lane_max_events:int ->
+  ?wedge_grace:float ->
+  ?sleep:(float -> unit) ->
+  t ->
+  unit
+(** Per-hub resilience settings; only the supplied fields change.
+    [lane_deadline] (wall-clock seconds) and [lane_max_events] install
+    a {!Task_guard} per execution lane — worker domains always, the
+    calling domain only when it has no guard already (a supervisor's
+    guard keeps authority). The per-lane event ceiling counts the
+    events that lane executes, across all its shards. [wedge_grace]
+    and [sleep] arm the out-of-band watchdog for parallel runs: a lane
+    whose heartbeat (stamped per barrier window and every few hundred
+    events) is staler than [wedge_grace] seconds is abandoned and the
+    run aborts with a wedged {!Lane_failure}. [sleep] is injected
+    (e.g. [Unix.sleepf]) because this library has no unix dependency;
+    the watchdog also needs {!run}'s [clock]. [wedge_grace] must
+    comfortably exceed a worst-case 512-event batch — any value above
+    milliseconds is safe.
+    @raise Invalid_argument on non-positive limits. *)
+
+val poisoned : t -> bool
+(** Whether a lane failure aborted this hub. A poisoned hub's shards
+    stopped at different windows and cannot be resumed coherently:
+    {!run} raises {!Shard_error}; rebuild the simulation instead (the
+    degradation ladder does). *)
 
 val shards : t -> int
 val engines : t -> Engine.t array
@@ -136,15 +238,20 @@ val run :
     across all shards, raising {!Engine.Livelock}[ {kind = Budget}]
     like the monolithic engine. [clock] (e.g. a monotonic wall clock)
     enables the busy/wall fields of {!last_stats}; without it they read
-    zero. Engine failures propagate as-is; in parallel mode, when
-    several shards fail in one window, the lowest shard index wins —
-    the same exception a sequential run would have raised first.
+    zero — and, together with {!configure}'s [sleep] and [wedge_grace],
+    arms the watchdog on parallel runs.
 
-    When a {!Task_guard} is active on the calling domain it is
-    heartbeat-stamped once per round; in parallel mode worker-domain
-    events do not count toward the guard's event ceiling (only
-    wall-clock deadlines bite there).
-    @raise Shard_error on re-entrant runs. *)
+    A failure inside any shard's window aborts the run cleanly and
+    raises {!Lane_failure}; when several shards fail in one window the
+    lowest shard index wins — the same failure a sequential run would
+    have hit first. Only [Engine.Livelock {kind = Budget}] from the
+    caller's own [max_events] budget propagates unwrapped.
+
+    When a {!Task_guard} is active on the calling domain it is charged
+    one event and heartbeat-stamped once per round; in parallel mode
+    worker-domain events count toward the {e lane} guards installed
+    per {!configure}, not the caller's guard.
+    @raise Shard_error on re-entrant or post-abort runs. *)
 
 type stats = {
   rounds : int;  (** Barrier rounds executed. *)

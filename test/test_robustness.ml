@@ -38,6 +38,44 @@ let test_pcc_survives_blackout () =
   Alcotest.(check bool) "starved during" true (during < 5.);
   Alcotest.(check bool) "recovers after" true (after > 30.)
 
+let test_blackout_resume_with_rto_backstop () =
+  (* A 5 s total blackout outlasts any single RTO: both PCC and CUBIC
+     must resume transmission after the link returns. For CUBIC the
+     resume is driven by the retransmission-timeout backstop, visible
+     as cause-2 Cwnd trace events (the [timeouts] counter's trace
+     mirror); PCC's rate machinery needs no RTO at all. *)
+  let run spec =
+    let c = Pcc_trace.Collector.create ~capacity:500_000 () in
+    Pcc_trace.Collector.install c;
+    Fun.protect ~finally:Pcc_trace.Collector.uninstall @@ fun () ->
+    let engine, path, f = build spec in
+    Fault.inject_path path [ Fault.at 10. (Fault.Blackout { duration = 5. }) ];
+    let before = window_mbps engine f 5. 10. in
+    let during = window_mbps engine f 10.5 14.5 in
+    let after = window_mbps engine f 30. 45. in
+    let rto_events =
+      Array.fold_left
+        (fun acc (r : Pcc_trace.Event.record) ->
+          if
+            r.Pcc_trace.Event.kind = Pcc_trace.Event.Cwnd
+            && r.Pcc_trace.Event.i = 2
+          then acc + 1
+          else acc)
+        0
+        (Pcc_trace.Collector.events c)
+    in
+    (before, during, after, rto_events)
+  in
+  let b_pcc, d_pcc, a_pcc, _ = run (Transport.pcc ()) in
+  Alcotest.(check bool) "pcc healthy before" true (b_pcc > 35.);
+  Alcotest.(check bool) "pcc starved during" true (d_pcc < 5.);
+  Alcotest.(check bool) "pcc resumes" true (a_pcc > 30.);
+  let b_cub, d_cub, a_cub, rto_cub = run (Transport.tcp "cubic") in
+  Alcotest.(check bool) "cubic healthy before" true (b_cub > 20.);
+  Alcotest.(check bool) "cubic starved during" true (d_cub < 5.);
+  Alcotest.(check bool) "cubic resumes" true (a_cub > 5.);
+  Alcotest.(check bool) "cubic fired the RTO backstop" true (rto_cub >= 1)
+
 let test_pcc_adapts_to_bandwidth_cliff () =
   let engine, path, f = build (Transport.pcc ()) in
   ignore (Invariant.attach_path path);
@@ -302,6 +340,8 @@ let suites =
     ( "robustness",
       [
         Alcotest.test_case "blackout recovery" `Slow test_pcc_survives_blackout;
+        Alcotest.test_case "5s blackout, RTO backstop" `Slow
+          test_blackout_resume_with_rto_backstop;
         Alcotest.test_case "bandwidth cliff" `Slow
           test_pcc_adapts_to_bandwidth_cliff;
         Alcotest.test_case "ack loss (pcc)" `Slow test_pcc_tolerates_ack_loss;

@@ -419,6 +419,243 @@ let test_shardflow_row () =
       (r.Pcc_experiments.Exp_manyflow.s_populated >= 2)
   | _ -> Alcotest.fail "expected one shardflow row"
 
+(* ------------------------------------------------------------------ *)
+(* Failure containment: chaos specs, clean abort, degradation ladder. *)
+
+let chaos_crash_at s r = { Shard.crash = Some (s, r); wedge = None }
+let chaos_wedge_at s r = { Shard.crash = None; wedge = Some (s, r) }
+
+let expect_lane_failure ?shard ?round ?wedged f =
+  match f () with
+  | exception Shard.Lane_failure { shard = s; round = r; wedged = w; origin; _ }
+    ->
+    Option.iter (fun e -> Alcotest.(check int) "failed shard" e s) shard;
+    Option.iter (fun e -> Alcotest.(check int) "failed round" e r) round;
+    Option.iter (fun e -> Alcotest.(check bool) "wedged flag" e w) wedged;
+    origin
+  | _ -> Alcotest.fail "expected Shard.Lane_failure"
+
+let test_chaos_spec_parse () =
+  let pair = Alcotest.(option (pair int int)) in
+  let c = Shard.chaos_of_string "crash=1:3" in
+  Alcotest.check pair "crash parsed" (Some (1, 3)) c.Shard.crash;
+  Alcotest.check pair "no wedge" None c.Shard.wedge;
+  let c = Shard.chaos_of_string " crash=0:7 , wedge=2:5 " in
+  Alcotest.check pair "crash of pair" (Some (0, 7)) c.Shard.crash;
+  Alcotest.check pair "wedge of pair" (Some (2, 5)) c.Shard.wedge;
+  let reject spec =
+    Alcotest.(check bool)
+      (Printf.sprintf "reject %S" spec)
+      true
+      (try
+         ignore (Shard.chaos_of_string spec);
+         false
+       with Invalid_argument _ -> true)
+  in
+  reject "crash=1";
+  reject "crash=1:0";
+  reject "crash=-1:2";
+  reject "boom=1:2";
+  reject "crash=a:b";
+  reject "crash"
+
+let test_chaos_env () =
+  let pair = Alcotest.(option (pair int int)) in
+  Unix.putenv "PCC_TEST_SHARD_CRASH" "2:9";
+  Unix.putenv "PCC_TEST_SHARD_WEDGE" "";
+  Fun.protect ~finally:(fun () -> Unix.putenv "PCC_TEST_SHARD_CRASH" "")
+  @@ fun () ->
+  let c = Shard.chaos_of_env () in
+  Alcotest.check pair "crash from env" (Some (2, 9)) c.Shard.crash;
+  Alcotest.check pair "empty wedge ignored" None c.Shard.wedge;
+  (* An explicit CLI override beats the environment... *)
+  Shard.set_default_chaos (chaos_crash_at 1 1);
+  Alcotest.check pair "override wins" (Some (1, 1))
+    (Shard.default_chaos ()).Shard.crash;
+  (* ...and stays authoritative once set (tests leave it neutral). *)
+  Shard.set_default_chaos Shard.no_chaos;
+  Alcotest.check pair "neutral override" None
+    (Shard.default_chaos ()).Shard.crash
+
+let test_crash_contained_sequential () =
+  let hub, _topo = clustered ~shards:4 ~seed:11 ~n:48 in
+  Shard.configure ~chaos:(chaos_crash_at 1 3) hub;
+  let origin =
+    expect_lane_failure ~shard:1 ~round:3 ~wedged:false (fun () ->
+        Shard.run hub ~until:3.0)
+  in
+  (match origin with
+  | Shard.Chaos_crash { shard = 1; round = 3 } -> ()
+  | e -> Alcotest.fail ("unexpected origin: " ^ Printexc.to_string e));
+  Alcotest.(check bool) "hub poisoned" true (Shard.poisoned hub);
+  Alcotest.(check bool) "poisoned re-run rejected" true
+    (try
+       Shard.run hub ~until:3.0;
+       false
+     with Shard.Shard_error _ -> true)
+
+let test_crash_contained_parallel () =
+  let hub, _topo = clustered ~shards:4 ~seed:11 ~n:48 in
+  Shard.configure ~chaos:(chaos_crash_at 1 3) hub;
+  let origin =
+    expect_lane_failure ~shard:1 ~round:3 ~wedged:false (fun () ->
+        Shard.run ~mode:(Shard.Parallel 2) hub ~until:3.0)
+  in
+  (match origin with
+  | Shard.Chaos_crash { shard = 1; round = 3 } -> ()
+  | e -> Alcotest.fail ("unexpected origin: " ^ Printexc.to_string e));
+  Alcotest.(check bool) "hub poisoned" true (Shard.poisoned hub)
+
+let test_wedge_synchronous () =
+  (* No watchdog armed: a wedge spec degenerates to a synchronous
+     failure, which still exercises the abort and ladder paths. *)
+  let hub, _topo = clustered ~shards:4 ~seed:11 ~n:48 in
+  Shard.configure ~chaos:(chaos_wedge_at 2 2) hub;
+  let origin =
+    expect_lane_failure ~shard:2 ~round:2 ~wedged:true (fun () ->
+        Shard.run hub ~until:3.0)
+  in
+  match origin with
+  | Shard.Lane_wedged { shard = 2; round = 2; stale } ->
+    Alcotest.(check (float 0.)) "synchronous wedge has no staleness" 0. stale
+  | e -> Alcotest.fail ("unexpected origin: " ^ Printexc.to_string e)
+
+let test_wedge_watchdog () =
+  (* A parallel run with the watchdog armed: the wedged lane stops
+     heartbeating, the watchdog abandons it after the grace and the run
+     aborts with a wedged Lane_failure naming the chaos target. *)
+  let hub, _topo = clustered ~shards:4 ~seed:11 ~n:48 in
+  Shard.configure ~chaos:(chaos_wedge_at 3 4) ~wedge_grace:0.2
+    ~sleep:Unix.sleepf hub;
+  let origin =
+    expect_lane_failure ~shard:3 ~round:4 ~wedged:true (fun () ->
+        Shard.run ~mode:(Shard.Parallel 4) ~clock:Unix.gettimeofday hub
+          ~until:3.0)
+  in
+  (match origin with
+  | Shard.Lane_wedged { shard = 3; round = 4; stale } ->
+    Alcotest.(check bool) "staleness exceeds the grace" true (stale >= 0.2)
+  | e -> Alcotest.fail ("unexpected origin: " ^ Printexc.to_string e));
+  Alcotest.(check bool) "hub poisoned" true (Shard.poisoned hub)
+
+let test_lane_event_ceiling () =
+  let hub, _topo = clustered ~shards:4 ~seed:11 ~n:48 in
+  Shard.configure ~lane_max_events:1000 hub;
+  let origin =
+    expect_lane_failure ~wedged:false (fun () -> Shard.run hub ~until:3.0)
+  in
+  (match origin with
+  | Task_guard.Event_budget_exceeded { limit = 1000; _ } -> ()
+  | e -> Alcotest.fail ("unexpected origin: " ^ Printexc.to_string e));
+  Alcotest.(check bool) "hub poisoned" true (Shard.poisoned hub)
+
+let test_pool_reclaimed_on_abort () =
+  (* The Topology wiring pattern under a mid-run crash: boundary
+     messages checked out of the pool at injection would leak when the
+     window that releases them never runs; the abort path's reclaim
+     registry must hand every slot back. *)
+  let hub = Shard.create ~shards:2 () in
+  Shard.configure ~chaos:(chaos_crash_at 0 2) hub;
+  let dst = Shard.engine hub 1 in
+  let pool = Pool.create ~dummy:(-1) () in
+  let seen = ref 0 in
+  Pool.set_fire pool (fun _ -> incr seen);
+  Engine.add_owned dst (fun () -> Pool.adopt pool);
+  Engine.add_reclaim dst (fun () -> Pool.clear pool);
+  let ch =
+    Shard.channel hub ~src:0 ~dst:1 ~floor:0.001
+      ~inject:(fun ~arrival ~sent v ->
+        Engine.post_from dst ~sent ~at:arrival (Pool.event pool v))
+  in
+  let src = Shard.engine hub 0 in
+  let n = 500 in
+  for i = 0 to n - 1 do
+    let at = 0.0005 *. float_of_int i in
+    Engine.post src ~at (fun () ->
+        Shard.send ch ~now:(Engine.now src) ~arrival:(Engine.now src +. 0.002) i)
+  done;
+  let raised =
+    try
+      Shard.run hub ~until:2.0;
+      false
+    with Shard.Lane_failure { shard = 0; wedged = false; _ } -> true
+  in
+  Alcotest.(check bool) "lane failure raised" true raised;
+  Alcotest.(check bool) "abort interrupted delivery" true (!seen < n);
+  Alcotest.(check int) "no pooled record leaked" 0 (Pool.in_use pool);
+  (* The coordinator owns the pool again after the abort. *)
+  let before = !seen in
+  let ev = Pool.event pool 1 in
+  ev ();
+  Alcotest.(check int) "pool usable after abort" (before + 1) !seen
+
+let test_ladder_digest_identity () =
+  (* The tentpole guarantee: a run that crashes mid-ladder and settles
+     on a narrower rung produces byte-identical output to a clean run —
+     and the supervisor's degraded accounting sees each step. *)
+  ignore (Degrade.take_tally ());
+  let clean =
+    let hub, topo = clustered ~shards:1 ~seed:11 ~n:48 in
+    Shard.run hub ~until:3.0;
+    topo_digest hub topo
+  in
+  let reported = ref [] in
+  let outcome =
+    Degrade.run
+      ~report:(fun s -> reported := s :: !reported)
+      ~plan:(Degrade.plan ~shards:4 ())
+      (fun (a : Degrade.attempt) ->
+        let hub, topo = clustered ~shards:a.Degrade.shards ~seed:11 ~n:48 in
+        Shard.configure ~chaos:(chaos_crash_at 1 3) hub;
+        Shard.run hub ~until:3.0;
+        topo_digest hub topo)
+  in
+  Alcotest.(check string) "degraded output byte-identical" clean
+    outcome.Degrade.value;
+  Alcotest.(check int) "two rungs failed" 2 (List.length outcome.Degrade.steps);
+  Alcotest.(check int) "settled sequential" 1
+    outcome.Degrade.attempt.Degrade.shards;
+  Alcotest.(check int) "report saw every step" 2 (List.length !reported);
+  Alcotest.(check int) "degradation tally" 2 (Degrade.take_tally ());
+  List.iter
+    (fun (s : Degrade.step) ->
+      Alcotest.(check int) "step blames the chaos shard" 1 s.Degrade.shard;
+      Alcotest.(check int) "step names the chaos round" 3 s.Degrade.round;
+      Alcotest.(check bool) "crash, not wedge" false s.Degrade.wedged)
+    outcome.Degrade.steps
+
+let test_ladder_disabled () =
+  (* --no-fallback semantics: the first failure propagates untouched. *)
+  let raised =
+    try
+      ignore
+        (Degrade.run ~enabled:false
+           ~plan:(Degrade.plan ~shards:4 ())
+           (fun (a : Degrade.attempt) ->
+             let hub, topo =
+               clustered ~shards:a.Degrade.shards ~seed:11 ~n:48
+             in
+             Shard.configure ~chaos:(chaos_crash_at 1 3) hub;
+             Shard.run hub ~until:3.0;
+             topo_digest hub topo));
+      false
+    with Shard.Lane_failure { shard = 1; round = 3; wedged = false; _ } -> true
+  in
+  Alcotest.(check bool) "first failure propagates" true raised;
+  Alcotest.(check int) "no degradation tallied" 0 (Degrade.take_tally ())
+
+let test_ladder_plan () =
+  let attempts = Degrade.plan ~domains:4 ~shards:4 () in
+  Alcotest.(check (list (pair int int)))
+    "halving rungs"
+    [ (4, 4); (2, 2); (1, 1) ]
+    (List.map (fun a -> (a.Degrade.shards, a.Degrade.domains)) attempts);
+  Alcotest.(check (list (pair int int)))
+    "sequential plan" [ (1, 1) ]
+    (List.map
+       (fun a -> (a.Degrade.shards, a.Degrade.domains))
+       (Degrade.plan ~shards:1 ()))
+
 let suites =
   [
     ( "shard.partition",
@@ -461,5 +698,24 @@ let suites =
           test_total_executed_aggregates;
         Alcotest.test_case "canonical trace export" `Slow
           test_sharded_trace_identical;
+      ] );
+    ( "shard.resilience",
+      [
+        Alcotest.test_case "chaos spec parsing" `Quick test_chaos_spec_parse;
+        Alcotest.test_case "chaos from environment" `Quick test_chaos_env;
+        Alcotest.test_case "crash contained (sequential)" `Quick
+          test_crash_contained_sequential;
+        Alcotest.test_case "crash contained (parallel)" `Quick
+          test_crash_contained_parallel;
+        Alcotest.test_case "synchronous wedge" `Quick test_wedge_synchronous;
+        Alcotest.test_case "watchdog abandons wedged lane" `Slow
+          test_wedge_watchdog;
+        Alcotest.test_case "lane event ceiling" `Quick test_lane_event_ceiling;
+        Alcotest.test_case "pool reclaimed on abort" `Quick
+          test_pool_reclaimed_on_abort;
+        Alcotest.test_case "ladder digest identity" `Slow
+          test_ladder_digest_identity;
+        Alcotest.test_case "ladder disabled" `Quick test_ladder_disabled;
+        Alcotest.test_case "ladder plan" `Quick test_ladder_plan;
       ] );
   ]
